@@ -1,0 +1,50 @@
+//! Allocator micro-benchmarks: caching allocator vs plan allocator on the
+//! same iteration trace. The plan allocator's constant-time lookups are the
+//! runtime face of MEMO's "no searching, no reorganisation" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memo_alloc::caching::CachingAllocator;
+use memo_alloc::plan::PlanAllocator;
+use memo_alloc::snapshot::replay;
+use memo_model::activations::LayerDims;
+use memo_model::config::{DType, ModelConfig};
+use memo_model::trace::{generate, IterationTrace, RematPolicy, TraceParams};
+use memo_plan::bilevel::{plan_iteration, PlanOptions};
+
+fn trace(policy: RematPolicy, layers: usize) -> IterationTrace {
+    let mut m = ModelConfig::gpt_7b();
+    m.n_layers = layers;
+    let dims = LayerDims::new(32 * 1024, &m, DType::BF16);
+    let mut p = TraceParams::new(&m, dims, policy);
+    p.comm_factor = 4;
+    generate(&p)
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator_replay");
+    for layers in [8usize, 32] {
+        let t = trace(RematPolicy::FullRecompute, layers);
+        group.bench_with_input(BenchmarkId::new("caching", layers), &t, |b, t| {
+            b.iter(|| {
+                let mut a = CachingAllocator::new(1 << 45);
+                replay(&mut a, t)
+            })
+        });
+
+        let t_memo = trace(RematPolicy::MemoTokenWise, layers);
+        let report = plan_iteration(&t_memo, &PlanOptions::default());
+        group.bench_with_input(BenchmarkId::new("plan", layers), &t_memo, |b, t| {
+            b.iter(|| {
+                let mut a = PlanAllocator::from_addresses(
+                    report.plan.address_triples(),
+                    report.plan.peak,
+                );
+                replay(&mut a, t)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

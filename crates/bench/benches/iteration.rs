@@ -1,0 +1,30 @@
+//! End-to-end simulated-iteration benchmarks: the cost of evaluating one
+//! Table 3 cell per system (profiling + planning + scheduling + allocator
+//! replay). These bound the wall time of the full table sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memo_core::session::Workload;
+use memo_model::config::ModelConfig;
+use memo_parallel::strategy::{ParallelConfig, SystemKind};
+
+fn bench_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_cell");
+    let w = Workload::new(ModelConfig::gpt_7b(), 8, 512 * 1024);
+    let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+    let ds_cfg = ParallelConfig::ulysses(8, 1);
+    for sys in [SystemKind::Memo, SystemKind::MegatronLM, SystemKind::DeepSpeed] {
+        let cfg = if sys == SystemKind::DeepSpeed { ds_cfg } else { cfg };
+        group.bench_with_input(BenchmarkId::new("7B_512K", sys.name()), &sys, |b, &sys| {
+            b.iter(|| w.run_with(sys, &cfg))
+        });
+    }
+    group.finish();
+
+    c.bench_function("strategy_search_7B_256K_memo", |b| {
+        let w = Workload::new(ModelConfig::gpt_7b(), 8, 256 * 1024);
+        b.iter(|| w.run_best(SystemKind::Memo))
+    });
+}
+
+criterion_group!(benches, bench_cells);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! memo-tensor kernel benchmarks: the numerical substrate's matmul,
+//! streaming attention and full layer fwd/bwd, plus one training step under
+//! each rematerialisation policy (the CPU-scale analogue of the paper's
+//! recompute-vs-swap time tradeoff).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memo_tensor::attention::attention_fwd;
+use memo_tensor::gpt::{GptConfig, GptGrads, TinyGpt};
+use memo_tensor::ops::matmul;
+use memo_tensor::store::Policy;
+
+fn bench_kernels(c: &mut Criterion) {
+    let (t, m, n) = (256usize, 128usize, 128usize);
+    let x = vec![0.5f32; t * m];
+    let w = vec![0.25f32; m * n];
+    let mut y = vec![0.0f32; t * n];
+    c.bench_function("matmul_256x128x128", |b| {
+        b.iter(|| matmul(&x, &w, t, m, n, &mut y))
+    });
+
+    let h = 64usize;
+    let q = vec![0.1f32; 256 * h];
+    let k = vec![0.2f32; 256 * h];
+    let v = vec![0.3f32; 256 * h];
+    c.bench_function("flash_attention_fwd_256x64", |b| {
+        b.iter(|| attention_fwd(&q, &k, &v, 256, 4, h / 4))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let cfg = GptConfig {
+        vocab: 64,
+        hidden: 32,
+        ffn: 64,
+        n_heads: 4,
+        n_layers: 2,
+        max_seq: 64,
+        rope: true,
+    };
+    let model = TinyGpt::new(cfg, 7);
+    let tokens: Vec<usize> = (0..48).map(|i| (5 * i + 1) % 64).collect();
+    let targets: Vec<usize> = (0..48).map(|i| (5 * i + 6) % 64).collect();
+
+    let mut group = c.benchmark_group("train_step_policy");
+    for (name, policy) in [
+        ("keep_all", Policy::KeepAll),
+        ("full_recompute", Policy::FullRecompute),
+        ("tokenwise_a25", Policy::TokenWise { alpha: 0.25 }),
+        ("tokenwise_a100", Policy::TokenWise { alpha: 1.0 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut g = GptGrads::zeros(&cfg);
+                model.loss_and_grad(&tokens, &targets, policy, &mut g)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_train_step);
+criterion_main!(benches);

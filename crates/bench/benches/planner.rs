@@ -1,0 +1,35 @@
+//! Planner benchmarks: the bi-level decomposition vs the flat formulation,
+//! scaling with layer count — the tractability ablation behind Figure 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memo_model::activations::LayerDims;
+use memo_model::config::{DType, ModelConfig};
+use memo_model::trace::{generate, IterationTrace, RematPolicy, TraceParams};
+use memo_plan::bilevel::{plan_flat, plan_iteration, PlanOptions};
+use memo_plan::bnb::BnbOptions;
+
+fn trace(layers: usize) -> IterationTrace {
+    let mut m = ModelConfig::gpt_7b();
+    m.n_layers = layers;
+    let dims = LayerDims::new(16 * 1024, &m, DType::BF16);
+    let mut p = TraceParams::new(&m, dims, RematPolicy::MemoTokenWise);
+    p.comm_factor = 4;
+    generate(&p)
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_planning");
+    for layers in [8usize, 32, 80] {
+        let t = trace(layers);
+        group.bench_with_input(BenchmarkId::new("bilevel", layers), &t, |b, t| {
+            b.iter(|| plan_iteration(t, &PlanOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("flat", layers), &t, |b, t| {
+            b.iter(|| plan_flat(t, BnbOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! α-LP and schedule-construction benchmarks (the per-job planning cost of
+//! the token-wise recomputation/swapping mechanism).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memo_hal::time::SimTime;
+use memo_swap::alpha::{solve_alpha, AlphaInputs};
+use memo_swap::host::HostStaging;
+use memo_swap::schedule::{build_iteration_schedule, LayerCosts};
+
+fn bench_alpha(c: &mut Criterion) {
+    let inp = AlphaInputs {
+        s_input: 1 << 28,
+        s_attn: 1 << 28,
+        s_others: 14 << 28,
+        bandwidth: 12e9,
+        t_layer_fwd: 0.35,
+        n_layers: 32,
+        host_capacity: 200 << 30,
+    };
+    c.bench_function("alpha_lp_solve", |b| b.iter(|| solve_alpha(&inp)));
+
+    c.bench_function("schedule_build_32_layers", |b| {
+        b.iter(|| {
+            let costs = LayerCosts::without_nvme(
+                SimTime::from_millis(350),
+                SimTime::from_millis(700),
+                SimTime::from_millis(40),
+                4 << 30,
+                12e9,
+            );
+            let mut host = HostStaging::new(u64::MAX / 2);
+            build_iteration_schedule(32, costs, SimTime::from_millis(100), &mut host, 0).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_alpha);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Extension study: allocator shoot-out on the same steady-state iteration
+//! trace — the PyTorch caching allocator, VMM expandable segments
+//! (GMLake-style, the paper's [17]), and MEMO's static plan.
+//!
+//! Metrics: peak reserved physical memory, reorganisations, and runtime
+//! memory-management operations on the critical path.
+
+use memo_alloc::caching::CachingAllocator;
+use memo_alloc::expandable::ExpandableAllocator;
+use memo_alloc::plan::PlanAllocator;
+use memo_alloc::snapshot::replay;
+use memo_alloc::DeviceAllocator;
+use memo_core::{planner, profiler, session::Workload};
+use memo_model::config::ModelConfig;
+use memo_model::trace::RematPolicy;
+use memo_parallel::strategy::ParallelConfig;
+
+const GIB: f64 = (1u64 << 30) as f64;
+
+fn main() {
+    let w = Workload::new(ModelConfig::gpt_7b(), 8, 512 * 1024);
+    let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+    let p = profiler::profile(&w, &cfg, RematPolicy::FullRecompute, false);
+    let trace = &p.trace;
+    println!(
+        "Allocator comparison — 7B @ 512K, {}, full-recompute trace ({} requests)\n",
+        cfg.describe(),
+        trace.len()
+    );
+    println!("liveness lower bound: {:.3} GiB\n", trace.peak_live_bytes() as f64 / GIB);
+    println!(
+        "{:<28} {:>14} {:>10} {:>22}",
+        "allocator", "peak reserved", "reorgs", "runtime mgmt ops/iter"
+    );
+
+    // PyTorch caching allocator.
+    let mut caching = CachingAllocator::new(u64::MAX / 4);
+    let series = replay(&mut caching, trace);
+    assert!(series.oom.is_none());
+    println!(
+        "{:<28} {:>10.3} GiB {:>10} {:>22}",
+        "caching (PyTorch default)",
+        series.peak_reserved() as f64 / GIB,
+        series.reorgs,
+        format!("{} mallocs", caching.stats().n_mallocs)
+    );
+
+    // Expandable segments, eager unmap (minimal footprint, max driver work).
+    let mut exp = ExpandableAllocator::new(u64::MAX / 4);
+    let series = replay(&mut exp, trace);
+    assert!(series.oom.is_none());
+    println!(
+        "{:<28} {:>10.3} GiB {:>10} {:>22}",
+        "expandable (eager unmap)",
+        exp.peak_mapped_bytes() as f64 / GIB,
+        0,
+        format!("{} map/unmap", exp.map_calls + exp.unmap_calls)
+    );
+
+    // Expandable segments, lazy unmap (PyTorch-style page cache): warm an
+    // iteration first, then measure the steady state.
+    let mut lazy = ExpandableAllocator::new_lazy(u64::MAX / 4);
+    let warm = replay(&mut lazy, trace);
+    assert!(warm.oom.is_none());
+    let maps0 = lazy.map_calls + lazy.unmap_calls;
+    let series = replay(&mut lazy, trace);
+    assert!(series.oom.is_none());
+    println!(
+        "{:<28} {:>10.3} GiB {:>10} {:>22}",
+        "expandable (lazy, steady)",
+        lazy.peak_mapped_bytes() as f64 / GIB,
+        0,
+        format!("{} map/unmap", lazy.map_calls + lazy.unmap_calls - maps0)
+    );
+
+    // MEMO static plan (on the MEMO-policy trace for its own system, but
+    // here planned over the same full-recompute trace for comparability).
+    let report = planner::plan(trace);
+    let mut plan = PlanAllocator::from_addresses(report.plan.address_triples(), report.plan.peak);
+    let series = replay(&mut plan, trace);
+    assert!(series.oom.is_none());
+    println!(
+        "{:<28} {:>10.3} GiB {:>10} {:>22}",
+        "MEMO bi-level plan",
+        plan.reserved_bytes() as f64 / GIB,
+        0,
+        "0 (table lookups)".to_string()
+    );
+
+    println!("\nexpandable segments eliminate most fragmentation without planning, but");
+    println!("pay thousands of driver mapping calls per iteration and still track the");
+    println!("page-rounded live set; the static plan needs no runtime management at");
+    println!("all and its peak is solver-certified before training starts.");
+}

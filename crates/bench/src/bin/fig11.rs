@@ -1,0 +1,47 @@
+//! Figure 11: the three-stream schedule with and without token-wise
+//! recomputation. At a sequence length where full swapping cannot hide under
+//! compute, the α < 1 schedule keeps the compute stream busy while the
+//! α = 1 schedule stalls layer i+2 on layer i's offload.
+
+use memo_core::profiler;
+use memo_core::session::Workload;
+use memo_hal::time::SimTime;
+use memo_hal::timeline::render_ascii;
+use memo_model::config::ModelConfig;
+use memo_model::trace::RematPolicy;
+use memo_parallel::strategy::ParallelConfig;
+use memo_swap::host::HostStaging;
+use memo_swap::schedule::{build_iteration_schedule, LayerCosts};
+
+fn main() {
+    let w = Workload::new(ModelConfig::gpt_7b(), 8, 96 * 1024);
+    let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+    let p = profiler::profile(&w, &cfg, RematPolicy::MemoTokenWise, false);
+    let lt = &p.layer_time;
+    let n = 6; // a few layers are enough to see the pattern
+
+    println!(
+        "Figure 11 — schedule w/ and w/o token-wise recomputation (7B, 96K, {})",
+        cfg.describe()
+    );
+    println!("solved α = {} (binding: {:?})\n", p.alpha.alpha, p.alpha.binding);
+
+    for (label, alpha) in [("with token-wise recomputation (α from LP)", p.alpha.alpha), ("w/o token-wise recomputation (α = 1, full swap)", 1.0)] {
+        let costs = LayerCosts::without_nvme(
+            SimTime::from_secs_f64(lt.fwd()),
+            SimTime::from_secs_f64(lt.bwd),
+            SimTime::from_secs_f64((1.0 - alpha) * lt.fwd_without_attention()),
+            p.split.swapped_bytes(alpha),
+            w.calib.effective_pcie(),
+        );
+        let mut host = HostStaging::new(u64::MAX / 2);
+        let out = build_iteration_schedule(n, costs, SimTime::ZERO, &mut host, 0)
+            .expect("host unconstrained here");
+        println!("--- {label}");
+        print!("{}", render_ascii(&out.timeline, 110));
+        println!(
+            "makespan {}  compute idle {}\n",
+            out.makespan, out.compute_idle
+        );
+    }
+}

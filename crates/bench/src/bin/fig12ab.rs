@@ -1,0 +1,49 @@
+//! Figure 12(a,b): longest supported sequence length and its MFU when
+//! training the 7B model on 8/16/32/64 GPUs, per system.
+
+use memo_bench::paper::FIG12A;
+use memo_core::session::Workload;
+use memo_model::config::ModelConfig;
+use memo_parallel::strategy::SystemKind;
+
+/// Largest feasible length on a 128K grid (up to `limit_k`).
+fn frontier(sys: SystemKind, n_gpus: usize, limit_k: u64) -> (u64, Option<f64>) {
+    let mut best = (0u64, None);
+    let mut k = 128u64;
+    while k <= limit_k {
+        let w = Workload::new(ModelConfig::gpt_7b(), n_gpus, k * 1024);
+        if let Some((_, out)) = w.run_best(sys) {
+            best = (k, out.mfu());
+        }
+        k += 128;
+    }
+    best
+}
+
+fn main() {
+    println!("Figure 12(a,b) — longest supported 7B sequence and its MFU\n");
+    println!(
+        "{:>6} | {:>22} | {:>22} | {:>22}",
+        "#GPUs", "DeepSpeed", "Megatron-LM", "MEMO"
+    );
+    for &(n_gpus, p_ds, p_mega, p_memo) in &FIG12A {
+        let limit = (p_memo * 2).max(2048);
+        let (ds, ds_mfu) = frontier(SystemKind::DeepSpeed, n_gpus, limit);
+        let (mg, mg_mfu) = frontier(SystemKind::MegatronLM, n_gpus, limit);
+        let (me, me_mfu) = frontier(SystemKind::Memo, n_gpus, limit);
+        let f = |k: u64, mfu: Option<f64>, paper: u64| {
+            format!(
+                "{k}K {}[p:{paper}K]",
+                mfu.map(|m| format!("{:.1}% ", m * 100.0)).unwrap_or_default()
+            )
+        };
+        println!(
+            "{:>6} | {:>22} | {:>22} | {:>22}",
+            n_gpus,
+            f(ds, ds_mfu, p_ds),
+            f(mg, mg_mfu, p_mega),
+            f(me, me_mfu, p_memo)
+        );
+    }
+    println!("\n[p:...] = the paper's reported frontier. MEMO's frontier must scale ~linearly in #GPUs with MFU >50%.");
+}

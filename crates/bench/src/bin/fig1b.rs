@@ -1,0 +1,45 @@
+//! Figure 1(b): FlashAttention time, one-layer forward time and one-layer
+//! full activation offload time vs sequence length (7B, TP = 8). The paper's
+//! observation: beyond ≈192K tokens the offload hides completely under the
+//! layer's compute.
+
+use memo_hal::calib::Calibration;
+use memo_model::config::ModelConfig;
+use memo_parallel::cost;
+use memo_parallel::strategy::ParallelConfig;
+
+fn main() {
+    let m = ModelConfig::gpt_7b();
+    let cfg = ParallelConfig::megatron(8, 1, 1, 1);
+    let calib = Calibration::default();
+
+    println!("Figure 1(b) — one-layer forward vs full offload (7B, TP=8)\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>10}",
+        "seq", "flash_attn(s)", "layer_fwd(s)", "offload(s)", "overlap?"
+    );
+    let mut crossover: Option<u64> = None;
+    for k in (32..=512).step_by(32) {
+        let s = k as u64 * 1024;
+        let lt = cost::layer_time(&m, &cfg, s, &calib);
+        let off = cost::full_offload_seconds(&m, &cfg, s, &calib);
+        let overlapped = off <= lt.fwd();
+        if overlapped && crossover.is_none() {
+            crossover = Some(k as u64);
+        }
+        println!(
+            "{:>7}K {:>14.4} {:>14.4} {:>14.4} {:>10}",
+            k,
+            lt.attn_fwd,
+            lt.fwd(),
+            off,
+            if overlapped { "yes" } else { "no" }
+        );
+    }
+    match crossover {
+        Some(k) => println!(
+            "\nfull overlap from {k}K tokens onward (paper: ≈192K)"
+        ),
+        None => println!("\nno crossover in range — check calibration"),
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 5: the skeletal activation catalog of one transformer layer, with
+//! sizes (in bsh elements and bytes) and the 6.25% attention-output share.
+
+use memo_model::activations::{skeletal_catalog, skeletal_split, LayerDims};
+use memo_model::config::{DType, ModelConfig};
+
+fn main() {
+    let m = ModelConfig::gpt_7b();
+    let s: u64 = 1 << 20; // 1Mi tokens, b = 1 (the paper's running example)
+    let dims = LayerDims::new(s, &m, DType::F16);
+
+    println!("Figure 5 — skeletal activations of one transformer layer");
+    println!("model 7B (h={}, ffn={}), s=1Mi tokens, fp16\n", m.hidden, m.ffn_hidden);
+    println!("{:<18} {:>10} {:>14}", "tensor", "×bsh", "bytes");
+    let mut total = 0u64;
+    for t in skeletal_catalog(&dims) {
+        let x_bsh = t.bytes as f64 / dims.bsh_bytes() as f64;
+        println!("{:<18} {:>10.2} {:>14}", t.kind.name(), x_bsh, t.bytes);
+        total += t.bytes;
+    }
+    println!("{:<18} {:>10.2} {:>14}", "TOTAL", total as f64 / dims.bsh_bytes() as f64, total);
+
+    let split = skeletal_split(&dims);
+    println!(
+        "\nFlashAttention output share: {:.2}% (paper: 6.25%)",
+        100.0 * split.s_attn as f64 / split.total() as f64
+    );
+    let all_layers_gib = (total * m.n_layers as u64) >> 30;
+    println!(
+        "all {} layers: {} GiB (paper §3.2: 4096 GB for one 1M-token sequence)",
+        m.n_layers, all_layers_gib
+    );
+}

@@ -1,0 +1,44 @@
+//! Extension study: why the paper's strategies avoid pipeline parallelism at
+//! long contexts (§2.3's "bubble" discussion, visible in Tables 6/7 as
+//! PP=1 almost everywhere).
+//!
+//! Simulates GPipe and 1F1B stage schedules at varying micro-batch counts
+//! and shows (a) the bubble fraction `(pp−1)/m`, crippling at the `m = 1`
+//! typical of million-token batches, and (b) 1F1B's in-flight-activation
+//! advantage, which is irrelevant when m is small anyway.
+
+use memo_hal::timeline::render_ascii;
+use memo_hal::time::SimTime;
+use memo_parallel::pipeline::{simulate, PipeSchedule};
+
+fn main() {
+    println!("Pipeline schedules — bubble vs micro-batches (uniform stages)\n");
+    println!(
+        "{:>4} {:>4} | {:>22} | {:>22}",
+        "pp", "m", "GPipe bubble/in-flight", "1F1B bubble/in-flight"
+    );
+    let t_fwd = SimTime::from_millis(10);
+    let t_bwd = SimTime::from_millis(20);
+    for (pp, m) in [(4usize, 1usize), (4, 2), (4, 4), (4, 16), (8, 1), (8, 8)] {
+        let g = simulate(PipeSchedule::GPipe, pp, m, t_fwd, t_bwd);
+        let f = simulate(PipeSchedule::OneFOneB, pp, m, t_fwd, t_bwd);
+        println!(
+            "{:>4} {:>4} | {:>13.1}% {:>7} | {:>13.1}% {:>7}",
+            pp,
+            m,
+            g.bubble_fraction * 100.0,
+            g.peak_in_flight,
+            f.bubble_fraction * 100.0,
+            f.peak_in_flight
+        );
+    }
+
+    println!("\n1F1B schedule, pp=4, m=8 (drawn):");
+    let f = simulate(PipeSchedule::OneFOneB, 4, 8, t_fwd, t_bwd);
+    print!("{}", render_ascii(&f.timeline, 100));
+
+    println!("\nlong-context reality: one million-token sequence = one micro-batch,");
+    println!("so PP pays (pp-1)x extra wall time — hence TP/CP-heavy strategies in");
+    println!("Tables 6-7, and our strategy search agrees (PP appears only when");
+    println!("nothing else fits in memory).");
+}

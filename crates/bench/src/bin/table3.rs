@@ -1,0 +1,81 @@
+//! Table 3: end-to-end MFU and TGS of DeepSpeed, Megatron-LM and MEMO
+//! across {7B/8, 13B/16, 30B/32, 65B/64} GPUs and 64K–1408K tokens, with
+//! the paper's reported MFU printed alongside for comparison.
+
+use memo_bench::paper::{SEQ_K, TABLE3};
+use memo_bench::{cell_text, sweep};
+use memo_model::config::ModelConfig;
+use memo_parallel::strategy::SystemKind;
+
+fn main() {
+    let systems = [SystemKind::DeepSpeed, SystemKind::MegatronLM, SystemKind::Memo];
+    let models: [(ModelConfig, usize); 4] = [
+        (ModelConfig::gpt_7b(), 8),
+        (ModelConfig::gpt_13b(), 16),
+        (ModelConfig::gpt_30b(), 32),
+        (ModelConfig::gpt_65b(), 64),
+    ];
+
+    println!("Table 3 — MFU / TGS per system (ours), with paper MFU in brackets\n");
+    let mut our_ratio_megatron: Vec<f64> = Vec::new();
+    let mut our_ratio_deepspeed: Vec<f64> = Vec::new();
+    let mut memo_mfus: Vec<f64> = Vec::new();
+
+    for (gi, (model, n_gpus)) in models.iter().enumerate() {
+        println!("== {} on {} GPUs ==", model.name, n_gpus);
+        let cells = sweep::sweep_group(model, *n_gpus, &SEQ_K, &systems);
+        let find = |sys: SystemKind, s_k: u64| {
+            cells
+                .iter()
+                .find(|c| c.system == sys && c.seq_k == s_k)
+                .expect("cell computed")
+        };
+        let paper = &TABLE3[gi];
+        for (si, &s_k) in SEQ_K.iter().enumerate() {
+            print!("{:>6}K |", s_k);
+            for &sys in &systems {
+                let c = find(sys, s_k);
+                let paper_mfu = match sys {
+                    SystemKind::DeepSpeed => paper.deepspeed[si],
+                    SystemKind::MegatronLM => paper.megatron[si],
+                    SystemKind::Memo => paper.memo[si],
+                };
+                let paper_txt = match paper_mfu {
+                    Some(v) => format!("{v:5.2}%"),
+                    None => "  X   ".to_string(),
+                };
+                print!(" {:10} {:>17} [{paper_txt}] |", sys.name(), cell_text(&c.outcome));
+                if let Some(m) = c.outcome.metrics() {
+                    if sys == SystemKind::Memo {
+                        memo_mfus.push(m.mfu);
+                    }
+                }
+            }
+            // MFU ratios where both MEMO and a baseline succeed.
+            let memo = find(SystemKind::Memo, s_k).outcome.mfu();
+            if let (Some(me), Some(mg)) = (memo, find(SystemKind::MegatronLM, s_k).outcome.mfu()) {
+                our_ratio_megatron.push(me / mg);
+            }
+            if let (Some(me), Some(ds)) = (memo, find(SystemKind::DeepSpeed, s_k).outcome.mfu()) {
+                our_ratio_deepspeed.push(me / ds);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("--- summary ---");
+    println!(
+        "MEMO average MFU: {:.2}% (paper: 51.33%)",
+        100.0 * avg(&memo_mfus)
+    );
+    println!(
+        "MEMO / Megatron-LM MFU ratio (cells where both run): {:.2}x (paper avg over its cells: 2.42x)",
+        avg(&our_ratio_megatron)
+    );
+    println!(
+        "MEMO / DeepSpeed MFU ratio: {:.2}x (paper: 2.26x)",
+        avg(&our_ratio_deepspeed)
+    );
+}

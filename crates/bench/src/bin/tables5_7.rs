@@ -1,0 +1,48 @@
+//! Tables 5–7 (Appendix A): the parallelism strategy each system selects
+//! per workload — our automated search's choice, including MEMO's solved α.
+
+use memo_bench::paper::SEQ_K;
+use memo_bench::sweep;
+use memo_model::config::ModelConfig;
+use memo_parallel::strategy::SystemKind;
+
+fn main() {
+    let systems = [SystemKind::DeepSpeed, SystemKind::MegatronLM, SystemKind::Memo];
+    let models: [(ModelConfig, usize); 4] = [
+        (ModelConfig::gpt_7b(), 8),
+        (ModelConfig::gpt_13b(), 16),
+        (ModelConfig::gpt_30b(), 32),
+        (ModelConfig::gpt_65b(), 64),
+    ];
+
+    println!("Tables 5-7 — selected parallelism strategies (search over all valid configs)\n");
+    for (model, n_gpus) in &models {
+        println!("== {} on {} GPUs ==", model.name, n_gpus);
+        let cells = sweep::sweep_group(model, *n_gpus, &SEQ_K, &systems);
+        for &sys in &systems {
+            print!("{:<12}", sys.name());
+            for &s_k in &SEQ_K {
+                let c = cells
+                    .iter()
+                    .find(|c| c.system == sys && c.seq_k == s_k)
+                    .expect("cell");
+                let txt = match (&c.strategy, c.outcome.metrics()) {
+                    (Some(cfg), Some(m)) => {
+                        let alpha = m
+                            .alpha
+                            .map(|a| format!(" α={a}"))
+                            .unwrap_or_default();
+                        format!("{}{}", cfg.describe(), alpha)
+                    }
+                    _ => "X".to_string(),
+                };
+                print!(" | {s_k}K {txt}");
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("compare with the paper's Appendix A: same families (DS: SP·DP·Z3;");
+    println!("Megatron/MEMO: TP·CP·DP with SP+ZeRO-1), SP capped by head count, and");
+    println!("MEMO's α falling to 0 as the host-memory constraint binds at long contexts.");
+}

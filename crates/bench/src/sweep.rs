@@ -1,0 +1,73 @@
+//! Parallel sweep driver for the end-to-end tables.
+
+use crossbeam::thread;
+use memo_core::outcome::CellOutcome;
+use memo_core::session::Workload;
+use memo_model::config::ModelConfig;
+use memo_parallel::strategy::{ParallelConfig, SystemKind};
+
+/// One evaluated cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub system: SystemKind,
+    pub model: &'static str,
+    pub n_gpus: usize,
+    pub seq_k: u64,
+    pub strategy: Option<ParallelConfig>,
+    pub outcome: CellOutcome,
+}
+
+/// Evaluate `systems × seq_k` for one (model, n_gpus) pair, in parallel.
+pub fn sweep_group(
+    model: &ModelConfig,
+    n_gpus: usize,
+    seq_ks: &[u64],
+    systems: &[SystemKind],
+) -> Vec<Cell> {
+    let mut jobs: Vec<(SystemKind, u64)> = Vec::new();
+    for &sys in systems {
+        for &s in seq_ks {
+            jobs.push((sys, s));
+        }
+    }
+    let results = thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(sys, s_k)| {
+                let model = model.clone();
+                scope.spawn(move |_| {
+                    let w = Workload::new(model.clone(), n_gpus, s_k * 1024);
+                    let (cfg, outcome) = w.run_best_or_failure(sys);
+                    Cell {
+                        system: sys,
+                        model: model.name,
+                        n_gpus,
+                        seq_k: s_k,
+                        strategy: cfg,
+                        outcome,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("cell panicked")).collect::<Vec<_>>()
+    })
+    .expect("sweep scope");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_small_group() {
+        let cells = sweep_group(
+            &ModelConfig::gpt_7b(),
+            8,
+            &[64, 256],
+            &[SystemKind::Memo, SystemKind::MegatronLM],
+        );
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| c.outcome.is_ok()));
+    }
+}

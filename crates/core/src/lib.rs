@@ -1,0 +1,30 @@
+//! # memo-core — the MEMO training framework (§4.3, Figure 10)
+//!
+//! Ties every substrate together into the paper's three-component pipeline:
+//!
+//! 1. [`profiler::JobProfiler`] runs a profiling pass: generates the memory
+//!    request trace, measures (models) per-layer times, and solves the α
+//!    program;
+//! 2. [`planner::MemoryPlanner`] runs the bi-level MIP over the trace and
+//!    emits a [`MemoryPlan`](memo_plan::MemoryPlan);
+//! 3. [`executor`] runs the training iteration on the simulated cluster:
+//!    MEMO with rounding buffers + three streams + planned addresses, and
+//!    the Megatron-LM / DeepSpeed baselines with full recomputation + the
+//!    caching allocator.
+//!
+//! [`session`] is the user-facing API: build a [`session::Workload`], pick a
+//! [`SystemKind`](memo_parallel::SystemKind), `run()` — and read MFU/TGS or
+//! an OOM/OOHM outcome (the cells of Table 3). [`ablation`] provides the
+//! Table 4 variants.
+
+pub mod ablation;
+pub mod executor;
+pub mod metrics;
+pub mod outcome;
+pub mod planner;
+pub mod profiler;
+pub mod session;
+
+pub use metrics::Metrics;
+pub use outcome::CellOutcome;
+pub use session::Workload;

@@ -1,0 +1,96 @@
+//! Training-efficiency metrics (§5.1): MFU and TGS.
+
+use memo_model::config::ModelConfig;
+use memo_model::flops;
+use serde::{Deserialize, Serialize};
+
+/// Results of one successfully simulated training iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Wall time of one iteration, seconds.
+    pub iter_secs: f64,
+    /// Model FLOPs Utilization: model FLOPs per second over peak FLOPs,
+    /// aggregated over all GPUs. Recomputation does not count.
+    pub mfu: f64,
+    /// Tokens per GPU per second.
+    pub tgs: f64,
+    /// Peak GPU bytes (model states + activations + buffers).
+    pub peak_gpu_bytes: u64,
+    /// Peak host bytes staged (0 for non-swapping systems).
+    pub host_peak_bytes: u64,
+    /// Caching-allocator reorganisations per iteration (0 under a plan).
+    pub reorgs: u64,
+    /// The swap fraction used (None for baselines).
+    pub alpha: Option<f64>,
+    /// Strategy description, e.g. "TP4·CP2·DP1·Z1".
+    pub strategy: String,
+}
+
+/// Compute MFU and TGS from iteration time.
+///
+/// One iteration processes one batch of `batch` sequences of length `s`
+/// across `n_gpus` GPUs.
+pub fn compute_metrics(
+    model: &ModelConfig,
+    s: u64,
+    batch: u64,
+    n_gpus: usize,
+    peak_flops: f64,
+    iter_secs: f64,
+) -> (f64, f64) {
+    assert!(iter_secs > 0.0);
+    let model_flops = flops::model_flops_per_sample(model, s) * batch as f64;
+    let mfu = model_flops / (iter_secs * n_gpus as f64 * peak_flops);
+    let tgs = (s * batch) as f64 / (iter_secs * n_gpus as f64);
+    (mfu, tgs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_consistency_7b_64k() {
+        // Table 3: MEMO 7B/8GPU/64K reports 52.34% MFU and 1786 TGS.
+        // Those two numbers imply an iteration time; check our formulas
+        // reproduce the paper's MFU/TGS ratio within a few percent.
+        let m = ModelConfig::gpt_7b();
+        let s = 64 * 1024;
+        // iteration time implied by TGS:
+        let iter = s as f64 / (8.0 * 1786.22);
+        let (mfu, tgs) = compute_metrics(&m, s as u64, 1, 8, 312e12, iter);
+        assert!((tgs - 1786.22).abs() < 1.0);
+        assert!(
+            (mfu - 0.5234).abs() < 0.05,
+            "implied MFU {mfu} should be near the paper's 52.34%"
+        );
+    }
+
+    #[test]
+    fn mfu_independent_of_gpu_count_at_fixed_tgs() {
+        let m = ModelConfig::gpt_7b();
+        let s = 1 << 17;
+        let (mfu8, _) = compute_metrics(&m, s, 1, 8, 312e12, 4.0);
+        let (mfu16, _) = compute_metrics(&m, s, 1, 16, 312e12, 2.0);
+        assert!((mfu8 - mfu16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tgs_times_seconds_equals_tokens() {
+        let m = ModelConfig::gpt_13b();
+        let s = 1 << 18;
+        let (_, tgs) = compute_metrics(&m, s, 1, 16, 312e12, 7.5);
+        let tokens = tgs * 7.5 * 16.0;
+        assert!((tokens - s as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_scales_both() {
+        let m = ModelConfig::gpt_7b();
+        let s = 1 << 16;
+        let (mfu1, tgs1) = compute_metrics(&m, s, 1, 8, 312e12, 2.0);
+        let (mfu2, tgs2) = compute_metrics(&m, s, 2, 8, 312e12, 4.0);
+        assert!((mfu1 - mfu2).abs() < 1e-12);
+        assert!((tgs1 - tgs2).abs() < 1e-9);
+    }
+}

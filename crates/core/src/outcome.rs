@@ -1,0 +1,57 @@
+//! Run outcomes: success metrics, or the two failure modes of Tables 3/4
+//! (`X_oom` — GPU memory exhausted; `X_oohm` — host memory exhausted).
+
+use crate::metrics::Metrics;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one (system, model, #GPUs, sequence length, strategy) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellOutcome {
+    Ok(Metrics),
+    /// GPU out-of-memory, with the shortfall diagnostics.
+    Oom { needed: u64, capacity: u64 },
+    /// Host (CPU) out-of-memory.
+    Oohm { needed: u64, capacity: u64 },
+}
+
+impl CellOutcome {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok(_))
+    }
+
+    pub fn metrics(&self) -> Option<&Metrics> {
+        match self {
+            CellOutcome::Ok(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn mfu(&self) -> Option<f64> {
+        self.metrics().map(|m| m.mfu)
+    }
+
+    /// Render like the paper's table cells: "52.34% / 1786.2" or "X_oom".
+    pub fn cell(&self) -> String {
+        match self {
+            CellOutcome::Ok(m) => format!("{:.2}% {:>8.2}", m.mfu * 100.0, m.tgs),
+            CellOutcome::Oom { .. } => "X_oom".into(),
+            CellOutcome::Oohm { .. } => "X_oohm".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_rendering() {
+        let oom = CellOutcome::Oom {
+            needed: 100,
+            capacity: 50,
+        };
+        assert_eq!(oom.cell(), "X_oom");
+        assert!(!oom.is_ok());
+        assert!(oom.mfu().is_none());
+    }
+}

@@ -1,0 +1,25 @@
+//! # memo-model — what the training job looks like
+//!
+//! Static knowledge about the trained model, independent of any execution
+//! strategy:
+//!
+//! * [`config`] — the GPT variants of the paper's Table 2 (7B/13B/30B/65B),
+//!   parameter counting and hyper-parameters;
+//! * [`flops`] — the paper's FLOP formula `6·s·P + 6·n·h·s²` (§5.1) and its
+//!   per-layer / per-phase decomposition;
+//! * [`activations`] — the skeletal-activation catalog of Figure 5 (16·bsh
+//!   elements per transformer layer; the FlashAttention output is exactly
+//!   1/16 = 6.25 % of it) plus the transient-activation catalog of §3.3;
+//! * [`trace`] — generation of the `malloc/free tensor_id size` memory
+//!   request sequences of Figures 4 and 9, segmented per layer and phase so
+//!   the bi-level planner can exploit the repetitive substructure.
+
+pub mod activations;
+pub mod io;
+pub mod config;
+pub mod flops;
+pub mod trace;
+
+pub use activations::{LayerDims, SkeletalKind, SkeletalTensor};
+pub use config::{DType, ModelConfig};
+pub use trace::{IterationTrace, MemOp, RematPolicy, Request, SegmentKind, TraceSegment};

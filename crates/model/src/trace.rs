@@ -1,0 +1,853 @@
+//! Memory-request trace generation (Figures 4 and 9).
+//!
+//! A training iteration issues a deterministic sequence of `malloc`/`free`
+//! requests to the device allocator. The paper's Observation 2 is that this
+//! sequence is identical across iterations *and across transformer layers*,
+//! which makes static planning possible. This module generates those
+//! sequences for the three rematerialisation policies that the evaluation
+//! compares:
+//!
+//! * [`RematPolicy::KeepAll`] — every skeletal tensor stays resident from its
+//!   forward birth to its backward death (infeasible for long contexts; used
+//!   for small-scale validation),
+//! * [`RematPolicy::FullRecompute`] — only layer inputs survive the forward
+//!   pass; each layer's backward segment re-runs the forward (Megatron /
+//!   DeepSpeed style full activation recomputation),
+//! * [`RematPolicy::MemoTokenWise`] — skeletal tensors live in MEMO's
+//!   pre-allocated rounding buffers and never reach the allocator; the trace
+//!   contains only transient tensors.
+//!
+//! Requests are grouped into [`TraceSegment`]s (embedding fwd, each layer
+//! fwd, classifier fwd+bwd, each layer bwd, embedding bwd) because the
+//! bi-level planner collapses each transformer-layer segment into one pseudo
+//! request (Figure 8).
+
+use crate::activations::LayerDims;
+use crate::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Allocator operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOp {
+    Malloc,
+    Free,
+}
+
+/// Globally unique tensor identifier within one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TensorId(pub u64);
+
+/// One `malloc`/`free` request (one row of Figure 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    pub op: MemOp,
+    pub tensor: TensorId,
+    pub bytes: u64,
+    pub label: String,
+}
+
+/// Which phase of the iteration a segment belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    EmbeddingFwd,
+    LayerFwd(usize),
+    ClassifierFwd,
+    ClassifierBwd,
+    LayerBwd(usize),
+    EmbeddingBwd,
+}
+
+impl SegmentKind {
+    /// True for transformer-layer segments (the repetitive substructure the
+    /// bi-level MIP exploits).
+    pub fn is_transformer(&self) -> bool {
+        matches!(self, SegmentKind::LayerFwd(_) | SegmentKind::LayerBwd(_))
+    }
+}
+
+/// A contiguous slice of the request sequence belonging to one phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSegment {
+    pub kind: SegmentKind,
+    pub requests: Vec<Request>,
+}
+
+/// How skeletal activations are rematerialised.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RematPolicy {
+    /// Keep every skeletal tensor resident (no rematerialisation).
+    KeepAll,
+    /// Store only layer inputs; re-forward each layer before its backward.
+    FullRecompute,
+    /// MEMO: skeletal tensors live in rounding buffers outside the allocator.
+    MemoTokenWise,
+}
+
+/// Everything the generator needs to emit a per-GPU trace.
+#[derive(Debug, Clone)]
+pub struct TraceParams {
+    pub model: ModelConfig,
+    /// Per-GPU activation dimensions (already divided by TP·CP).
+    pub dims: LayerDims,
+    /// Vocabulary shard size on this GPU (vocab / TP under tensor parallelism).
+    pub vocab_local: u64,
+    /// Sequence-parallel gather factor: transient all-gather buffers are this
+    /// many times larger than a local `bsh` tensor (TP size with SP enabled).
+    pub comm_factor: u64,
+    /// Cross-entropy is computed in chunks of this many tokens so logits
+    /// never fully materialise (vocab-parallel fused/chunked loss).
+    pub ce_chunk_tokens: u64,
+    /// Unfused fp32 loss (Megatron-DeepSpeed style): the fp16 logits, their
+    /// fp32 upcast and the fp32 softmax probabilities all survive from the
+    /// classifier forward to its backward, where the fp32 gradient joins
+    /// them — ~14 bytes per (token, vocab) element at peak. Overrides
+    /// chunking.
+    pub materialize_logits: bool,
+    pub policy: RematPolicy,
+}
+
+impl TraceParams {
+    pub fn new(model: &ModelConfig, dims: LayerDims, policy: RematPolicy) -> Self {
+        TraceParams {
+            model: model.clone(),
+            dims,
+            vocab_local: model.vocab as u64,
+            comm_factor: 1,
+            ce_chunk_tokens: 4096,
+            materialize_logits: false,
+            policy,
+        }
+    }
+}
+
+/// A full training-iteration trace, segmented by phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationTrace {
+    pub segments: Vec<TraceSegment>,
+}
+
+impl IterationTrace {
+    /// All requests in execution order.
+    pub fn flatten(&self) -> impl Iterator<Item = &Request> {
+        self.segments.iter().flat_map(|s| s.requests.iter())
+    }
+
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.requests.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Peak of the sum of live tensor bytes over the request sequence — a
+    /// lower bound for any address assignment.
+    pub fn peak_live_bytes(&self) -> u64 {
+        let mut live = 0u64;
+        let mut peak = 0u64;
+        for r in self.flatten() {
+            match r.op {
+                MemOp::Malloc => {
+                    live += r.bytes;
+                    peak = peak.max(live);
+                }
+                MemOp::Free => live = live.saturating_sub(r.bytes),
+            }
+        }
+        peak
+    }
+
+    /// Check that every malloc has exactly one later free with the same size,
+    /// and vice versa. Returns the number of tensors on success.
+    pub fn validate(&self) -> Result<usize, TraceError> {
+        let mut live: HashMap<TensorId, u64> = HashMap::new();
+        let mut count = 0usize;
+        for r in self.flatten() {
+            match r.op {
+                MemOp::Malloc => {
+                    if live.insert(r.tensor, r.bytes).is_some() {
+                        return Err(TraceError::DoubleMalloc(r.tensor));
+                    }
+                    count += 1;
+                }
+                MemOp::Free => match live.remove(&r.tensor) {
+                    None => return Err(TraceError::FreeWithoutMalloc(r.tensor)),
+                    Some(b) if b != r.bytes => {
+                        return Err(TraceError::SizeMismatch(r.tensor));
+                    }
+                    Some(_) => {}
+                },
+            }
+        }
+        if let Some(&t) = live.keys().next() {
+            return Err(TraceError::Leaked(t));
+        }
+        Ok(count)
+    }
+
+    /// True if all `LayerFwd` segments have identical (size, op) sequences,
+    /// and likewise all `LayerBwd` segments — the property the bi-level
+    /// decomposition relies on.
+    pub fn transformer_segments_identical(&self) -> bool {
+        let shape = |seg: &TraceSegment| -> Vec<(MemOp, u64)> {
+            seg.requests.iter().map(|r| (r.op, r.bytes)).collect()
+        };
+        for pattern in [true, false] {
+            // true => forward segments, false => backward segments
+            let mut reference: Option<Vec<(MemOp, u64)>> = None;
+            for seg in &self.segments {
+                let matches = match seg.kind {
+                    SegmentKind::LayerFwd(_) => pattern,
+                    SegmentKind::LayerBwd(_) => !pattern,
+                    _ => continue,
+                };
+                if !matches {
+                    continue;
+                }
+                let s = shape(seg);
+                match &reference {
+                    None => reference = Some(s),
+                    Some(r) if *r != s => return false,
+                    Some(_) => {}
+                }
+            }
+        }
+        true
+    }
+
+    /// Render the first `n` requests of a segment in Figure 4's tabular form.
+    pub fn render_segment(&self, kind: SegmentKind, n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<6} {:<12} {:<10} {:<12} label", "index", "instruction", "tensor_id", "size");
+        let mut idx = 0usize;
+        for seg in &self.segments {
+            for r in &seg.requests {
+                if seg.kind == kind && idx < n + self.index_of(kind) {
+                    let _ = writeln!(
+                        out,
+                        "{:<6} {:<12} {:<10} {:<12} {}",
+                        idx,
+                        match r.op {
+                            MemOp::Malloc => "malloc",
+                            MemOp::Free => "free",
+                        },
+                        r.tensor.0,
+                        human_bytes(r.bytes),
+                        r.label
+                    );
+                }
+                idx += 1;
+            }
+        }
+        out
+    }
+
+    fn index_of(&self, kind: SegmentKind) -> usize {
+        let mut idx = 0;
+        for seg in &self.segments {
+            if seg.kind == kind {
+                return idx;
+            }
+            idx += seg.requests.len();
+        }
+        idx
+    }
+}
+
+/// Human-readable byte size (MiB granularity like Figure 4).
+pub fn human_bytes(b: u64) -> String {
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+    if b >= GIB {
+        format!("{:.2}GB", b as f64 / GIB as f64)
+    } else if b >= MIB {
+        format!("{:.0}MB", b as f64 / MIB as f64)
+    } else {
+        format!("{}B", b)
+    }
+}
+
+/// Trace validation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    DoubleMalloc(TensorId),
+    FreeWithoutMalloc(TensorId),
+    SizeMismatch(TensorId),
+    Leaked(TensorId),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::DoubleMalloc(t) => write!(f, "tensor {} malloc'd twice", t.0),
+            TraceError::FreeWithoutMalloc(t) => write!(f, "tensor {} freed but never malloc'd", t.0),
+            TraceError::SizeMismatch(t) => write!(f, "tensor {} freed with a different size", t.0),
+            TraceError::Leaked(t) => write!(f, "tensor {} never freed", t.0),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+// ---------------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------------
+
+/// Builder holding the id counter and open tensors.
+struct TraceBuilder {
+    next_id: u64,
+    segments: Vec<TraceSegment>,
+    current: Vec<Request>,
+    current_kind: Option<SegmentKind>,
+    open: HashMap<TensorId, u64>,
+}
+
+impl TraceBuilder {
+    fn new() -> Self {
+        TraceBuilder {
+            next_id: 0,
+            segments: Vec::new(),
+            current: Vec::new(),
+            current_kind: None,
+            open: HashMap::new(),
+        }
+    }
+
+    fn begin(&mut self, kind: SegmentKind) {
+        assert!(self.current_kind.is_none(), "segment already open");
+        self.current_kind = Some(kind);
+    }
+
+    fn end(&mut self) {
+        let kind = self.current_kind.take().expect("no open segment");
+        self.segments.push(TraceSegment {
+            kind,
+            requests: std::mem::take(&mut self.current),
+        });
+    }
+
+    fn malloc(&mut self, bytes: u64, label: impl Into<String>) -> TensorId {
+        let id = TensorId(self.next_id);
+        self.next_id += 1;
+        self.open.insert(id, bytes);
+        self.current.push(Request {
+            op: MemOp::Malloc,
+            tensor: id,
+            bytes,
+            label: label.into(),
+        });
+        id
+    }
+
+    fn free(&mut self, id: TensorId, label: impl Into<String>) {
+        let bytes = self
+            .open
+            .remove(&id)
+            .unwrap_or_else(|| panic!("freeing unknown tensor {}", id.0));
+        self.current.push(Request {
+            op: MemOp::Free,
+            tensor: id,
+            bytes,
+            label: label.into(),
+        });
+    }
+
+    fn finish(self) -> IterationTrace {
+        assert!(self.current_kind.is_none(), "unclosed segment");
+        assert!(self.open.is_empty(), "tensors leaked at trace end");
+        IterationTrace {
+            segments: self.segments,
+        }
+    }
+}
+
+/// Skeletal tensors of one layer that outlive the forward segment
+/// (policy-dependent subset). Boundary ownership: a layer's *input* is freed
+/// at the end of that layer's backward segment; its output belongs to the
+/// next layer (as `input`) or to the classifier.
+#[derive(Debug, Default, Clone)]
+struct LayerSkeleton {
+    input: Option<TensorId>,
+    ln1: Option<TensorId>,
+    q: Option<TensorId>,
+    k: Option<TensorId>,
+    v: Option<TensorId>,
+    attn_out: Option<TensorId>,
+    residual1: Option<TensorId>,
+    ln2: Option<TensorId>,
+    fc1: Option<TensorId>,
+    gelu: Option<TensorId>,
+}
+
+/// Generate the full iteration trace for the given parameters.
+pub fn generate(params: &TraceParams) -> IterationTrace {
+    let mut b = TraceBuilder::new();
+    let n = params.model.n_layers;
+    let memo = matches!(params.policy, RematPolicy::MemoTokenWise);
+
+    // ---- embedding forward -------------------------------------------------
+    // Under MEMO the embedding output is staged and copied into layer 0's
+    // rounding-buffer slot, so it does not outlive this segment.
+    b.begin(SegmentKind::EmbeddingFwd);
+    let emb_out = b.malloc(params.dims.bsh_bytes(), "embedding_out");
+    let mut boundary = if memo {
+        b.free(emb_out, "embedding_out");
+        None
+    } else {
+        Some(emb_out)
+    };
+    b.end();
+
+    // ---- transformer forward ----------------------------------------------
+    let mut skeletons: Vec<LayerSkeleton> = Vec::with_capacity(n);
+    for layer in 0..n {
+        b.begin(SegmentKind::LayerFwd(layer));
+        let (skel, out) = layer_forward(&mut b, params, boundary, false);
+        skeletons.push(skel);
+        boundary = out;
+        b.end();
+    }
+
+    // ---- classifier forward + backward -------------------------------------
+    b.begin(SegmentKind::ClassifierFwd);
+    // Under MEMO the classifier input is staged out of the last rounding
+    // buffer into an ordinary tensor.
+    let classifier_in = match boundary {
+        Some(t) => t,
+        None => b.malloc(params.dims.bsh_bytes(), "classifier_in"),
+    };
+    let final_ln = b.malloc(params.dims.bsh_bytes(), "final_norm_out");
+    let full_logits = if params.materialize_logits {
+        // Unfused loss pipeline: fp16 logits from the LM-head matmul, their
+        // fp32 upcast, and the fp32 softmax probabilities all survive to the
+        // backward pass (autograd keeps each op's inputs).
+        let elems = params.dims.tokens_local * params.vocab_local;
+        let logits16 = b.malloc(elems * 2, "logits_fp16");
+        let logits32 = b.malloc(elems * 4, "logits_fp32");
+        let probs = b.malloc(elems * 4, "softmax_probs_fp32");
+        Some((logits16, logits32, probs, elems))
+    } else {
+        classifier_chunks(&mut b, params, "logits");
+        None
+    };
+    b.end();
+
+    b.begin(SegmentKind::ClassifierBwd);
+    if let Some((logits16, logits32, probs, elems)) = full_logits {
+        let grad = b.malloc(elems * 4, "logit_grad_fp32");
+        b.free(probs, "softmax_probs_fp32");
+        b.free(logits32, "logits_fp32");
+        let grad16 = b.malloc(elems * 2, "logit_grad_fp16");
+        b.free(grad, "logit_grad_fp32");
+        b.free(logits16, "logits_fp16");
+        b.free(grad16, "logit_grad_fp16");
+    } else {
+        classifier_chunks(&mut b, params, "logit_grad");
+    }
+    let mut grad_boundary = b.malloc(params.dims.bsh_bytes(), "grad_final_norm");
+    b.free(final_ln, "final_norm_out");
+    b.free(classifier_in, "classifier_in");
+    b.end();
+
+    // ---- transformer backward ----------------------------------------------
+    for layer in (0..n).rev() {
+        b.begin(SegmentKind::LayerBwd(layer));
+        let skel = skeletons[layer].clone();
+        grad_boundary = layer_backward(&mut b, params, skel, grad_boundary);
+        b.end();
+    }
+
+    // ---- embedding backward -------------------------------------------------
+    b.begin(SegmentKind::EmbeddingBwd);
+    // embedding gradient scatter: workspace proportional to local tokens
+    let ws = b.malloc(params.dims.bsh_bytes(), "embedding_grad_ws");
+    b.free(ws, "embedding_grad_ws");
+    b.free(grad_boundary, "grad_embedding_out");
+    b.end();
+
+    b.finish()
+}
+
+/// Emit the forward request sequence of one transformer layer.
+///
+/// When `remat_pass` is true we are re-running the forward inside a backward
+/// segment (full recomputation): skeletal tensors are allocated here and the
+/// caller frees them after the backward computation.
+///
+/// `input` is the boundary tensor feeding this layer (`None` under MEMO,
+/// where layer inputs live in rounding buffers). Returns the skeletal
+/// tensors surviving this segment and the output boundary tensor (`None`
+/// under MEMO outside a recompute pass).
+fn layer_forward(
+    b: &mut TraceBuilder,
+    p: &TraceParams,
+    input: Option<TensorId>,
+    remat_pass: bool,
+) -> (LayerSkeleton, Option<TensorId>) {
+    let bsh = p.dims.bsh_bytes();
+    let bsf = p.dims.bsf_bytes();
+    let cf = p.comm_factor.max(1);
+    let h = p.dims.hidden;
+    let dt = p.dims.dtype.size_bytes();
+    // Skeletal tensors reach the allocator unless MEMO's rounding buffers
+    // hold them (and we are not inside a recompute pass, where they are
+    // ordinary short-lived tensors).
+    let alloc_skeletal = remat_pass || !matches!(p.policy, RematPolicy::MemoTokenWise);
+    // Under full recomputation the forward pass keeps nothing but the input,
+    // so "skeletal" tensors behave like transients inside this segment.
+    let keep = remat_pass
+        || matches!(p.policy, RematPolicy::KeepAll | RematPolicy::MemoTokenWise);
+
+    let mut skel = LayerSkeleton {
+        input,
+        ..LayerSkeleton::default()
+    };
+
+    // LayerNorm 1 (+ statistics workspace).
+    let ln1_stats = b.malloc(p.dims.tokens_local * 8, "ln1_stats");
+    let ln1 = alloc_skeletal.then(|| b.malloc(bsh, "input_norm"));
+    b.free(ln1_stats, "ln1_stats");
+
+    // Sequence-parallel all-gather before the QKV projection.
+    let ag1 = (cf > 1).then(|| b.malloc(bsh * cf, "sp_allgather_attn"));
+
+    // Packed QKV projection, then split into Q, K, V (+ RoPE temporaries).
+    let qkv_packed = b.malloc(3 * bsh, "qkv_packed");
+    if let Some(ag) = ag1 {
+        b.free(ag, "sp_allgather_attn");
+    }
+    let q = alloc_skeletal.then(|| b.malloc(bsh, "q"));
+    let k = alloc_skeletal.then(|| b.malloc(bsh, "k"));
+    let v = alloc_skeletal.then(|| b.malloc(bsh, "v"));
+    let rope_ws = b.malloc(bsh / 2, "rope_ws");
+    b.free(rope_ws, "rope_ws");
+    b.free(qkv_packed, "qkv_packed");
+
+    // FlashAttention forward: output + small softmax-lse workspace.
+    let attn_ws = b.malloc(p.dims.tokens_local * 4 * 8, "flash_lse_ws");
+    let attn_out = alloc_skeletal.then(|| b.malloc(bsh, "flash_attn_out"));
+    b.free(attn_ws, "flash_lse_ws");
+
+    // Output projection (+ SP reduce-scatter), residual add.
+    let proj_out = b.malloc(bsh * cf, "attn_proj_out");
+    let residual1 = alloc_skeletal.then(|| b.malloc(bsh, "residual1"));
+    b.free(proj_out, "attn_proj_out");
+
+    // LayerNorm 2.
+    let ln2_stats = b.malloc(p.dims.tokens_local * 8, "ln2_stats");
+    let ln2 = alloc_skeletal.then(|| b.malloc(bsh, "post_attn_norm"));
+    b.free(ln2_stats, "ln2_stats");
+
+    // FFN: all-gather, FC1, GELU, FC2 (+ reduce-scatter), residual add.
+    let ag2 = (cf > 1).then(|| b.malloc(bsh * cf, "sp_allgather_ffn"));
+    let fc1 = alloc_skeletal.then(|| b.malloc(bsf, "fc1_out"));
+    if let Some(ag) = ag2 {
+        b.free(ag, "sp_allgather_ffn");
+    }
+    let gelu = alloc_skeletal.then(|| b.malloc(bsf, "gelu_out"));
+    let fc2_out = b.malloc(bsh * cf, "fc2_out");
+    let bias_ws = b.malloc(h * dt, "bias_broadcast_ws");
+    b.free(bias_ws, "bias_broadcast_ws");
+    let output = b.malloc(bsh, "layer_out");
+    b.free(fc2_out, "fc2_out");
+    // Under MEMO (outside recompute passes) the layer output is copied into
+    // the next layer's rounding-buffer slot and the staging tensor released.
+    let output = if matches!(p.policy, RematPolicy::MemoTokenWise) && !remat_pass {
+        b.free(output, "layer_out");
+        None
+    } else {
+        Some(output)
+    };
+
+    if keep {
+        skel.ln1 = ln1;
+        skel.q = q;
+        skel.k = k;
+        skel.v = v;
+        skel.attn_out = attn_out;
+        skel.residual1 = residual1;
+        skel.ln2 = ln2;
+        skel.fc1 = fc1;
+        skel.gelu = gelu;
+    } else {
+        // Full recomputation: discard everything but the input before the
+        // segment ends (these frees are what make the fwd segment transient).
+        for (id, label) in [
+            (gelu, "gelu_out"),
+            (fc1, "fc1_out"),
+            (ln2, "post_attn_norm"),
+            (residual1, "residual1"),
+            (attn_out, "flash_attn_out"),
+            (v, "v"),
+            (k, "k"),
+            (q, "q"),
+            (ln1, "input_norm"),
+        ] {
+            if let Some(id) = id {
+                b.free(id, label);
+            }
+        }
+    }
+    (skel, output)
+}
+
+/// Emit the backward request sequence of one transformer layer; returns the
+/// gradient tensor flowing to the previous layer.
+fn layer_backward(
+    b: &mut TraceBuilder,
+    p: &TraceParams,
+    mut skel: LayerSkeleton,
+    grad_out: TensorId,
+) -> TensorId {
+    let bsh = p.dims.bsh_bytes();
+    let bsf = p.dims.bsf_bytes();
+    let cf = p.comm_factor.max(1);
+    let h = p.dims.hidden;
+    let f = p.dims.ffn_hidden;
+    let dt = p.dims.dtype.size_bytes();
+
+    // Rematerialisation preamble.
+    match p.policy {
+        RematPolicy::KeepAll => {}
+        RematPolicy::FullRecompute => {
+            // Re-forward the layer to rebuild its skeleton; the rebuilt
+            // output duplicates the stored boundary tensor and is freed once
+            // the backward consumes it.
+            let input = skel.input.expect("layer input must be stored");
+            let (rebuilt, rebuilt_out) = layer_forward(b, p, Some(input), true);
+            skel = rebuilt;
+            if let Some(out) = rebuilt_out {
+                b.free(out, "recomputed_layer_out");
+            }
+        }
+        RematPolicy::MemoTokenWise => {
+            // Skeletal tensors are prefetched/recomputed into the rounding
+            // buffers; only a small recompute workspace hits the allocator.
+            let ws = b.malloc(bsh / 4, "tokenwise_recompute_ws");
+            b.free(ws, "tokenwise_recompute_ws");
+        }
+    }
+    let in_buffers = matches!(p.policy, RematPolicy::MemoTokenWise);
+
+    let free_skel = |b: &mut TraceBuilder, id: Option<TensorId>, label: &str| {
+        if let Some(id) = id {
+            if !in_buffers {
+                b.free(id, label);
+            }
+        }
+    };
+
+    // FFN backward.
+    let ag_g = (cf > 1).then(|| b.malloc(bsh * cf, "sp_allgather_grad"));
+    let grad_fc2_in = b.malloc(bsf, "grad_gelu_out");
+    let wgrad_fc2 = b.malloc(h * f * dt, "fc2_wgrad_ws");
+    b.free(wgrad_fc2, "fc2_wgrad_ws");
+    if let Some(ag) = ag_g {
+        b.free(ag, "sp_allgather_grad");
+    }
+    let grad_fc1_in = b.malloc(bsf, "grad_fc1_out");
+    b.free(grad_fc2_in, "grad_gelu_out");
+    free_skel(b, skel.gelu.take(), "gelu_out");
+    let wgrad_fc1 = b.malloc(h * f * dt, "fc1_wgrad_ws");
+    b.free(wgrad_fc1, "fc1_wgrad_ws");
+    let grad_ln2 = b.malloc(bsh, "grad_post_attn_norm");
+    b.free(grad_fc1_in, "grad_fc1_out");
+    free_skel(b, skel.fc1.take(), "fc1_out");
+
+    // LN2 backward + residual fan-in.
+    let grad_res1 = b.malloc(bsh, "grad_residual1");
+    b.free(grad_ln2, "grad_post_attn_norm");
+    free_skel(b, skel.ln2.take(), "post_attn_norm");
+    free_skel(b, skel.residual1.take(), "residual1");
+
+    // Attention projection backward.
+    let grad_attn_out = b.malloc(bsh, "grad_flash_attn_out");
+    let wgrad_proj = b.malloc(h * h * dt, "proj_wgrad_ws");
+    b.free(wgrad_proj, "proj_wgrad_ws");
+
+    // FlashAttention backward (dq, dk, dv + workspace).
+    let dq = b.malloc(bsh, "dq");
+    let dk = b.malloc(bsh, "dk");
+    let dv = b.malloc(bsh, "dv");
+    let fa_ws = b.malloc(bsh / 2, "flash_bwd_ws");
+    b.free(fa_ws, "flash_bwd_ws");
+    b.free(grad_attn_out, "grad_flash_attn_out");
+    free_skel(b, skel.attn_out.take(), "flash_attn_out");
+    free_skel(b, skel.v.take(), "v");
+    free_skel(b, skel.k.take(), "k");
+    free_skel(b, skel.q.take(), "q");
+
+    // QKV projection backward.
+    let grad_ln1 = b.malloc(bsh, "grad_input_norm");
+    let wgrad_qkv = b.malloc(3 * h * h * dt, "qkv_wgrad_ws");
+    b.free(wgrad_qkv, "qkv_wgrad_ws");
+    b.free(dv, "dv");
+    b.free(dk, "dk");
+    b.free(dq, "dq");
+
+    // LN1 backward + residual fan-in produces the input gradient.
+    let grad_input = b.malloc(bsh, "grad_layer_input");
+    b.free(grad_ln1, "grad_input_norm");
+    free_skel(b, skel.ln1.take(), "input_norm");
+    b.free(grad_res1, "grad_residual1");
+
+    // Boundary tensors: the incoming gradient dies here, and this layer's
+    // stored input (the previous layer's output) is consumed by LN1 backward
+    // and released. Under MEMO the input lives in the rounding buffer.
+    b.free(grad_out, "grad_layer_out");
+    if !in_buffers {
+        if let Some(input) = skel.input.take() {
+            b.free(input, "layer_input");
+        }
+    }
+    grad_input
+}
+
+/// Chunked vocab-parallel cross-entropy: logits (and their gradients) only
+/// ever materialise one chunk at a time.
+fn classifier_chunks(b: &mut TraceBuilder, p: &TraceParams, what: &str) {
+    let tokens = p.dims.tokens_local;
+    let chunk = p.ce_chunk_tokens.min(tokens).max(1);
+    let n_chunks = tokens.div_ceil(chunk);
+    // Representative first/last chunk pair keeps traces compact while
+    // preserving the peak (all chunks are identical in size).
+    let reps = n_chunks.min(2);
+    for i in 0..reps {
+        let logits = b.malloc(chunk * p.vocab_local * 4, format!("{what}_chunk{i}"));
+        let softmax_ws = b.malloc(chunk * 8, format!("{what}_softmax_ws{i}"));
+        b.free(softmax_ws, format!("{what}_softmax_ws{i}"));
+        b.free(logits, format!("{what}_chunk{i}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activations::LayerDims;
+    use crate::config::{DType, ModelConfig};
+
+    fn params(policy: RematPolicy) -> TraceParams {
+        let m = ModelConfig::tiny(4, 64, 4, 128);
+        let dims = LayerDims::new(256, &m, DType::BF16);
+        let mut p = TraceParams::new(&m, dims, policy);
+        p.comm_factor = 2;
+        p.ce_chunk_tokens = 64;
+        p
+    }
+
+    #[test]
+    fn traces_validate_for_all_policies() {
+        for policy in [
+            RematPolicy::KeepAll,
+            RematPolicy::FullRecompute,
+            RematPolicy::MemoTokenWise,
+        ] {
+            let t = generate(&params(policy));
+            let n = t.validate().unwrap();
+            assert!(n > 20, "{policy:?}: only {n} tensors");
+        }
+    }
+
+    #[test]
+    fn transformer_segments_are_identical() {
+        for policy in [
+            RematPolicy::KeepAll,
+            RematPolicy::FullRecompute,
+            RematPolicy::MemoTokenWise,
+        ] {
+            let t = generate(&params(policy));
+            assert!(
+                t.transformer_segments_identical(),
+                "{policy:?}: layer segments differ"
+            );
+        }
+    }
+
+    #[test]
+    fn keepall_peak_exceeds_recompute_peak() {
+        let keep = generate(&params(RematPolicy::KeepAll)).peak_live_bytes();
+        let rec = generate(&params(RematPolicy::FullRecompute)).peak_live_bytes();
+        let memo = generate(&params(RematPolicy::MemoTokenWise)).peak_live_bytes();
+        assert!(keep > rec, "keepall {keep} <= full-recompute {rec}");
+        // MEMO's allocator trace excludes skeletal tensors entirely, so its
+        // planned region is the smallest.
+        assert!(memo < rec, "memo {memo} >= full-recompute {rec}");
+    }
+
+    #[test]
+    fn keepall_peak_has_all_skeletal_layers() {
+        // Peak live bytes must be at least n_layers × 16·bsh under KeepAll.
+        let p = params(RematPolicy::KeepAll);
+        let t = generate(&p);
+        let skeletal_per_layer = 16 * p.dims.bsh_bytes();
+        assert!(t.peak_live_bytes() >= p.model.n_layers as u64 * skeletal_per_layer);
+    }
+
+    #[test]
+    fn transient_count_exceeds_skeletal_count() {
+        // §3.3: transient activations outnumber skeletal ones (>5× per layer
+        // counting both passes). Count mallocs in one fwd+bwd segment pair
+        // under MEMO (where the trace is all-transient) vs the 10 skeletal.
+        let t = generate(&params(RematPolicy::MemoTokenWise));
+        let mallocs: usize = t
+            .segments
+            .iter()
+            .filter(|s| matches!(s.kind, SegmentKind::LayerFwd(0) | SegmentKind::LayerBwd(0)))
+            .flat_map(|s| &s.requests)
+            .filter(|r| r.op == MemOp::Malloc)
+            .count();
+        assert!(mallocs >= 25, "only {mallocs} transient mallocs per layer");
+    }
+
+    #[test]
+    fn segment_kinds_in_execution_order() {
+        let t = generate(&params(RematPolicy::FullRecompute));
+        let kinds: Vec<_> = t.segments.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds[0], SegmentKind::EmbeddingFwd);
+        assert_eq!(kinds[1], SegmentKind::LayerFwd(0));
+        assert!(kinds.contains(&SegmentKind::ClassifierFwd));
+        assert_eq!(kinds[kinds.len() - 1], SegmentKind::EmbeddingBwd);
+        // Backward layers run in reverse order.
+        let bwd: Vec<_> = kinds
+            .iter()
+            .filter_map(|k| match k {
+                SegmentKind::LayerBwd(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = bwd.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(bwd, sorted);
+    }
+
+    #[test]
+    fn render_matches_figure4_format() {
+        let t = generate(&params(RematPolicy::FullRecompute));
+        let s = t.render_segment(SegmentKind::LayerFwd(0), 6);
+        assert!(s.contains("malloc"));
+        assert!(s.contains("tensor_id"));
+    }
+
+    #[test]
+    fn materialized_logits_inflate_peak() {
+        let mut p = params(RematPolicy::FullRecompute);
+        p.materialize_logits = true;
+        p.vocab_local = 100_000; // realistic: vocab ≫ hidden
+        let t = generate(&p);
+        t.validate().unwrap();
+        let mut pc = params(RematPolicy::FullRecompute);
+        pc.vocab_local = 100_000;
+        let base = generate(&pc);
+        // Three fp32 tokens×vocab tensors at peak vs chunked loss.
+        assert!(t.peak_live_bytes() >= base.peak_live_bytes() + 2 * p.dims.tokens_local * p.vocab_local * 4);
+    }
+
+    #[test]
+    fn human_bytes_formatting() {
+        assert_eq!(human_bytes(128 << 20), "128MB");
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(3 << 30), "3.00GB");
+    }
+}

@@ -1,0 +1,272 @@
+//! Parallel configurations and their validity rules.
+
+use memo_model::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which training framework a run simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// MEMO: Megatron-style parallelism + token-wise swap + memory plan.
+    Memo,
+    /// Megatron-LM + TransformerEngine: TP/SP/CP/PP, ZeRO-1, full
+    /// recomputation, caching allocator.
+    MegatronLM,
+    /// Megatron-DeepSpeed: Ulysses SP + ZeRO-3, full recomputation,
+    /// caching allocator.
+    DeepSpeed,
+}
+
+impl SystemKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Memo => "MEMO",
+            SystemKind::MegatronLM => "Megatron-LM",
+            SystemKind::DeepSpeed => "DeepSpeed",
+        }
+    }
+}
+
+/// A concrete parallelism assignment. World size is the product of all
+/// degrees; unused dimensions stay at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Tensor parallel degree (Megatron/Memo).
+    pub tp: usize,
+    /// Context parallel degree (ring attention).
+    pub cp: usize,
+    /// Pipeline parallel degree.
+    pub pp: usize,
+    /// Data parallel degree.
+    pub dp: usize,
+    /// DeepSpeed-Ulysses sequence-parallel degree (1 when unused).
+    pub ulysses: usize,
+    /// Megatron-style sequence parallelism riding on TP (paper: always on).
+    pub sp: bool,
+    /// ZeRO stage (0–3) across the data-parallel group.
+    pub zero_stage: u8,
+}
+
+impl ParallelConfig {
+    /// Pure data parallelism.
+    pub fn dp_only(dp: usize) -> Self {
+        ParallelConfig {
+            tp: 1,
+            cp: 1,
+            pp: 1,
+            dp,
+            ulysses: 1,
+            sp: false,
+            zero_stage: 1,
+        }
+    }
+
+    /// Megatron/Memo style TP×CP×PP×DP with SP and ZeRO-1 (the paper's
+    /// fixed choices for both systems, Appendix A).
+    pub fn megatron(tp: usize, cp: usize, pp: usize, dp: usize) -> Self {
+        ParallelConfig {
+            tp,
+            cp,
+            pp,
+            dp,
+            ulysses: 1,
+            sp: true,
+            zero_stage: 1,
+        }
+    }
+
+    /// DeepSpeed-Ulysses SP×DP with ZeRO-3 (Appendix A, Table 5).
+    pub fn ulysses(sp: usize, dp: usize) -> Self {
+        ParallelConfig {
+            tp: 1,
+            cp: 1,
+            pp: 1,
+            dp,
+            ulysses: sp,
+            sp: false,
+            zero_stage: 3,
+        }
+    }
+
+    pub fn world(&self) -> usize {
+        self.tp * self.cp * self.pp * self.dp * self.ulysses
+    }
+
+    /// The group over which ZeRO shards states. Context-parallel ranks
+    /// replicate parameters and all-reduce gradients with the data-parallel
+    /// group, so Megatron's distributed optimizer shards across DP×CP; for
+    /// DeepSpeed the Ulysses group likewise behaves as data parallel for
+    /// parameter sharding.
+    pub fn zero_group(&self) -> usize {
+        self.dp * self.cp * self.ulysses
+    }
+
+    /// Sequence shard this GPU stores activations for.
+    /// With Megatron SP the TP group also splits the sequence.
+    pub fn tokens_local(&self, s: u64) -> u64 {
+        let mut div = self.cp * self.ulysses;
+        if self.sp {
+            div *= self.tp;
+        }
+        (s / div as u64).max(1)
+    }
+
+    /// Transformer layers resident on this GPU (pipeline sharding).
+    pub fn layers_local(&self, n_layers: usize) -> usize {
+        n_layers.div_ceil(self.pp)
+    }
+
+    /// Validity under the cluster and model constraints.
+    pub fn validate(
+        &self,
+        model: &ModelConfig,
+        n_gpus: usize,
+        gpus_per_node: usize,
+    ) -> Result<(), StrategyError> {
+        if self.tp == 0 || self.cp == 0 || self.pp == 0 || self.dp == 0 || self.ulysses == 0 {
+            return Err(StrategyError::ZeroDegree);
+        }
+        if self.world() != n_gpus {
+            return Err(StrategyError::WorldMismatch {
+                world: self.world(),
+                n_gpus,
+            });
+        }
+        // TP needs NVLink: must fit within one node.
+        if self.tp > gpus_per_node {
+            return Err(StrategyError::TpExceedsNode {
+                tp: self.tp,
+                gpus_per_node,
+            });
+        }
+        // Attention heads must split across TP and Ulysses groups.
+        let head_split = self.tp * self.ulysses;
+        if !model.n_heads.is_multiple_of(head_split) {
+            return Err(StrategyError::HeadsNotDivisible {
+                heads: model.n_heads,
+                split: head_split,
+            });
+        }
+        // Pipeline stages need at least one layer each.
+        if self.pp > model.n_layers {
+            return Err(StrategyError::TooManyStages {
+                pp: self.pp,
+                layers: model.n_layers,
+            });
+        }
+        if self.zero_stage > 3 {
+            return Err(StrategyError::BadZeroStage(self.zero_stage));
+        }
+        Ok(())
+    }
+
+    /// Human-readable strategy string, e.g. `TP4·CP2·DP1` or `SP8·DP4·Z3`.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if self.ulysses > 1 {
+            parts.push(format!("SP{}", self.ulysses));
+        }
+        if self.tp > 1 {
+            parts.push(format!("TP{}", self.tp));
+        }
+        if self.cp > 1 {
+            parts.push(format!("CP{}", self.cp));
+        }
+        if self.pp > 1 {
+            parts.push(format!("PP{}", self.pp));
+        }
+        parts.push(format!("DP{}", self.dp));
+        if self.zero_stage > 0 {
+            parts.push(format!("Z{}", self.zero_stage));
+        }
+        parts.join("·")
+    }
+}
+
+/// Why a configuration is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyError {
+    ZeroDegree,
+    WorldMismatch { world: usize, n_gpus: usize },
+    TpExceedsNode { tp: usize, gpus_per_node: usize },
+    HeadsNotDivisible { heads: usize, split: usize },
+    TooManyStages { pp: usize, layers: usize },
+    BadZeroStage(u8),
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::ZeroDegree => write!(f, "parallel degree of zero"),
+            StrategyError::WorldMismatch { world, n_gpus } => {
+                write!(f, "degrees multiply to {world}, cluster has {n_gpus} GPUs")
+            }
+            StrategyError::TpExceedsNode { tp, gpus_per_node } => {
+                write!(f, "TP {tp} exceeds node size {gpus_per_node}")
+            }
+            StrategyError::HeadsNotDivisible { heads, split } => {
+                write!(f, "{heads} attention heads not divisible by head split {split}")
+            }
+            StrategyError::TooManyStages { pp, layers } => {
+                write!(f, "{pp} pipeline stages for {layers} layers")
+            }
+            StrategyError::BadZeroStage(s) => write!(f, "ZeRO stage {s} undefined"),
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_products() {
+        let c = ParallelConfig::megatron(4, 2, 1, 1);
+        assert_eq!(c.world(), 8);
+        let c = ParallelConfig::ulysses(8, 4);
+        assert_eq!(c.world(), 32);
+        assert_eq!(c.zero_group(), 32);
+    }
+
+    #[test]
+    fn tokens_local_with_sp() {
+        let c = ParallelConfig::megatron(4, 2, 1, 1);
+        assert_eq!(c.tokens_local(1 << 20), (1 << 20) / 8);
+        let mut c2 = c;
+        c2.sp = false;
+        assert_eq!(c2.tokens_local(1 << 20), (1 << 20) / 2);
+        let u = ParallelConfig::ulysses(8, 1);
+        assert_eq!(u.tokens_local(1 << 20), (1 << 20) / 8);
+    }
+
+    #[test]
+    fn validation_catches_paper_constraints() {
+        let m7 = ModelConfig::gpt_7b(); // 32 heads
+        // valid Memo config from Table 7 (8 GPUs, 256K): TP4 CP2
+        ParallelConfig::megatron(4, 2, 1, 1).validate(&m7, 8, 8).unwrap();
+        // Ulysses SP cannot exceed head divisibility: 13B has 40 heads, SP 16
+        // does not divide -> invalid (why DeepSpeed tops out at SP 8, §5.2).
+        let m13 = ModelConfig::gpt_13b();
+        let err = ParallelConfig::ulysses(16, 1).validate(&m13, 16, 8).unwrap_err();
+        assert!(matches!(err, StrategyError::HeadsNotDivisible { .. }));
+        // TP must fit in a node.
+        let err = ParallelConfig::megatron(16, 1, 1, 1).validate(&m7, 16, 8).unwrap_err();
+        assert!(matches!(err, StrategyError::TpExceedsNode { .. }));
+        // world mismatch
+        let err = ParallelConfig::megatron(4, 2, 1, 1).validate(&m7, 16, 8).unwrap_err();
+        assert!(matches!(err, StrategyError::WorldMismatch { .. }));
+    }
+
+    #[test]
+    fn describe_is_compact() {
+        assert_eq!(ParallelConfig::megatron(4, 2, 1, 1).describe(), "TP4·CP2·DP1·Z1");
+        assert_eq!(ParallelConfig::ulysses(8, 2).describe(), "SP8·DP2·Z3");
+    }
+
+    #[test]
+    fn layers_local_rounds_up() {
+        let c = ParallelConfig::megatron(1, 1, 3, 1);
+        assert_eq!(c.layers_local(32), 11);
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline Dynamic Storage Allocation: problem model.
+//!
+//! The MIP of §4.2 (decision variables `A_i` = address of tensor *i*,
+//! indicator `z_ij` ordering each overlapping pair, objective `min M`) is
+//! represented here as a geometric problem: place axis-aligned rectangles
+//! (x = lifespan, fixed; y = address range, free) without overlap,
+//! minimising the maximum y extent.
+
+use memo_model::trace::{IterationTrace, MemOp, Request, TensorId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One tensor to place. Lifespan is the half-open index interval
+/// `[birth, death)` over the request sequence's *event positions*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DsaTensor {
+    pub id: TensorId,
+    pub size: u64,
+    pub birth: usize,
+    pub death: usize,
+}
+
+impl DsaTensor {
+    /// Two tensors conflict iff their lifespans intersect.
+    pub fn overlaps(&self, other: &DsaTensor) -> bool {
+        self.birth < other.death && other.birth < self.death
+    }
+}
+
+/// A DSA problem instance.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DsaInstance {
+    pub tensors: Vec<DsaTensor>,
+}
+
+impl DsaInstance {
+    /// Build from a request slice. Every tensor must be allocated and freed
+    /// within the slice; `index_base` offsets the recorded birth/death
+    /// positions (useful when the slice is a segment of a larger trace).
+    ///
+    /// Returns `None` if any tensor crosses the slice boundary.
+    pub fn from_requests(requests: &[Request], index_base: usize) -> Option<DsaInstance> {
+        let mut births: HashMap<TensorId, (usize, u64)> = HashMap::new();
+        let mut tensors = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            match r.op {
+                MemOp::Malloc => {
+                    births.insert(r.tensor, (index_base + i, r.bytes));
+                }
+                MemOp::Free => {
+                    let (birth, size) = births.remove(&r.tensor)?;
+                    tensors.push(DsaTensor {
+                        id: r.tensor,
+                        size,
+                        birth,
+                        death: index_base + i,
+                    });
+                }
+            }
+        }
+        if births.is_empty() {
+            Some(DsaInstance { tensors })
+        } else {
+            None
+        }
+    }
+
+    /// Build from a whole iteration trace (the "flat" formulation the paper
+    /// deems computationally intractable for real models).
+    pub fn from_trace(trace: &IterationTrace) -> DsaInstance {
+        let requests: Vec<Request> = trace.flatten().cloned().collect();
+        Self::from_requests(&requests, 0).expect("validated traces have no open tensors")
+    }
+
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Liveness lower bound: at any event point, all live tensors must fit,
+    /// so `max_t Σ_{live at t} size` bounds every assignment's peak from
+    /// below. (This is the clique bound on the interval-overlap graph.)
+    pub fn lower_bound(&self) -> u64 {
+        // Sweep birth/death events.
+        let mut events: Vec<(usize, i64)> = Vec::with_capacity(self.tensors.len() * 2);
+        for t in &self.tensors {
+            events.push((t.birth, t.size as i64));
+            events.push((t.death, -(t.size as i64)));
+        }
+        // Deaths before births at the same index: lifespans are half-open.
+        events.sort_by_key(|&(i, delta)| (i, delta));
+        let mut live = 0i64;
+        let mut peak = 0i64;
+        for (_, delta) in events {
+            live += delta;
+            peak = peak.max(live);
+        }
+        peak as u64
+    }
+
+    /// Indices of tensors overlapping tensor `i` (quadratic; instances are
+    /// small by construction after the bi-level decomposition).
+    pub fn conflicts_of(&self, i: usize) -> Vec<usize> {
+        let ti = self.tensors[i];
+        self.tensors
+            .iter()
+            .enumerate()
+            .filter(|&(j, tj)| j != i && ti.overlaps(tj))
+            .map(|(j, _)| j)
+            .collect()
+    }
+}
+
+/// An address assignment for a [`DsaInstance`], `offsets[i]` for
+/// `instance.tensors[i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    pub offsets: Vec<u64>,
+    pub peak: u64,
+}
+
+impl Assignment {
+    /// Verify the assignment: overlapping lifespans get disjoint address
+    /// ranges, and no tensor exceeds the reported peak.
+    pub fn validate(&self, inst: &DsaInstance) -> Result<(), String> {
+        if self.offsets.len() != inst.tensors.len() {
+            return Err(format!(
+                "assignment covers {} of {} tensors",
+                self.offsets.len(),
+                inst.tensors.len()
+            ));
+        }
+        for (i, t) in inst.tensors.iter().enumerate() {
+            if self.offsets[i] + t.size > self.peak {
+                return Err(format!(
+                    "tensor {} at {}..{} exceeds peak {}",
+                    t.id.0,
+                    self.offsets[i],
+                    self.offsets[i] + t.size,
+                    self.peak
+                ));
+            }
+        }
+        for i in 0..inst.tensors.len() {
+            for j in (i + 1)..inst.tensors.len() {
+                let (a, b) = (&inst.tensors[i], &inst.tensors[j]);
+                if !a.overlaps(b) {
+                    continue;
+                }
+                let (oa, ob) = (self.offsets[i], self.offsets[j]);
+                if oa < ob + b.size && ob < oa + a.size {
+                    return Err(format!(
+                        "live tensors {} and {} overlap at addresses {} and {}",
+                        a.id.0, b.id.0, oa, ob
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recompute the peak from the offsets (must equal `self.peak` for a
+    /// tight assignment).
+    pub fn measured_peak(&self, inst: &DsaInstance) -> u64 {
+        inst.tensors
+            .iter()
+            .zip(&self.offsets)
+            .map(|(t, &o)| o + t.size)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64, size: u64, birth: usize, death: usize) -> DsaTensor {
+        DsaTensor {
+            id: TensorId(id),
+            size,
+            birth,
+            death,
+        }
+    }
+
+    #[test]
+    fn overlap_semantics_half_open() {
+        let a = t(0, 1, 0, 5);
+        let b = t(1, 1, 5, 9);
+        assert!(!a.overlaps(&b), "touching intervals do not overlap");
+        let c = t(2, 1, 4, 6);
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+
+    #[test]
+    fn lower_bound_is_max_liveness() {
+        let inst = DsaInstance {
+            tensors: vec![t(0, 10, 0, 4), t(1, 20, 2, 6), t(2, 5, 5, 8)],
+        };
+        // at event 2..4: tensors 0+1 live => 30; at 5: 20+5 = 25
+        assert_eq!(inst.lower_bound(), 30);
+    }
+
+    #[test]
+    fn lower_bound_respects_half_open_boundaries() {
+        // tensor 1 born exactly when tensor 0 dies: address reuse possible.
+        let inst = DsaInstance {
+            tensors: vec![t(0, 10, 0, 3), t(1, 10, 3, 6)],
+        };
+        assert_eq!(inst.lower_bound(), 10);
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let inst = DsaInstance {
+            tensors: vec![t(0, 10, 0, 4), t(1, 10, 2, 6)],
+        };
+        let bad = Assignment {
+            offsets: vec![0, 5],
+            peak: 15,
+        };
+        assert!(bad.validate(&inst).is_err());
+        let good = Assignment {
+            offsets: vec![0, 10],
+            peak: 20,
+        };
+        good.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_peak_violation() {
+        let inst = DsaInstance {
+            tensors: vec![t(0, 10, 0, 4)],
+        };
+        let bad = Assignment {
+            offsets: vec![5],
+            peak: 12,
+        };
+        assert!(bad.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn from_requests_rejects_cross_boundary() {
+        use memo_model::trace::Request;
+        let reqs = vec![Request {
+            op: MemOp::Malloc,
+            tensor: TensorId(0),
+            bytes: 8,
+            label: "x".into(),
+        }];
+        assert!(DsaInstance::from_requests(&reqs, 0).is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! # memo-plan — static memory planning
+//!
+//! The paper's second contribution (§4.2): eliminate GPU memory
+//! fragmentation by *planning* every activation tensor's address before
+//! training. The underlying problem is offline **Dynamic Storage
+//! Allocation** (DSA): given tensors with fixed lifespans and sizes, assign
+//! addresses minimising peak memory such that temporally-overlapping tensors
+//! never overlap spatially. DSA is NP-hard; the paper formulates it as a MIP
+//! and makes it tractable with a **bi-level decomposition** that exploits the
+//! identical structure of transformer layers (Figure 8).
+//!
+//! This crate provides:
+//!
+//! * [`dsa`] — problem representation, lifespan analysis, liveness lower
+//!   bound, assignment validation;
+//! * [`heuristic`] — best-fit placement over several orderings (the fallback
+//!   for instances too large for exact search);
+//! * [`bnb`] — an exact branch-and-bound solver for the MIP (provably
+//!   optimal on the instance sizes produced by the bi-level decomposition;
+//!   node-limited with a heuristic incumbent otherwise);
+//! * [`bilevel`] — level-1 solve of one transformer layer's fwd/bwd segment,
+//!   pseudo-request substitution, level-2 solve of the whole iteration;
+//! * [`memplan`] — the resulting [`MemoryPlan`](memplan::MemoryPlan)
+//!   consumed by `memo_alloc::plan::PlanAllocator`.
+
+pub mod bilevel;
+pub mod io;
+pub mod bnb;
+pub mod dsa;
+pub mod heuristic;
+pub mod memplan;
+
+pub use bilevel::{plan_iteration, BilevelReport, PlanOptions};
+pub use dsa::{Assignment, DsaInstance, DsaTensor};
+pub use memplan::MemoryPlan;

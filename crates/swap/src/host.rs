@@ -1,0 +1,112 @@
+//! Host (CPU DRAM) staging area for offloaded activations.
+//!
+//! Tracks per-GPU host memory used by staged skeletal activations and
+//! reports OOHM — the `X_oohm` outcome in Tables 3 and 4 — when the staged
+//! bytes would exceed the GPU's share of node DRAM.
+
+use serde::{Deserialize, Serialize};
+
+/// Out-of-host-memory failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutOfHostMemory {
+    pub requested: u64,
+    pub used: u64,
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OutOfHostMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "host memory exhausted: staging {} bytes with {}/{} used",
+            self.requested, self.used, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfHostMemory {}
+
+/// A simple reserve/release capacity tracker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostStaging {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+}
+
+impl HostStaging {
+    pub fn new(capacity: u64) -> Self {
+        HostStaging {
+            capacity,
+            used: 0,
+            peak: 0,
+        }
+    }
+
+    /// Stage `bytes` on the host (an offload landing).
+    pub fn reserve(&mut self, bytes: u64) -> Result<(), OutOfHostMemory> {
+        if self.used + bytes > self.capacity {
+            return Err(OutOfHostMemory {
+                requested: bytes,
+                used: self.used,
+                capacity: self.capacity,
+            });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(())
+    }
+
+    /// Release `bytes` (activations consumed by the backward pass).
+    pub fn release(&mut self, bytes: u64) {
+        assert!(bytes <= self.used, "releasing more than staged");
+        self.used -= bytes;
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_roundtrip() {
+        let mut h = HostStaging::new(100);
+        h.reserve(60).unwrap();
+        h.reserve(40).unwrap();
+        assert_eq!(h.used(), 100);
+        h.release(50);
+        assert_eq!(h.used(), 50);
+        assert_eq!(h.peak(), 100);
+    }
+
+    #[test]
+    fn oohm_on_overflow() {
+        let mut h = HostStaging::new(100);
+        h.reserve(80).unwrap();
+        let err = h.reserve(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.used, 80);
+        // failed reserve does not change state
+        assert_eq!(h.used(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more than staged")]
+    fn over_release_panics() {
+        let mut h = HostStaging::new(100);
+        h.reserve(10).unwrap();
+        h.release(20);
+    }
+}

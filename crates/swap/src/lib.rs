@@ -1,0 +1,27 @@
+//! # memo-swap — token-wise recomputation and swapping (§4.1)
+//!
+//! MEMO's first contribution: manage skeletal activations with a *fine
+//! grained* mix of CPU offloading and recomputation.
+//!
+//! * Tensor level: always offload the layer input (the recompute anchor) and
+//!   the FlashAttention output (1/16 of the bytes but ~the whole compute).
+//! * Token level: of the remaining skeletal tensors, offload an `α` fraction
+//!   of token rows and recompute the rest; `α` comes from the linear program
+//!   of Eq. (1)–(3) ([`alpha`]).
+//! * Two GPU **rounding buffers** hold skeletal activations — even layers in
+//!   buffer 0, odd layers in buffer 1 — with CUDA events guarding reuse
+//!   ([`buffers`]). When `α = 0` a single buffer suffices (§4.1 special
+//!   case).
+//! * The offload / prefetch / recompute operations are laid out on three
+//!   streams ([`schedule`]) exactly as in Figure 11.
+//! * Host staging capacity (and OOHM) is tracked by [`host`].
+
+pub mod alpha;
+pub mod buffers;
+pub mod host;
+pub mod schedule;
+
+pub use alpha::{solve_alpha, AlphaInputs, AlphaSolution, BindingConstraint};
+pub use buffers::RoundingBuffers;
+pub use host::HostStaging;
+pub use schedule::{build_iteration_schedule, LayerCosts, ScheduleOutcome};

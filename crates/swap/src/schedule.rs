@@ -1,0 +1,345 @@
+//! The three-stream iteration schedule (§4.3.4, Figure 11).
+//!
+//! Streams: `compute`, `offload` (GPU→CPU), `prefetch` (CPU→GPU). For each
+//! forward layer the offload of its swapped skeletal slice is enqueued right
+//! after its compute finishes and overlaps the next layer's compute; layer
+//! `i+2` waits on layer `i`'s offload event before overwriting the rounding
+//! buffer. During the backward pass, finishing layer `i`'s backward releases
+//! its buffer and triggers the prefetch of layer `i−2`; the token-wise
+//! recompute of the non-swapped slice runs on the compute stream immediately
+//! before each backward.
+//!
+//! The builder returns both the timings (from which MFU/TGS derive) and the
+//! populated [`Timeline`] (for Figure 11 rendering); it reports OOHM if the
+//! staged activations overflow host memory — the simulation's `X_oohm`.
+
+use crate::buffers::RoundingBuffers;
+use crate::host::{HostStaging, OutOfHostMemory};
+use memo_hal::engine::{StreamId, Timeline};
+use memo_hal::time::SimTime;
+
+/// Per-layer costs feeding the schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerCosts {
+    /// One transformer layer forward compute time.
+    pub t_fwd: SimTime,
+    /// One transformer layer backward compute time (gradients only).
+    pub t_bwd: SimTime,
+    /// Token-wise recompute time of the non-swapped slice, run before the
+    /// layer's backward (zero when α = 1 or under full swapping).
+    pub t_recompute: SimTime,
+    /// Bytes offloaded per layer (input + attn + α·others).
+    pub offload_bytes: u64,
+    /// Effective CPU–GPU bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Bytes spilled per layer to the NVMe tier (extension; usually 0).
+    pub nvme_bytes: u64,
+    /// Effective NVMe bandwidth, bytes/s (ignored when `nvme_bytes == 0`).
+    pub nvme_bandwidth: f64,
+}
+
+impl LayerCosts {
+    /// Host-tier only costs (the paper's configuration).
+    pub fn without_nvme(
+        t_fwd: SimTime,
+        t_bwd: SimTime,
+        t_recompute: SimTime,
+        offload_bytes: u64,
+        bandwidth: f64,
+    ) -> Self {
+        LayerCosts {
+            t_fwd,
+            t_bwd,
+            t_recompute,
+            offload_bytes,
+            bandwidth,
+            nvme_bytes: 0,
+            nvme_bandwidth: 1.0,
+        }
+    }
+
+    fn t_transfer(&self) -> SimTime {
+        let host = if self.offload_bytes == 0 {
+            0.0
+        } else {
+            self.offload_bytes as f64 / self.bandwidth
+        };
+        let nvme = if self.nvme_bytes == 0 {
+            0.0
+        } else {
+            self.nvme_bytes as f64 / self.nvme_bandwidth
+        };
+        SimTime::from_secs_f64(host + nvme)
+    }
+
+    /// Bytes staged per layer across both tiers.
+    pub fn staged_bytes(&self) -> u64 {
+        self.offload_bytes + self.nvme_bytes
+    }
+}
+
+/// Timing results of one simulated iteration's transformer portion.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// End of the last forward layer (compute stream).
+    pub forward_end: SimTime,
+    /// Total makespan of forward + head + backward.
+    pub makespan: SimTime,
+    /// Compute-stream busy time (the useful + recompute work).
+    pub compute_busy: SimTime,
+    /// Compute-stream idle time (stalls caused by transfers).
+    pub compute_idle: SimTime,
+    /// Peak host bytes staged.
+    pub host_peak: u64,
+    /// The populated timeline (3 streams), for rendering.
+    pub timeline: Timeline,
+}
+
+/// Streams created by the builder, in order.
+#[derive(Debug, Clone, Copy)]
+struct Streams {
+    compute: StreamId,
+    offload: StreamId,
+    prefetch: StreamId,
+}
+
+/// Build the full transformer-layer schedule with a `t_head` block (final
+/// norm + classifier fwd/bwd + loss) between forward and backward.
+///
+/// `n_layers ≥ 1`. Layers `n−1` and `n−2` are never offloaded (§4.1).
+pub fn build_iteration_schedule(
+    n_layers: usize,
+    costs: LayerCosts,
+    t_head: SimTime,
+    host: &mut HostStaging,
+    buffer_bytes: u64,
+) -> Result<ScheduleOutcome, OutOfHostMemory> {
+    build_iteration_schedule_with_slots(n_layers, costs, t_head, host, buffer_bytes, 2)
+}
+
+/// [`build_iteration_schedule`] generalised to `slots ≥ 2` rotating buffers:
+/// layer `i+slots` waits on layer `i`'s offload, so an offload may hide
+/// under `slots − 1` layers of compute (and the last `slots` layers never
+/// swap).
+pub fn build_iteration_schedule_with_slots(
+    n_layers: usize,
+    costs: LayerCosts,
+    t_head: SimTime,
+    host: &mut HostStaging,
+    buffer_bytes: u64,
+    slots: usize,
+) -> Result<ScheduleOutcome, OutOfHostMemory> {
+    assert!(n_layers >= 1);
+    let mut tl = Timeline::new();
+    let s = Streams {
+        compute: tl.add_stream("compute"),
+        offload: tl.add_stream("offload"),
+        prefetch: tl.add_stream("prefetch"),
+    };
+    let mut buffers = RoundingBuffers::with_slots(slots, buffer_bytes);
+    let t_transfer = costs.t_transfer();
+    // Layers that swap: all but the last `slots`.
+    let swaps = |layer: usize| layer + slots < n_layers;
+
+    // ---- forward ------------------------------------------------------------
+    for layer in 0..n_layers {
+        if let Some(ev) = buffers.acquire_for_forward(layer) {
+            tl.wait_event(s.compute, ev);
+        }
+        tl.enqueue(s.compute, costs.t_fwd, format!("fwd L{layer}"));
+        let fwd_done = tl.record_event(s.compute);
+        if swaps(layer) {
+            host.reserve(costs.offload_bytes)?;
+            tl.wait_event(s.offload, fwd_done);
+            tl.enqueue(s.offload, t_transfer, format!("off L{layer}"));
+            let off_done = tl.record_event(s.offload);
+            buffers.offload_enqueued(layer, off_done);
+        } else {
+            buffers.retain_for_backward(layer);
+        }
+    }
+    let forward_end = tl.stream_cursor(s.compute);
+
+    // ---- head (final norm, classifier, loss) --------------------------------
+    if t_head > SimTime::ZERO {
+        tl.enqueue(s.compute, t_head, "head");
+    }
+
+    // ---- backward -----------------------------------------------------------
+    for layer in (0..n_layers).rev() {
+        if swaps(layer) {
+            // The prefetch was enqueued when layer+2's backward finished.
+            let pf_done = buffers.prefetch_complete(layer);
+            tl.wait_event(s.compute, pf_done);
+            if costs.t_recompute > SimTime::ZERO {
+                tl.enqueue(s.compute, costs.t_recompute, format!("remat L{layer}"));
+            }
+        }
+        tl.enqueue(s.compute, costs.t_bwd, format!("bwd L{layer}"));
+        let bwd_done = tl.record_event(s.compute);
+        buffers.release_after_backward(layer);
+        if swaps(layer) {
+            host.release(costs.offload_bytes);
+        }
+        // Kick the prefetch of the slot's next occupant now that it's free.
+        if layer >= slots && swaps(layer - slots) {
+            tl.wait_event(s.prefetch, bwd_done);
+            tl.enqueue(s.prefetch, t_transfer, format!("pf L{}", layer - slots));
+            let pf_done = tl.record_event(s.prefetch);
+            buffers.prefetch_enqueued(layer - slots, pf_done);
+        }
+    }
+
+    tl.check_causality().expect("schedule must be causal");
+    let makespan = tl.makespan();
+    let compute_busy = tl.busy_time(s.compute);
+    Ok(ScheduleOutcome {
+        forward_end,
+        makespan,
+        compute_busy,
+        compute_idle: makespan.saturating_sub(compute_busy),
+        host_peak: host.peak(),
+        timeline: tl,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(t_fwd_ms: u64, transfer_ratio: f64, t_remat_ms: u64) -> LayerCosts {
+        let bytes = 1_000_000u64;
+        let t_fwd = SimTime::from_millis(t_fwd_ms);
+        LayerCosts::without_nvme(
+            t_fwd,
+            SimTime::from_millis(2 * t_fwd_ms),
+            SimTime::from_millis(t_remat_ms),
+            bytes,
+            bytes as f64 / (t_fwd.as_secs_f64() * transfer_ratio),
+        )
+    }
+
+    fn run(n: usize, c: LayerCosts) -> ScheduleOutcome {
+        let mut host = HostStaging::new(u64::MAX / 2);
+        build_iteration_schedule(n, c, SimTime::from_millis(5), &mut host, 0).unwrap()
+    }
+
+    #[test]
+    fn full_overlap_when_transfer_fits_under_compute() {
+        // transfer = 0.8 × layer forward: offload hides completely.
+        let c = costs(10, 0.8, 0);
+        let out = run(8, c);
+        // forward should take exactly 8 × t_fwd — no stalls.
+        assert_eq!(out.forward_end, SimTime::from_millis(80));
+        assert_eq!(out.compute_idle, SimTime::ZERO);
+    }
+
+    #[test]
+    fn stalls_when_transfer_exceeds_compute() {
+        // transfer = 2 × layer forward: layer i+2 waits for layer i's
+        // offload (the Figure 11 "w/o token-wise" picture).
+        let c = costs(10, 2.0, 0);
+        let out = run(8, c);
+        assert!(out.forward_end > SimTime::from_millis(80));
+        assert!(out.compute_idle > SimTime::ZERO);
+    }
+
+    #[test]
+    fn backward_prefetch_overlaps() {
+        // backward is 2× forward; transfer < bwd time → prefetches hide.
+        let c = costs(10, 1.5, 0);
+        let out = run(8, c);
+        // Backward portion (from forward_end + head) should be ~8 × t_bwd.
+        let bwd_span = out.makespan.saturating_sub(out.forward_end + SimTime::from_millis(5));
+        let lower = SimTime::from_millis(8 * 20);
+        let upper = SimTime::from_millis(8 * 20 + 25);
+        assert!(
+            bwd_span >= lower && bwd_span <= upper,
+            "bwd span {bwd_span} outside [{lower}, {upper}]"
+        );
+    }
+
+    #[test]
+    fn recompute_serialises_on_compute_stream() {
+        let with = run(8, costs(10, 0.5, 4));
+        let without = run(8, costs(10, 0.5, 0));
+        // 6 swapped layers × 4ms recompute.
+        let delta = with.makespan.saturating_sub(without.makespan);
+        assert_eq!(delta, SimTime::from_millis(24));
+    }
+
+    #[test]
+    fn host_usage_returns_to_zero() {
+        let mut host = HostStaging::new(u64::MAX / 2);
+        let c = costs(10, 0.5, 0);
+        build_iteration_schedule(8, c, SimTime::ZERO, &mut host, 0).unwrap();
+        assert_eq!(host.used(), 0);
+        assert_eq!(host.peak(), 6 * c.offload_bytes);
+    }
+
+    #[test]
+    fn oohm_surfaces() {
+        let mut host = HostStaging::new(3 * 1_000_000); // room for 3 layers
+        let c = costs(10, 0.5, 0);
+        let err = build_iteration_schedule(12, c, SimTime::ZERO, &mut host, 0).unwrap_err();
+        assert_eq!(err.capacity, 3_000_000);
+    }
+
+    #[test]
+    fn zero_offload_bytes_never_stalls() {
+        let c = LayerCosts {
+            offload_bytes: 0,
+            ..costs(10, 1.0, 0)
+        };
+        let out = run(6, c);
+        assert_eq!(out.compute_idle, SimTime::ZERO);
+    }
+
+    #[test]
+    fn tiny_models_skip_swapping_entirely() {
+        // n = 2: both layers retained; no offload traffic at all.
+        let mut host = HostStaging::new(1);
+        let out =
+            build_iteration_schedule(2, costs(10, 2.0, 0), SimTime::ZERO, &mut host, 0).unwrap();
+        assert_eq!(host.peak(), 0);
+        assert_eq!(out.compute_idle, SimTime::ZERO);
+    }
+
+    #[test]
+    fn extra_slots_cannot_beat_the_bandwidth_limit() {
+        // transfer = 1.5 × layer fwd: the single offload stream is a serial
+        // throughput bottleneck, so a third rounding buffer cannot remove
+        // the forward stalls — it only smooths the first few layers. This
+        // is why the paper's design stops at two buffers: the binding
+        // constraint of Eq. (2) is PCIe bandwidth, not buffer count.
+        let c = costs(10, 1.5, 0);
+        let run_slots = |slots: usize| {
+            let mut host = HostStaging::new(u64::MAX / 2);
+            build_iteration_schedule_with_slots(24, c, SimTime::ZERO, &mut host, 0, slots)
+                .unwrap()
+        };
+        let two = run_slots(2);
+        let three = run_slots(3);
+        let four = run_slots(4);
+        assert!(two.compute_idle > SimTime::ZERO);
+        assert!(three.compute_idle > SimTime::ZERO, "still bandwidth-bound");
+        // Marginal gains shrink: each extra slot saves at most one layer's
+        // worth of stall, while costing a full 16·bsh of GPU memory.
+        assert!(three.makespan <= two.makespan);
+        assert!(four.makespan <= three.makespan);
+        let gain23 = two.makespan.saturating_sub(three.makespan);
+        assert!(
+            gain23.as_secs_f64() < 0.1 * two.compute_idle.as_secs_f64() + 0.021,
+            "extra slots must not materially remove bandwidth stalls (saved {gain23})"
+        );
+    }
+
+    #[test]
+    fn timeline_renders_three_streams() {
+        let out = run(6, costs(10, 0.8, 2));
+        let art = memo_hal::timeline::render_ascii(&out.timeline, 80);
+        assert!(art.contains("compute"));
+        assert!(art.contains("offload"));
+        assert!(art.contains("prefetch"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Ring attention (context parallelism) — the algorithm behind the paper's
+//! CP dimension (§2.3), executed numerically.
+//!
+//! The sequence is split into `n_ranks` contiguous blocks; each simulated
+//! rank owns one block of Q/K/V. Ranks pass K/V blocks around a ring; each
+//! rank folds every received block into its queries' **online softmax
+//! state** `(m, z, acc)` — the same state FlashAttention streams over —
+//! respecting causality (a query block attends earlier blocks fully and its
+//! own block causally; later blocks are skipped).
+//!
+//! The test suite checks the distributed result against the single-device
+//! streaming attention: identical up to floating-point reassociation
+//! (block-merge order differs from token order), which is precisely the
+//! numerical status of real CP training.
+
+use crate::attention::AttnOutput;
+
+/// Per-(row, head) online-softmax accumulator.
+#[derive(Clone)]
+struct SoftmaxState {
+    m: f32,
+    z: f32,
+    acc: Vec<f32>,
+}
+
+impl SoftmaxState {
+    fn new(d: usize) -> Self {
+        SoftmaxState {
+            m: f32::NEG_INFINITY,
+            z: 0.0,
+            acc: vec![0.0; d],
+        }
+    }
+
+    /// Fold one (score, value-row) contribution.
+    fn push(&mut self, s: f32, v: &[f32]) {
+        let m_new = self.m.max(s);
+        let corr = if self.m.is_finite() {
+            (self.m - m_new).exp()
+        } else {
+            0.0
+        };
+        let p = (s - m_new).exp();
+        self.z = self.z * corr + p;
+        for (a, &vv) in self.acc.iter_mut().zip(v) {
+            *a = *a * corr + p * vv;
+        }
+        self.m = m_new;
+    }
+
+    fn finish(&self) -> (Vec<f32>, f32) {
+        let inv = 1.0 / self.z;
+        (self.acc.iter().map(|a| a * inv).collect(), self.m + self.z.ln())
+    }
+}
+
+/// Causal multi-head ring attention across `n_ranks` sequence blocks.
+///
+/// `t` must be divisible by `n_ranks`. Returns the same output layout as
+/// [`crate::attention::attention_fwd`].
+pub fn ring_attention_fwd(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    t: usize,
+    n_heads: usize,
+    d: usize,
+    n_ranks: usize,
+) -> AttnOutput {
+    assert!(n_ranks >= 1 && t.is_multiple_of(n_ranks), "t must split evenly");
+    let h = n_heads * d;
+    let block = t / n_ranks;
+    let scale = 1.0 / (d as f32).sqrt();
+
+    let mut out = vec![0.0f32; t * h];
+    let mut lse = vec![0.0f32; t * n_heads];
+
+    // Each rank holds per-(local row, head) state and folds K/V blocks as
+    // they arrive over the ring. We iterate ring steps outermost to mirror
+    // the communication structure (rank r receives block (r - step) mod R).
+    let mut states: Vec<SoftmaxState> = (0..t * n_heads).map(|_| SoftmaxState::new(d)).collect();
+
+    for step in 0..n_ranks {
+        for rank in 0..n_ranks {
+            // Block arriving at `rank` on this step.
+            let src = (rank + n_ranks - step) % n_ranks;
+            if src > rank {
+                continue; // future tokens: causally masked out entirely
+            }
+            for a in 0..n_heads {
+                let col = a * d;
+                for qi_local in 0..block {
+                    let i = rank * block + qi_local;
+                    let qrow = &q[i * h + col..i * h + col + d];
+                    let state = &mut states[i * n_heads + a];
+                    let j_end = if src == rank {
+                        qi_local + 1 // own block: causal within
+                    } else {
+                        block
+                    };
+                    for j_local in 0..j_end {
+                        let j = src * block + j_local;
+                        let krow = &k[j * h + col..j * h + col + d];
+                        let s: f32 =
+                            qrow.iter().zip(krow).map(|(a, b)| a * b).sum::<f32>() * scale;
+                        state.push(s, &v[j * h + col..j * h + col + d]);
+                    }
+                }
+            }
+        }
+    }
+
+    for i in 0..t {
+        for a in 0..n_heads {
+            let (o, l) = states[i * n_heads + a].finish();
+            out[i * h + a * d..i * h + (a + 1) * d].copy_from_slice(&o);
+            lse[i * n_heads + a] = l;
+        }
+    }
+    AttnOutput { out, lse }
+}
+
+/// Work assigned to each rank, in score evaluations — quantifies the causal
+/// load imbalance that real CP implementations re-balance by interleaving
+/// token chunks (the paper's CP references).
+pub fn ring_work_per_rank(t: usize, n_ranks: usize) -> Vec<u64> {
+    assert!(t.is_multiple_of(n_ranks));
+    let block = (t / n_ranks) as u64;
+    (0..n_ranks as u64)
+        .map(|r| {
+            // full blocks from earlier ranks + causal own block
+            r * block * block + block * (block + 1) / 2
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::attention_fwd;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn randv(rng: &mut StdRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn ring_matches_single_device() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let (t, n_heads, d) = (16, 2, 4);
+        let h = n_heads * d;
+        let q = randv(&mut rng, t * h);
+        let k = randv(&mut rng, t * h);
+        let v = randv(&mut rng, t * h);
+        let single = attention_fwd(&q, &k, &v, t, n_heads, d);
+        for n_ranks in [1usize, 2, 4, 8] {
+            let ring = ring_attention_fwd(&q, &k, &v, t, n_heads, d, n_ranks);
+            for (idx, (a, b)) in ring.out.iter().zip(&single.out).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "ranks={n_ranks} out[{idx}]: {a} vs {b}"
+                );
+            }
+            for (idx, (a, b)) in ring.lse.iter().zip(&single.lse).enumerate() {
+                assert!((a - b).abs() < 1e-4, "ranks={n_ranks} lse[{idx}]: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_is_bitwise_flash() {
+        // With one rank the fold order equals the streaming order.
+        let mut rng = StdRng::seed_from_u64(42);
+        let (t, n_heads, d) = (10, 1, 6);
+        let q = randv(&mut rng, t * d);
+        let k = randv(&mut rng, t * d);
+        let v = randv(&mut rng, t * d);
+        let single = attention_fwd(&q, &k, &v, t, n_heads, d);
+        let ring = ring_attention_fwd(&q, &k, &v, t, n_heads, d, 1);
+        assert_eq!(ring.out, single.out);
+        assert_eq!(ring.lse, single.lse);
+    }
+
+    #[test]
+    fn causality_respected_across_blocks() {
+        // Changing a future token's K/V must not affect earlier outputs.
+        let mut rng = StdRng::seed_from_u64(43);
+        let (t, n_heads, d, ranks) = (12, 1, 4, 4);
+        let q = randv(&mut rng, t * d);
+        let k = randv(&mut rng, t * d);
+        let mut v = randv(&mut rng, t * d);
+        let before = ring_attention_fwd(&q, &k, &v, t, n_heads, d, ranks);
+        // poison the last block
+        for x in &mut v[(t - 3) * d..] {
+            *x += 100.0;
+        }
+        let after = ring_attention_fwd(&q, &k, &v, t, n_heads, d, ranks);
+        let unaffected = (t - 3) * d;
+        assert_eq!(&before.out[..unaffected], &after.out[..unaffected]);
+        assert_ne!(&before.out[unaffected..], &after.out[unaffected..]);
+    }
+
+    #[test]
+    fn work_imbalance_is_triangular() {
+        let work = ring_work_per_rank(16, 4);
+        // rank r does r·16 + 10 score evaluations (block = 4)
+        assert_eq!(work, vec![10, 26, 42, 58]);
+        let total: u64 = work.iter().sum();
+        assert_eq!(total, 16 * 17 / 2); // full causal triangle
+        // last rank does ~4x the first — why CP needs load balancing
+        assert!(work[3] > 5 * work[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "split evenly")]
+    fn rejects_ragged_blocks() {
+        let _ = ring_attention_fwd(&[], &[], &[], 10, 1, 1, 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! Quickstart: simulate training a 7B GPT at 256K context on 8 GPUs with
+//! MEMO and both baselines, and print the headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use memo::core::session::Workload;
+use memo::model::config::ModelConfig;
+use memo::parallel::strategy::SystemKind;
+
+fn main() {
+    // A workload = model × cluster × sequence length. The calibration
+    // defaults to the paper's A800 testbed (§5.1).
+    let workload = Workload::new(ModelConfig::gpt_7b(), 8, 256 * 1024);
+
+    println!("7B GPT, 256K context, 8×A800 (simulated)\n");
+    for system in [SystemKind::DeepSpeed, SystemKind::MegatronLM, SystemKind::Memo] {
+        // `run_best` searches every valid parallelism strategy for the
+        // system and returns the fastest feasible one.
+        match workload.run_best(system) {
+            Some((cfg, outcome)) => {
+                let m = outcome.metrics().expect("feasible");
+                println!(
+                    "{:<12} strategy {:<16} MFU {:5.2}%  TGS {:8.1}  iter {:6.2}s  GPU peak {:5.1} GiB{}",
+                    system.name(),
+                    cfg.describe(),
+                    m.mfu * 100.0,
+                    m.tgs,
+                    m.iter_secs,
+                    m.peak_gpu_bytes as f64 / (1u64 << 30) as f64,
+                    m.alpha.map(|a| format!("  α={a}")).unwrap_or_default(),
+                );
+            }
+            None => println!("{:<12} infeasible at this length", system.name()),
+        }
+    }
+}

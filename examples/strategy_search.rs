@@ -1,0 +1,51 @@
+//! Strategy search: enumerate every valid parallelism configuration for a
+//! workload, simulate each, and rank them — the automated version of the
+//! paper's "manually adjust the distributed parallelism strategies ... to
+//! achieve optimal training performance" (§5.2).
+//!
+//! ```sh
+//! cargo run --release --example strategy_search
+//! ```
+
+use memo::core::session::Workload;
+use memo::model::config::ModelConfig;
+use memo::parallel::search::enumerate_configs;
+use memo::parallel::strategy::SystemKind;
+
+fn main() {
+    let workload = Workload::new(ModelConfig::gpt_30b(), 32, 512 * 1024);
+    let system = SystemKind::Memo;
+    println!(
+        "ranking all valid MEMO strategies: 30B model, 512K tokens, 32 GPUs\n"
+    );
+
+    let mut rows: Vec<(String, Option<f64>, Option<f64>, String)> = Vec::new();
+    for cfg in enumerate_configs(system, &workload.model, workload.n_gpus, 8) {
+        let out = workload.run_with(system, &cfg);
+        match out.metrics() {
+            Some(m) => rows.push((
+                cfg.describe(),
+                Some(m.mfu),
+                m.alpha,
+                format!("{:.1} GiB", m.peak_gpu_bytes as f64 / (1u64 << 30) as f64),
+            )),
+            None => rows.push((cfg.describe(), None, None, out.cell())),
+        }
+    }
+    rows.sort_by(|a, b| {
+        b.1.unwrap_or(-1.0)
+            .partial_cmp(&a.1.unwrap_or(-1.0))
+            .expect("finite")
+    });
+
+    println!("{:<22} {:>8} {:>8} {:>12}", "strategy", "MFU", "α", "GPU peak");
+    for (desc, mfu, alpha, mem) in rows {
+        println!(
+            "{:<22} {:>8} {:>8} {:>12}",
+            desc,
+            mfu.map(|m| format!("{:.2}%", m * 100.0)).unwrap_or_else(|| "-".into()),
+            alpha.map(|a| format!("{a}")).unwrap_or_else(|| "-".into()),
+            mem
+        );
+    }
+}

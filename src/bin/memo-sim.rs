@@ -1,0 +1,268 @@
+//! `memo-sim` — command-line front end for the simulator.
+//!
+//! ```text
+//! memo-sim --model 7b --gpus 8 --seq 1m --system memo
+//! memo-sim --model 30b --gpus 32 --seq 512k --system megatron --strategy tp8,cp2,dp2
+//! memo-sim --model 7b --gpus 8 --seq 256k --all
+//! ```
+
+use memo::core::session::Workload;
+use memo::model::config::ModelConfig;
+use memo::parallel::strategy::{ParallelConfig, SystemKind};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+memo-sim — simulate long-context LLM training (MEMO, SIGMOD 2025 reproduction)
+
+USAGE:
+    memo-sim --model <7b|13b|30b|65b> --gpus <N> --seq <LEN> [OPTIONS]
+
+LEN accepts k/m suffixes (e.g. 512k, 1m).
+
+OPTIONS:
+    --system <memo|megatron|deepspeed>   system to simulate (default: memo)
+    --all                                run all three systems
+    --strategy tp<T>,cp<C>,pp<P>,dp<D>   fix the parallelism (default: search)
+    --batch <B>                          sequences per DP replica (default: 1)
+    --sweep <START>:<END>:<STEP>         sweep the sequence length (k/m suffixes ok)
+    --pcie-gbps <N>                      nominal PCIe bandwidth override (GB/s)
+    --gpu-mem-gib <N>                    per-GPU memory override (GiB)
+    --host-mem-gib <N>                   per-node host DRAM override (GiB)
+    -h, --help                           this help
+";
+
+fn parse_seq(s: &str) -> Option<u64> {
+    let s = s.to_ascii_lowercase();
+    if let Some(v) = s.strip_suffix('m') {
+        v.parse::<u64>().ok().map(|v| v * 1024 * 1024)
+    } else if let Some(v) = s.strip_suffix('k') {
+        v.parse::<u64>().ok().map(|v| v * 1024)
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_model(s: &str) -> Option<ModelConfig> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "7b" => ModelConfig::gpt_7b(),
+        "13b" => ModelConfig::gpt_13b(),
+        "30b" => ModelConfig::gpt_30b(),
+        "65b" => ModelConfig::gpt_65b(),
+        _ => return None,
+    })
+}
+
+fn parse_system(s: &str) -> Option<SystemKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "memo" => SystemKind::Memo,
+        "megatron" | "megatron-lm" => SystemKind::MegatronLM,
+        "deepspeed" | "ds" => SystemKind::DeepSpeed,
+        _ => return None,
+    })
+}
+
+fn parse_strategy(s: &str, system: SystemKind) -> Option<ParallelConfig> {
+    let mut tp = 1;
+    let mut cp = 1;
+    let mut pp = 1;
+    let mut dp = 1;
+    let mut sp = 1;
+    for part in s.split(',') {
+        let part = part.trim().to_ascii_lowercase();
+        if part.len() < 3 || !part.is_char_boundary(2) {
+            return None;
+        }
+        let (key, val) = part.split_at(2);
+        let val: usize = val.parse().ok()?;
+        match key {
+            "tp" => tp = val,
+            "cp" => cp = val,
+            "pp" => pp = val,
+            "dp" => dp = val,
+            "sp" => sp = val,
+            _ => return None,
+        }
+    }
+    Some(match system {
+        SystemKind::DeepSpeed => ParallelConfig::ulysses(sp.max(tp), dp),
+        _ => ParallelConfig::megatron(tp, cp, pp, dp),
+    })
+}
+
+/// Returns false when the strategy was invalid (so main can exit nonzero).
+fn report(workload: &Workload, system: SystemKind, cfg: Option<ParallelConfig>) -> bool {
+    let (cfg, outcome) = match cfg {
+        Some(cfg) => {
+            if let Err(e) = cfg.validate(
+                &workload.model,
+                workload.n_gpus,
+                workload.calib.gpus_per_node.min(workload.n_gpus),
+            ) {
+                eprintln!("{:<12} invalid strategy: {e}", system.name());
+                return false;
+            }
+            (Some(cfg), workload.run_with(system, &cfg))
+        }
+        None => workload.run_best_or_failure(system),
+    };
+    match outcome.metrics() {
+        Some(m) => println!(
+            "{:<12} {:<18} MFU {:6.2}%   TGS {:9.2}   iter {:7.2}s   GPU {:5.1} GiB   host {:5.1} GiB{}",
+            system.name(),
+            cfg.map(|c| c.describe()).unwrap_or_default(),
+            m.mfu * 100.0,
+            m.tgs,
+            m.iter_secs,
+            m.peak_gpu_bytes as f64 / (1u64 << 30) as f64,
+            m.host_peak_bytes as f64 / (1u64 << 30) as f64,
+            m.alpha.map(|a| format!("   α={a}")).unwrap_or_default(),
+        ),
+        None => println!("{:<12} {}", system.name(), outcome.cell()),
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut model = None;
+    let mut gpus = None;
+    let mut seq = None;
+    let mut system = SystemKind::Memo;
+    let mut all = false;
+    let mut strategy: Option<String> = None;
+    let mut batch = 1u64;
+    let mut sweep: Option<(u64, u64, u64)> = None;
+    let mut pcie_gbps: Option<f64> = None;
+    let mut gpu_mem_gib: Option<u64> = None;
+    let mut host_mem_gib: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = || it.next().cloned();
+        match arg.as_str() {
+            "--model" => match take() {
+                Some(v) => match parse_model(&v) {
+                    Some(m) => model = Some(m),
+                    None => {
+                        eprintln!("unknown model '{v}' (expected 7b|13b|30b|65b)");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--model requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--gpus" => gpus = take().and_then(|v| v.parse::<usize>().ok()),
+            "--seq" => match take() {
+                Some(v) => match parse_seq(&v) {
+                    Some(s) => seq = Some(s),
+                    None => {
+                        eprintln!("bad sequence length '{v}' (examples: 512k, 1m, 65536)");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--seq requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--system" => match take().as_deref().and_then(parse_system) {
+                Some(s) => system = s,
+                None => {
+                    eprintln!("unknown system");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--all" => all = true,
+            "--strategy" => strategy = take(),
+            "--batch" => batch = take().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--sweep" => {
+                sweep = take().and_then(|v| {
+                    let parts: Vec<_> = v.split(':').collect();
+                    match parts.as_slice() {
+                        [a, b, c] => Some((parse_seq(a)?, parse_seq(b)?, parse_seq(c)?)),
+                        _ => None,
+                    }
+                });
+                if sweep.is_none() {
+                    eprintln!("--sweep expects START:END:STEP");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--pcie-gbps" => pcie_gbps = take().and_then(|v| v.parse().ok()),
+            "--gpu-mem-gib" => gpu_mem_gib = take().and_then(|v| v.parse().ok()),
+            "--host-mem-gib" => host_mem_gib = take().and_then(|v| v.parse().ok()),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (Some(model), Some(gpus)) = (model, gpus) else {
+        eprintln!("--model and --gpus are required\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let seqs: Vec<u64> = match (sweep, seq) {
+        (Some((start, end, step)), _) => {
+            assert!(step > 0 && end >= start, "bad sweep range");
+            (0..)
+                .map(|k| start + k * step)
+                .take_while(|&s| s <= end)
+                .collect()
+        }
+        (None, Some(s)) => vec![s],
+        (None, None) => {
+            eprintln!("--seq or --sweep is required\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let systems: Vec<SystemKind> = if all {
+        vec![SystemKind::DeepSpeed, SystemKind::MegatronLM, SystemKind::Memo]
+    } else {
+        vec![system]
+    };
+    let mut all_ok = true;
+    for s in seqs {
+        let mut workload = Workload::new(model.clone(), gpus, s);
+        workload.batch = batch;
+        if let Some(v) = pcie_gbps {
+            workload.calib.pcie_bandwidth = v * 1e9;
+        }
+        if let Some(v) = gpu_mem_gib {
+            workload.calib.gpu_memory_bytes = v << 30;
+        }
+        if let Some(v) = host_mem_gib {
+            workload.calib.host_memory_bytes = v << 30;
+        }
+        println!(
+            "{} model, {} tokens, {} GPUs (batch {batch}/replica)",
+            workload.model.name, s, gpus
+        );
+        for &sys in &systems {
+            let cfg = match strategy.as_deref() {
+                Some(text) => match parse_strategy(text, sys) {
+                    Some(cfg) => Some(cfg),
+                    None => {
+                        eprintln!("bad --strategy '{text}' (example: tp4,cp2,dp1)");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            all_ok &= report(&workload, sys, cfg);
+        }
+        println!();
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

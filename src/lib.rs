@@ -1,0 +1,29 @@
+//! # memo — umbrella crate
+//!
+//! Re-exports the whole MEMO reproduction workspace under one roof so that
+//! examples and integration tests can `use memo::...` without naming each
+//! sub-crate. See the individual crates for the real documentation:
+//!
+//! * [`hal`] — discrete-event cluster simulator (the hardware substrate),
+//! * [`model`] — GPT configs, activation catalogs, memory-request traces,
+//! * [`alloc`] — PyTorch-style caching allocator & static plan allocator,
+//! * [`plan`] — offline-DSA MIP solvers and the bi-level memory planner,
+//! * [`swap`] — token-wise recomputation/swapping (the α solver, rounding
+//!   buffers, three-stream schedule),
+//! * [`parallel`] — TP/SP/CP/PP/DP/ZeRO/Ulysses cost & memory models,
+//! * [`core`] — the MEMO framework (profiler → planner → executor) and the
+//!   Megatron-LM / DeepSpeed baselines,
+//! * [`dist`] — whole-cluster simulation (per-GPU timelines, collectives,
+//!   straggler studies),
+//! * [`tensor`] — a from-scratch CPU autograd library used for the
+//!   convergence experiment (Figure 12d).
+
+pub use memo_alloc as alloc;
+pub use memo_core as core;
+pub use memo_dist as dist;
+pub use memo_hal as hal;
+pub use memo_model as model;
+pub use memo_parallel as parallel;
+pub use memo_plan as plan;
+pub use memo_swap as swap;
+pub use memo_tensor as tensor;

@@ -1,0 +1,134 @@
+//! Integration tests of the numerical substrate: the convergence-equivalence
+//! claim (Figure 12d) exercised end-to-end through `memo-tensor`, including
+//! host-staging accounting consistency with the analytic model.
+
+use memo::tensor::gpt::{GptConfig, GptGrads, TinyGpt};
+use memo::tensor::store::{ActivationStore, Policy};
+use memo::tensor::train::{synthetic_batch, train_loss_curve, TrainSpec};
+
+fn spec() -> TrainSpec {
+    TrainSpec {
+        cfg: GptConfig {
+            vocab: 48,
+            hidden: 24,
+            ffn: 48,
+            n_heads: 3,
+            n_layers: 3,
+            max_seq: 40,
+            rope: true,
+        },
+        seq_len: 32,
+        steps: 40,
+        lr: 3e-3,
+        seed: 2024,
+    }
+}
+
+#[test]
+fn convergence_identical_for_all_alphas() {
+    let spec = spec();
+    let base = train_loss_curve(&spec, Policy::KeepAll);
+    for alpha in [0.0, 0.125, 0.25, 0.375, 0.5, 0.75, 1.0] {
+        let curve = train_loss_curve(&spec, Policy::TokenWise { alpha });
+        assert_eq!(curve, base, "α={alpha} diverged");
+    }
+    let recompute = train_loss_curve(&spec, Policy::FullRecompute);
+    assert_eq!(recompute, base);
+}
+
+#[test]
+fn training_actually_learns() {
+    let spec = spec();
+    let curve = train_loss_curve(&spec, Policy::TokenWise { alpha: 0.25 });
+    assert!(curve[curve.len() - 1] < curve[0] - 0.3, "no learning: {curve:?}");
+}
+
+#[test]
+fn host_staging_matches_alpha_scaling() {
+    // The "host bytes" the tensor store reports must scale like the analytic
+    // swapped-bytes formula: full at α=1, input+attn only at α=0.
+    let spec = spec();
+    let model = TinyGpt::new(spec.cfg, 7);
+    let (tokens, targets) = synthetic_batch(&spec, 0);
+
+    let host_peak = |policy: Policy| -> u64 {
+        // run a forward only (loss_and_grad consumes the store internally,
+        // so measure via a manual layer pass)
+        let t = tokens.len();
+        let h = spec.cfg.hidden;
+        let mut store = ActivationStore::new(policy, spec.cfg.n_layers);
+        let mut x = vec![0.02f32; t * h];
+        for (idx, layer) in model.layers.iter().enumerate() {
+            x = layer.forward(x, t, &mut store, idx);
+        }
+        store.host.peak
+    };
+
+    let p0 = host_peak(Policy::TokenWise { alpha: 0.0 });
+    let p1 = host_peak(Policy::TokenWise { alpha: 1.0 });
+    let p_half = host_peak(Policy::TokenWise { alpha: 0.5 });
+    assert!(p0 < p_half && p_half < p1);
+
+    // α=0 keeps input + attention output + lse: (2·t·h + t·heads) floats
+    // per layer — exactly the analytic S_input + S_attn split.
+    let t = tokens.len() as u64;
+    let h = spec.cfg.hidden as u64;
+    let layers = spec.cfg.n_layers as u64;
+    let expect0 = layers * 4 * (2 * t * h + t * spec.cfg.n_heads as u64);
+    assert_eq!(p0, expect0);
+
+    let _ = targets;
+}
+
+#[test]
+fn gradients_match_across_policies_multilayer() {
+    let spec = spec();
+    let model = TinyGpt::new(spec.cfg, 5);
+    let (tokens, targets) = synthetic_batch(&spec, 3);
+    let run = |policy: Policy| -> Vec<f32> {
+        let mut g = GptGrads::zeros(&spec.cfg);
+        model.loss_and_grad(&tokens, &targets, policy, &mut g);
+        g.flat()
+    };
+    let base = run(Policy::KeepAll);
+    for policy in [
+        Policy::FullRecompute,
+        Policy::TokenWise { alpha: 0.375 },
+        Policy::TokenWise { alpha: 0.875 },
+    ] {
+        assert_eq!(run(policy), base, "{policy:?}");
+    }
+}
+
+#[test]
+fn equivalence_check_has_teeth() {
+    // Negative control: corrupt one staged activation value and the
+    // gradients must change — proving the bitwise assertions above are
+    // sensitive to any rematerialisation bug.
+    use memo::tensor::layer::LayerGrads;
+    let spec = spec();
+    let model = TinyGpt::new(spec.cfg, 9);
+    let (tokens, _) = synthetic_batch(&spec, 1);
+    let t = tokens.len();
+    let h = spec.cfg.hidden;
+    let input: Vec<f32> = (0..t * h).map(|i| ((i as f32) * 0.37).sin() * 0.2).collect();
+    let dout: Vec<f32> = (0..t * h).map(|i| ((i as f32) * 0.11).cos() * 0.1).collect();
+    let layer = &model.layers[0];
+
+    let run = |corrupt: bool| -> Vec<f32> {
+        let mut store = ActivationStore::new(Policy::TokenWise { alpha: 0.5 }, 1);
+        layer.forward(input.clone(), t, &mut store, 0);
+        let mut stash = store.take(0);
+        if corrupt {
+            stash.q[0] += 0.05;
+        }
+        let skel = layer.materialize(stash);
+        let mut g = LayerGrads::zeros(spec.cfg.shape());
+        layer.backward(&skel, &dout, t, &mut g);
+        g.wqkv
+    };
+
+    let clean = run(false);
+    let corrupted = run(true);
+    assert_ne!(clean, corrupted, "corruption must be detectable");
+}

@@ -1,0 +1,94 @@
+//! Golden regression tests: pin the reproduced headline numbers so that
+//! future cost-model or solver changes that silently shift the results are
+//! caught. Tolerances are deliberately tight around the values recorded in
+//! EXPERIMENTS.md (±1 MFU point unless stated).
+
+use memo::core::session::Workload;
+use memo::model::config::ModelConfig;
+use memo::parallel::strategy::{ParallelConfig, SystemKind};
+
+fn mfu(model: ModelConfig, n_gpus: usize, s_k: u64, sys: SystemKind) -> f64 {
+    let w = Workload::new(model, n_gpus, s_k * 1024);
+    w.run_best(sys)
+        .unwrap_or_else(|| panic!("{}K infeasible", s_k))
+        .1
+        .mfu()
+        .unwrap()
+}
+
+#[track_caller]
+fn assert_near(value: f64, golden: f64, tol: f64) {
+    assert!(
+        (value - golden).abs() < tol,
+        "regression: got {value:.4}, golden {golden:.4} (±{tol})"
+    );
+}
+
+#[test]
+fn golden_memo_cells() {
+    // 7B / 8 GPUs
+    assert_near(mfu(ModelConfig::gpt_7b(), 8, 64, SystemKind::Memo), 0.530, 0.010);
+    assert_near(mfu(ModelConfig::gpt_7b(), 8, 512, SystemKind::Memo), 0.523, 0.010);
+    assert_near(mfu(ModelConfig::gpt_7b(), 8, 1024, SystemKind::Memo), 0.516, 0.010);
+    // 65B / 64 GPUs at the frontier
+    assert_near(mfu(ModelConfig::gpt_65b(), 64, 1408, SystemKind::Memo), 0.508, 0.010);
+}
+
+#[test]
+fn golden_baseline_cells() {
+    assert_near(
+        mfu(ModelConfig::gpt_7b(), 8, 256, SystemKind::MegatronLM),
+        0.414,
+        0.012,
+    );
+    assert_near(
+        mfu(ModelConfig::gpt_7b(), 8, 256, SystemKind::DeepSpeed),
+        0.296,
+        0.012,
+    );
+    assert_near(
+        mfu(ModelConfig::gpt_65b(), 64, 1024, SystemKind::DeepSpeed),
+        0.282,
+        0.012,
+    );
+}
+
+#[test]
+fn golden_frontiers() {
+    // max supported length on a 128K grid (ours; paper in comments)
+    let frontier = |model: ModelConfig, n_gpus: usize, sys: SystemKind, max_k: u64| -> u64 {
+        let mut best = 0;
+        let mut k = 128;
+        while k <= max_k {
+            let w = Workload::new(model.clone(), n_gpus, k * 1024);
+            if w.run_best(sys).is_some() {
+                best = k;
+            }
+            k += 128;
+        }
+        best
+    };
+    // paper: 1024K
+    assert_eq!(frontier(ModelConfig::gpt_7b(), 8, SystemKind::Memo, 1536), 1152);
+    // paper: 640K
+    assert_eq!(frontier(ModelConfig::gpt_7b(), 8, SystemKind::MegatronLM, 1536), 896);
+    // paper: 256K — exact match
+    assert_eq!(frontier(ModelConfig::gpt_7b(), 8, SystemKind::DeepSpeed, 1536), 256);
+}
+
+#[test]
+fn golden_alpha_schedule() {
+    // Table 7 qualitative α pattern at TP4·CP2 (7B / 8 GPUs).
+    let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+    let alpha = |s_k: u64| {
+        Workload::new(ModelConfig::gpt_7b(), 8, s_k * 1024)
+            .run_with(SystemKind::Memo, &cfg)
+            .metrics()
+            .unwrap()
+            .alpha
+            .unwrap()
+    };
+    assert_eq!(alpha(256), 1.0); // paper: 1.0
+    assert_eq!(alpha(384), 1.0); // paper: 0.5
+    assert!(alpha(1024) <= 0.5); // paper: 0.0 at TP8
+}
