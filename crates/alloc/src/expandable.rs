@@ -91,7 +91,11 @@ impl ExpandableAllocator {
 
 impl DeviceAllocator for ExpandableAllocator {
     fn malloc(&mut self, id: TensorId, bytes: u64) -> Result<u64, AllocError> {
-        assert!(!self.by_id.contains_key(&id), "tensor {} allocated twice", id.0);
+        assert!(
+            !self.by_id.contains_key(&id),
+            "tensor {} allocated twice",
+            id.0
+        );
         let bytes = bytes.max(1);
         let start = self.find_slot(bytes);
         // Map any pages not yet present (a lazily-cached zero-ref page is
@@ -202,7 +206,10 @@ mod tests {
         // stays near the live set instead of doubling.
         a.malloc(tid(100), 60 * MIB).unwrap();
         let live = a.allocated_bytes();
-        assert!(a.reserved_bytes() <= live + 12 * PAGE, "page-granularity slack only");
+        assert!(
+            a.reserved_bytes() <= live + 12 * PAGE,
+            "page-granularity slack only"
+        );
     }
 
     #[test]

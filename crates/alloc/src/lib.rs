@@ -62,7 +62,11 @@ impl std::fmt::Display for AllocError {
             ),
             AllocError::NotInPlan(t) => write!(f, "tensor {} missing from memory plan", t.0),
             AllocError::PlanOverlap(a, b) => {
-                write!(f, "memory plan places live tensors {} and {} on overlapping addresses", a.0, b.0)
+                write!(
+                    f,
+                    "memory plan places live tensors {} and {} on overlapping addresses",
+                    a.0, b.0
+                )
             }
         }
     }

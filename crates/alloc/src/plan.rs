@@ -124,10 +124,7 @@ mod tests {
 
     #[test]
     fn serves_planned_addresses() {
-        let mut a = PlanAllocator::from_addresses(
-            [(tid(0), 0, 100), (tid(1), 100, 50)],
-            150,
-        );
+        let mut a = PlanAllocator::from_addresses([(tid(0), 0, 100), (tid(1), 100, 50)], 150);
         assert_eq!(a.malloc(tid(0), 100).unwrap(), 0);
         assert_eq!(a.malloc(tid(1), 50).unwrap(), 100);
         assert_eq!(a.allocated_bytes(), 150);
@@ -139,10 +136,7 @@ mod tests {
 
     #[test]
     fn detects_overlapping_plan() {
-        let mut a = PlanAllocator::from_addresses(
-            [(tid(0), 0, 100), (tid(1), 50, 100)],
-            150,
-        );
+        let mut a = PlanAllocator::from_addresses([(tid(0), 0, 100), (tid(1), 50, 100)], 150);
         a.malloc(tid(0), 100).unwrap();
         match a.malloc(tid(1), 100) {
             Err(AllocError::PlanOverlap(x, y)) => {
@@ -156,10 +150,7 @@ mod tests {
     fn reuse_after_free_is_fine() {
         // The whole point of the plan: tensors with disjoint lifespans share
         // addresses.
-        let mut a = PlanAllocator::from_addresses(
-            [(tid(0), 0, 100), (tid(1), 0, 100)],
-            100,
-        );
+        let mut a = PlanAllocator::from_addresses([(tid(0), 0, 100), (tid(1), 0, 100)], 100);
         a.malloc(tid(0), 100).unwrap();
         a.free(tid(0));
         assert_eq!(a.malloc(tid(1), 100).unwrap(), 0);

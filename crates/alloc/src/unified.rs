@@ -65,7 +65,11 @@ impl UnifiedMemoryAllocator {
 
 impl DeviceAllocator for UnifiedMemoryAllocator {
     fn malloc(&mut self, id: TensorId, bytes: u64) -> Result<u64, AllocError> {
-        assert!(!self.live.contains_key(&id), "tensor {} allocated twice", id.0);
+        assert!(
+            !self.live.contains_key(&id),
+            "tensor {} allocated twice",
+            id.0
+        );
         if self.live_bytes + bytes > self.total_capacity {
             return Err(AllocError::OutOfMemory {
                 requested: bytes,

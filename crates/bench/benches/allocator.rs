@@ -35,10 +35,8 @@ fn bench_allocators(c: &mut Criterion) {
         let report = plan_iteration(&t_memo, &PlanOptions::default());
         group.bench_with_input(BenchmarkId::new("plan", layers), &t_memo, |b, t| {
             b.iter(|| {
-                let mut a = PlanAllocator::from_addresses(
-                    report.plan.address_triples(),
-                    report.plan.peak,
-                );
+                let mut a =
+                    PlanAllocator::from_addresses(report.plan.address_triples(), report.plan.peak);
                 replay(&mut a, t)
             })
         });

@@ -5,15 +5,23 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use memo_core::session::Workload;
 use memo_model::config::ModelConfig;
-use memo_parallel::strategy::{ParallelConfig, SystemKind};
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 
 fn bench_cells(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulated_cell");
     let w = Workload::new(ModelConfig::gpt_7b(), 8, 512 * 1024);
     let cfg = ParallelConfig::megatron(4, 2, 1, 1);
     let ds_cfg = ParallelConfig::ulysses(8, 1);
-    for sys in [SystemKind::Memo, SystemKind::MegatronLM, SystemKind::DeepSpeed] {
-        let cfg = if sys == SystemKind::DeepSpeed { ds_cfg } else { cfg };
+    for sys in [
+        SystemSpec::Memo,
+        SystemSpec::MegatronLM,
+        SystemSpec::DeepSpeed,
+    ] {
+        let cfg = if sys == SystemSpec::DeepSpeed {
+            ds_cfg
+        } else {
+            cfg
+        };
         group.bench_with_input(BenchmarkId::new("7B_512K", sys.name()), &sys, |b, &sys| {
             b.iter(|| w.run_with(sys, &cfg))
         });
@@ -22,7 +30,7 @@ fn bench_cells(c: &mut Criterion) {
 
     c.bench_function("strategy_search_7B_256K_memo", |b| {
         let w = Workload::new(ModelConfig::gpt_7b(), 8, 256 * 1024);
-        b.iter(|| w.run_best(SystemKind::Memo))
+        b.iter(|| w.run_best(SystemSpec::Memo))
     });
 }
 

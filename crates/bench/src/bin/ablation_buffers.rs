@@ -8,10 +8,9 @@
 //! skeletal footprint of GPU memory and therefore shortens the supported
 //! context.
 
-use memo_core::executor::run_memo_with_buffer_slots;
 use memo_core::session::Workload;
 use memo_model::config::ModelConfig;
-use memo_parallel::strategy::ParallelConfig;
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 
 fn main() {
     let cfg = ParallelConfig::megatron(4, 2, 1, 1);
@@ -23,8 +22,8 @@ fn main() {
     for s_k in [64u64, 128, 256, 512, 768, 1024, 1152] {
         let w = Workload::new(ModelConfig::gpt_7b(), 8, s_k * 1024);
         print!("{:>6}K |", s_k);
-        for slots in [2usize, 3, 4] {
-            let out = run_memo_with_buffer_slots(&w, &cfg, slots);
+        for slots in [2u8, 3, 4] {
+            let out = w.run_with(SystemSpec::MemoBufferSlots(slots), &cfg);
             match out.metrics() {
                 Some(m) => print!(
                     " {:>6.2}% MFU {:>6.1} GiB GPU |",

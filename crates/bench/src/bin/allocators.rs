@@ -27,7 +27,10 @@ fn main() {
         cfg.describe(),
         trace.len()
     );
-    println!("liveness lower bound: {:.3} GiB\n", trace.peak_live_bytes() as f64 / GIB);
+    println!(
+        "liveness lower bound: {:.3} GiB\n",
+        trace.peak_live_bytes() as f64 / GIB
+    );
     println!(
         "{:<28} {:>14} {:>10} {:>22}",
         "allocator", "peak reserved", "reorgs", "runtime mgmt ops/iter"

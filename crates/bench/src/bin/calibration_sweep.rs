@@ -8,11 +8,10 @@
 //! MEMO's token-wise dial adapts across hardware generations, and that its
 //! MFU stays pinned while pure-swapping designs live and die by this ratio.
 
-use memo_core::executor::{run_memo, run_memo_with_alpha};
 use memo_core::session::Workload;
 use memo_model::config::ModelConfig;
 use memo_parallel::cost;
-use memo_parallel::strategy::ParallelConfig;
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 
 fn main() {
     let cfg = ParallelConfig::megatron(8, 1, 1, 1);
@@ -36,8 +35,8 @@ fn main() {
             }
         }
 
-        let memo = run_memo(&w, &cfg);
-        let swap = run_memo_with_alpha(&w, &cfg, Some(1.0));
+        let memo = w.run_with(SystemSpec::Memo, &cfg);
+        let swap = w.run_with(SystemSpec::FullSwapPlan, &cfg);
         let alpha = memo.metrics().and_then(|m| m.alpha);
         println!(
             "{:>10} | {:>11} | {:>10} | {:>16} | {:>16}",

@@ -24,9 +24,15 @@ fn main() {
         "Figure 11 — schedule w/ and w/o token-wise recomputation (7B, 96K, {})",
         cfg.describe()
     );
-    println!("solved α = {} (binding: {:?})\n", p.alpha.alpha, p.alpha.binding);
+    println!(
+        "solved α = {} (binding: {:?})\n",
+        p.alpha.alpha, p.alpha.binding
+    );
 
-    for (label, alpha) in [("with token-wise recomputation (α from LP)", p.alpha.alpha), ("w/o token-wise recomputation (α = 1, full swap)", 1.0)] {
+    for (label, alpha) in [
+        ("with token-wise recomputation (α from LP)", p.alpha.alpha),
+        ("w/o token-wise recomputation (α = 1, full swap)", 1.0),
+    ] {
         let costs = LayerCosts::without_nvme(
             SimTime::from_secs_f64(lt.fwd()),
             SimTime::from_secs_f64(lt.bwd),

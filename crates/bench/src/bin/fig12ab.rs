@@ -4,10 +4,10 @@
 use memo_bench::paper::FIG12A;
 use memo_core::session::Workload;
 use memo_model::config::ModelConfig;
-use memo_parallel::strategy::SystemKind;
+use memo_parallel::strategy::SystemSpec;
 
 /// Largest feasible length on a 128K grid (up to `limit_k`).
-fn frontier(sys: SystemKind, n_gpus: usize, limit_k: u64) -> (u64, Option<f64>) {
+fn frontier(sys: SystemSpec, n_gpus: usize, limit_k: u64) -> (u64, Option<f64>) {
     let mut best = (0u64, None);
     let mut k = 128u64;
     while k <= limit_k {
@@ -28,13 +28,14 @@ fn main() {
     );
     for &(n_gpus, p_ds, p_mega, p_memo) in &FIG12A {
         let limit = (p_memo * 2).max(2048);
-        let (ds, ds_mfu) = frontier(SystemKind::DeepSpeed, n_gpus, limit);
-        let (mg, mg_mfu) = frontier(SystemKind::MegatronLM, n_gpus, limit);
-        let (me, me_mfu) = frontier(SystemKind::Memo, n_gpus, limit);
+        let (ds, ds_mfu) = frontier(SystemSpec::DeepSpeed, n_gpus, limit);
+        let (mg, mg_mfu) = frontier(SystemSpec::MegatronLM, n_gpus, limit);
+        let (me, me_mfu) = frontier(SystemSpec::Memo, n_gpus, limit);
         let f = |k: u64, mfu: Option<f64>, paper: u64| {
             format!(
                 "{k}K {}[p:{paper}K]",
-                mfu.map(|m| format!("{:.1}% ", m * 100.0)).unwrap_or_default()
+                mfu.map(|m| format!("{:.1}% ", m * 100.0))
+                    .unwrap_or_default()
             )
         };
         println!(

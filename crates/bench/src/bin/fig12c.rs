@@ -4,7 +4,7 @@
 use memo_bench::cell_text;
 use memo_core::session::Workload;
 use memo_model::config::ModelConfig;
-use memo_parallel::strategy::SystemKind;
+use memo_parallel::strategy::SystemSpec;
 
 fn main() {
     println!("Figure 12(c) — 7B on 64 GPUs, 1M..8M tokens\n");
@@ -15,7 +15,7 @@ fn main() {
     for k in (1..=8u64).map(|x| x * 1024) {
         let w = Workload::new(ModelConfig::gpt_7b(), 64, k * 1024);
         let mut row = format!("{:>6}K |", k);
-        for sys in [SystemKind::DeepSpeed, SystemKind::MegatronLM, SystemKind::Memo] {
+        for sys in SystemSpec::PAPER {
             let (cfg, out) = w.run_best_or_failure(sys);
             let strat = cfg.map(|c| c.describe()).unwrap_or_default();
             row.push_str(&format!(" {:>16} {:>8} |", cell_text(&out), strat));

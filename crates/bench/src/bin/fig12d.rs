@@ -17,7 +17,12 @@ fn main() {
     println!(
         "Figure 12(d) — convergence of token-wise recomputation/swapping\n\
          tiny GPT: vocab {}, hidden {}, {} layers, {} heads, seq {}, {} steps\n",
-        spec.cfg.vocab, spec.cfg.hidden, spec.cfg.n_layers, spec.cfg.n_heads, spec.seq_len, spec.steps
+        spec.cfg.vocab,
+        spec.cfg.hidden,
+        spec.cfg.n_layers,
+        spec.cfg.n_heads,
+        spec.seq_len,
+        spec.steps
     );
 
     let policies: Vec<(String, Policy)> = vec![
@@ -32,7 +37,10 @@ fn main() {
 
     let base = train_loss_curve(&spec, Policy::KeepAll);
     let mut all_identical = true;
-    println!("{:<34} {:>9} {:>9} {:>9} {:>14}", "policy", "loss@1", "loss@100", "loss@end", "max|Δ| vs base");
+    println!(
+        "{:<34} {:>9} {:>9} {:>9} {:>14}",
+        "policy", "loss@1", "loss@100", "loss@end", "max|Δ| vs base"
+    );
     for (name, policy) in &policies {
         let curve = train_loss_curve(&spec, *policy);
         let max_d = curve

@@ -17,7 +17,10 @@ fn main() {
     let w = Workload::new(ModelConfig::gpt_7b(), 8, 512 * 1024);
     let cfg = ParallelConfig::megatron(4, 2, 1, 1);
     println!("Figure 1(a) — GPU memory under the caching allocator");
-    println!("workload: 7B, 512K tokens, 8 GPUs, {}, full recomputation\n", cfg.describe());
+    println!(
+        "workload: 7B, 512K tokens, 8 GPUs, {}, full recomputation\n",
+        cfg.describe()
+    );
 
     let p = profiler::profile(&w, &cfg, RematPolicy::FullRecompute, false);
     let usable = w.calib.usable_gpu_memory();
@@ -28,7 +31,10 @@ fn main() {
     // steady-state iteration the figure shows.
     let warm = replay(&mut alloc, &p.trace);
     assert!(warm.oom.is_none(), "warm-up OOM: {:?}", warm.oom);
-    for (k, bytes) in memory::persistent_tensor_sizes(&w.model, &cfg).into_iter().enumerate() {
+    for (k, bytes) in memory::persistent_tensor_sizes(&w.model, &cfg)
+        .into_iter()
+        .enumerate()
+    {
         alloc
             .malloc(TensorId((1 << 40) + k as u64), bytes)
             .expect("optimizer states fit");

@@ -37,9 +37,7 @@ fn main() {
         );
     }
     match crossover {
-        Some(k) => println!(
-            "\nfull overlap from {k}K tokens onward (paper: ≈192K)"
-        ),
+        Some(k) => println!("\nfull overlap from {k}K tokens onward (paper: ≈192K)"),
         None => println!("\nno crossover in range — check calibration"),
     }
 }

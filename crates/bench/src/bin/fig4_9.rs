@@ -33,7 +33,9 @@ fn main() {
         };
         // Print boundary segments fully indexed, transformer ones summarised.
         match seg.kind {
-            SegmentKind::LayerFwd(i) | SegmentKind::LayerBwd(i) if i > 0 && i + 1 < p.layers_local => {
+            SegmentKind::LayerFwd(i) | SegmentKind::LayerBwd(i)
+                if i > 0 && i + 1 < p.layers_local =>
+            {
                 if i == 1 {
                     println!("  ... layers 1..{} identical ...", p.layers_local - 2);
                 }

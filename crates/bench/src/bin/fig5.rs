@@ -10,7 +10,10 @@ fn main() {
     let dims = LayerDims::new(s, &m, DType::F16);
 
     println!("Figure 5 — skeletal activations of one transformer layer");
-    println!("model 7B (h={}, ffn={}), s=1Mi tokens, fp16\n", m.hidden, m.ffn_hidden);
+    println!(
+        "model 7B (h={}, ffn={}), s=1Mi tokens, fp16\n",
+        m.hidden, m.ffn_hidden
+    );
     println!("{:<18} {:>10} {:>14}", "tensor", "×bsh", "bytes");
     let mut total = 0u64;
     for t in skeletal_catalog(&dims) {
@@ -18,7 +21,12 @@ fn main() {
         println!("{:<18} {:>10.2} {:>14}", t.kind.name(), x_bsh, t.bytes);
         total += t.bytes;
     }
-    println!("{:<18} {:>10.2} {:>14}", "TOTAL", total as f64 / dims.bsh_bytes() as f64, total);
+    println!(
+        "{:<18} {:>10.2} {:>14}",
+        "TOTAL",
+        total as f64 / dims.bsh_bytes() as f64,
+        total
+    );
 
     let split = skeletal_split(&dims);
     println!(

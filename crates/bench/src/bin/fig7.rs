@@ -12,9 +12,14 @@ fn main() {
     let calib = Calibration::default();
 
     println!("Figure 7 — FlashAttention share of layer forward time (7B, TP=8)\n");
-    println!("{:>8} {:>14} {:>14} {:>10}", "seq", "flash(s)", "other(s)", "share");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "seq", "flash(s)", "other(s)", "share"
+    );
     let mut first_over_90 = None;
-    for k in [64u64, 128, 192, 256, 320, 384, 448, 512, 576, 640, 768, 896, 1024] {
+    for k in [
+        64u64, 128, 192, 256, 320, 384, 448, 512, 576, 640, 768, 896, 1024,
+    ] {
         let s = k * 1024;
         let lt = cost::layer_time(&m, &cfg, s, &calib);
         let other = lt.dense_fwd + lt.elementwise_fwd;
@@ -22,7 +27,13 @@ fn main() {
         if share > 0.9 && first_over_90.is_none() {
             first_over_90 = Some(k);
         }
-        println!("{:>7}K {:>14.4} {:>14.4} {:>9.1}%", k, lt.attn_fwd, other, share * 100.0);
+        println!(
+            "{:>7}K {:>14.4} {:>14.4} {:>9.1}%",
+            k,
+            lt.attn_fwd,
+            other,
+            share * 100.0
+        );
     }
     match first_over_90 {
         Some(k) => println!("\nattention exceeds 90% of forward compute from {k}K (paper: 576K)"),

@@ -65,7 +65,9 @@ fn main() {
     let t1 = Instant::now();
     let (flat_plan, flat_stats) = plan_flat(&p.trace, BnbOptions::default());
     let flat_time = t1.elapsed();
-    flat_plan.validate_against(&p.trace).expect("flat plan valid");
+    flat_plan
+        .validate_against(&p.trace)
+        .expect("flat plan valid");
     println!(
         "\nflat formulation    : {:>3} tensors, peak {:.3} GiB (optimal={}) in {:?}",
         flat_stats.n_tensors,

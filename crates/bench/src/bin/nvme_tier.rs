@@ -8,26 +8,22 @@
 //! then NVMe up to the remaining overlap headroom.
 
 use memo_bench::cell_text;
-use memo_core::executor::{run_memo, run_memo_with_alpha, run_memo_with_nvme};
 use memo_core::session::Workload;
 use memo_model::config::ModelConfig;
-use memo_parallel::strategy::ParallelConfig;
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 
 fn main() {
     let cfg = ParallelConfig::megatron(4, 2, 1, 1);
-    println!(
-        "NVMe third tier — 7B on 8 GPUs, {}\n",
-        cfg.describe()
-    );
+    println!("NVMe third tier — 7B on 8 GPUs, {}\n", cfg.describe());
     println!(
         "{:>7} | {:>20} | {:>20} | {:>20}",
         "seq", "full swap (host)", "MEMO (paper tiers)", "MEMO + NVMe"
     );
     for s_k in [256u64, 384, 512, 640, 768, 1024, 1152] {
         let w = Workload::new(ModelConfig::gpt_7b(), 8, s_k * 1024);
-        let full_host = run_memo_with_alpha(&w, &cfg, Some(1.0));
-        let base = run_memo(&w, &cfg);
-        let nvme = run_memo_with_nvme(&w, &cfg);
+        let full_host = w.run_with(SystemSpec::FullSwapPlan, &cfg);
+        let base = w.run_with(SystemSpec::Memo, &cfg);
+        let nvme = w.run_with(SystemSpec::MemoNvme, &cfg);
         println!(
             "{:>6}K | {:>20} | {:>20} | {:>20}",
             s_k,

@@ -7,8 +7,8 @@
 //! typical of million-token batches, and (b) 1F1B's in-flight-activation
 //! advantage, which is irrelevant when m is small anyway.
 
-use memo_hal::timeline::render_ascii;
 use memo_hal::time::SimTime;
+use memo_hal::timeline::render_ascii;
 use memo_parallel::pipeline::{simulate, PipeSchedule};
 
 fn main() {

@@ -7,10 +7,9 @@
 //! speed of keeping everything with the reach of swapping.
 
 use memo_bench::cell_text;
-use memo_core::executor::{run_megatron, run_megatron_keepall, run_memo};
 use memo_core::session::Workload;
 use memo_model::config::ModelConfig;
-use memo_parallel::strategy::ParallelConfig;
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 
 fn main() {
     let cfg = ParallelConfig::megatron(4, 2, 1, 1);
@@ -24,9 +23,9 @@ fn main() {
     );
     for s_k in [64u64, 128, 192, 256, 384, 512, 768, 1024] {
         let w = Workload::new(ModelConfig::gpt_7b(), 8, s_k * 1024);
-        let keep = run_megatron_keepall(&w, &cfg);
-        let full = run_megatron(&w, &cfg);
-        let memo = run_memo(&w, &cfg);
+        let keep = w.run_with(SystemSpec::MegatronKeepAll, &cfg);
+        let full = w.run_with(SystemSpec::MegatronLM, &cfg);
+        let memo = w.run_with(SystemSpec::Memo, &cfg);
         println!(
             "{:>6}K | {:>18} | {:>18} | {:>18}",
             s_k,

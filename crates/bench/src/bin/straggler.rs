@@ -23,10 +23,42 @@ fn main() {
         seed: 2026,
     };
     let shapes = [
-        ("TP8 (per-layer barriers)", RankGrid { tp: 8, cp: 1, pp: 1, dp: 1 }),
-        ("TP4·CP2", RankGrid { tp: 4, cp: 2, pp: 1, dp: 1 }),
-        ("TP2·CP2·DP2", RankGrid { tp: 2, cp: 2, pp: 1, dp: 2 }),
-        ("DP8 (one barrier/iter)", RankGrid { tp: 1, cp: 1, pp: 1, dp: 8 }),
+        (
+            "TP8 (per-layer barriers)",
+            RankGrid {
+                tp: 8,
+                cp: 1,
+                pp: 1,
+                dp: 1,
+            },
+        ),
+        (
+            "TP4·CP2",
+            RankGrid {
+                tp: 4,
+                cp: 2,
+                pp: 1,
+                dp: 1,
+            },
+        ),
+        (
+            "TP2·CP2·DP2",
+            RankGrid {
+                tp: 2,
+                cp: 2,
+                pp: 1,
+                dp: 2,
+            },
+        ),
+        (
+            "DP8 (one barrier/iter)",
+            RankGrid {
+                tp: 1,
+                cp: 1,
+                pp: 1,
+                dp: 8,
+            },
+        ),
     ];
 
     println!("Straggler sensitivity — 8 ranks, slowdown vs jitter-free run\n");

@@ -5,10 +5,10 @@
 use memo_bench::paper::{SEQ_K, TABLE3};
 use memo_bench::{cell_text, sweep};
 use memo_model::config::ModelConfig;
-use memo_parallel::strategy::SystemKind;
+use memo_parallel::strategy::SystemSpec;
 
 fn main() {
-    let systems = [SystemKind::DeepSpeed, SystemKind::MegatronLM, SystemKind::Memo];
+    let systems = SystemSpec::PAPER;
     let models: [(ModelConfig, usize); 4] = [
         (ModelConfig::gpt_7b(), 8),
         (ModelConfig::gpt_13b(), 16),
@@ -24,7 +24,7 @@ fn main() {
     for (gi, (model, n_gpus)) in models.iter().enumerate() {
         println!("== {} on {} GPUs ==", model.name, n_gpus);
         let cells = sweep::sweep_group(model, *n_gpus, &SEQ_K, &systems);
-        let find = |sys: SystemKind, s_k: u64| {
+        let find = |sys: SystemSpec, s_k: u64| {
             cells
                 .iter()
                 .find(|c| c.system == sys && c.seq_k == s_k)
@@ -36,27 +36,31 @@ fn main() {
             for &sys in &systems {
                 let c = find(sys, s_k);
                 let paper_mfu = match sys {
-                    SystemKind::DeepSpeed => paper.deepspeed[si],
-                    SystemKind::MegatronLM => paper.megatron[si],
-                    SystemKind::Memo => paper.memo[si],
+                    SystemSpec::DeepSpeed => paper.deepspeed[si],
+                    SystemSpec::MegatronLM => paper.megatron[si],
+                    _ => paper.memo[si],
                 };
                 let paper_txt = match paper_mfu {
                     Some(v) => format!("{v:5.2}%"),
                     None => "  X   ".to_string(),
                 };
-                print!(" {:10} {:>17} [{paper_txt}] |", sys.name(), cell_text(&c.outcome));
+                print!(
+                    " {:10} {:>17} [{paper_txt}] |",
+                    sys.name(),
+                    cell_text(&c.outcome)
+                );
                 if let Some(m) = c.outcome.metrics() {
-                    if sys == SystemKind::Memo {
+                    if sys == SystemSpec::Memo {
                         memo_mfus.push(m.mfu);
                     }
                 }
             }
             // MFU ratios where both MEMO and a baseline succeed.
-            let memo = find(SystemKind::Memo, s_k).outcome.mfu();
-            if let (Some(me), Some(mg)) = (memo, find(SystemKind::MegatronLM, s_k).outcome.mfu()) {
+            let memo = find(SystemSpec::Memo, s_k).outcome.mfu();
+            if let (Some(me), Some(mg)) = (memo, find(SystemSpec::MegatronLM, s_k).outcome.mfu()) {
                 our_ratio_megatron.push(me / mg);
             }
-            if let (Some(me), Some(ds)) = (memo, find(SystemKind::DeepSpeed, s_k).outcome.mfu()) {
+            if let (Some(me), Some(ds)) = (memo, find(SystemSpec::DeepSpeed, s_k).outcome.mfu()) {
                 our_ratio_deepspeed.push(me / ds);
             }
             println!();

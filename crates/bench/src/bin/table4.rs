@@ -11,7 +11,10 @@ use memo_parallel::strategy::ParallelConfig;
 
 fn main() {
     let cfg = ParallelConfig::megatron(4, 2, 1, 1);
-    println!("Table 4 — ablation (7B, 8 GPUs, {}), ours [paper]\n", cfg.describe());
+    println!(
+        "Table 4 — ablation (7B, 8 GPUs, {}), ours [paper]\n",
+        cfg.describe()
+    );
 
     for variant in Variant::EXTENDED {
         // Paper rows exist only for the original four variants.

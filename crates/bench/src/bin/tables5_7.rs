@@ -4,10 +4,10 @@
 use memo_bench::paper::SEQ_K;
 use memo_bench::sweep;
 use memo_model::config::ModelConfig;
-use memo_parallel::strategy::SystemKind;
+use memo_parallel::strategy::SystemSpec;
 
 fn main() {
-    let systems = [SystemKind::DeepSpeed, SystemKind::MegatronLM, SystemKind::Memo];
+    let systems = SystemSpec::PAPER;
     let models: [(ModelConfig, usize); 4] = [
         (ModelConfig::gpt_7b(), 8),
         (ModelConfig::gpt_13b(), 16),
@@ -28,10 +28,7 @@ fn main() {
                     .expect("cell");
                 let txt = match (&c.strategy, c.outcome.metrics()) {
                     (Some(cfg), Some(m)) => {
-                        let alpha = m
-                            .alpha
-                            .map(|a| format!(" α={a}"))
-                            .unwrap_or_default();
+                        let alpha = m.alpha.map(|a| format!(" α={a}")).unwrap_or_default();
                         format!("{}{}", cfg.describe(), alpha)
                     }
                     _ => "X".to_string(),

@@ -16,6 +16,7 @@ pub fn cell_text(out: &CellOutcome) -> String {
         CellOutcome::Ok(m) => format!("{:5.2}% {:>9.2}", m.mfu * 100.0, m.tgs),
         CellOutcome::Oom { .. } => "X_oom".to_string(),
         CellOutcome::Oohm { .. } => "X_oohm".to_string(),
+        CellOutcome::NoValidStrategy => "X_cfg".to_string(),
     }
 }
 

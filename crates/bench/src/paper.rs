@@ -16,7 +16,9 @@ pub struct Table3Group {
     pub memo: &'static [Option<f64>],
 }
 
-pub const SEQ_K: [u64; 12] = [64, 128, 256, 384, 512, 640, 768, 896, 1024, 1152, 1280, 1408];
+pub const SEQ_K: [u64; 12] = [
+    64, 128, 256, 384, 512, 640, 768, 896, 1024, 1152, 1280, 1408,
+];
 
 /// Table 3 as printed in the paper (MFU %, `None` = X_oom / X_oohm).
 pub const TABLE3: [Table3Group; 4] = [
@@ -25,15 +27,46 @@ pub const TABLE3: [Table3Group; 4] = [
         n_gpus: 8,
         seq_k: &SEQ_K,
         deepspeed: &[
-            Some(27.95), Some(25.46), Some(23.38), None, None, None, None, None, None, None, None, None,
+            Some(27.95),
+            Some(25.46),
+            Some(23.38),
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
         ],
         megatron: &[
-            Some(41.55), Some(24.13), Some(29.07), Some(27.98), Some(34.43), Some(30.90),
-            None, None, None, None, None, None,
+            Some(41.55),
+            Some(24.13),
+            Some(29.07),
+            Some(27.98),
+            Some(34.43),
+            Some(30.90),
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
         ],
         memo: &[
-            Some(52.34), Some(50.96), Some(53.62), Some(53.04), Some(51.84), Some(52.59),
-            Some(51.89), Some(52.71), Some(52.30), None, None, None,
+            Some(52.34),
+            Some(50.96),
+            Some(53.62),
+            Some(53.04),
+            Some(51.84),
+            Some(52.59),
+            Some(51.89),
+            Some(52.71),
+            Some(52.30),
+            None,
+            None,
+            None,
         ],
     },
     Table3Group {
@@ -41,15 +74,46 @@ pub const TABLE3: [Table3Group; 4] = [
         n_gpus: 16,
         seq_k: &SEQ_K,
         deepspeed: &[
-            Some(27.97), Some(25.45), Some(21.98), None, None, None, None, None, None, None, None, None,
+            Some(27.97),
+            Some(25.45),
+            Some(21.98),
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
         ],
         megatron: &[
-            Some(38.51), Some(23.02), Some(25.30), Some(22.88), Some(29.10), Some(19.41),
-            None, None, None, None, None, None,
+            Some(38.51),
+            Some(23.02),
+            Some(25.30),
+            Some(22.88),
+            Some(29.10),
+            Some(19.41),
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
         ],
         memo: &[
-            Some(52.65), Some(50.93), Some(51.22), Some(51.91), Some(52.40), Some(52.13),
-            Some(51.71), Some(51.76), Some(52.06), Some(51.74), Some(51.78), Some(52.10),
+            Some(52.65),
+            Some(50.93),
+            Some(51.22),
+            Some(51.91),
+            Some(52.40),
+            Some(52.13),
+            Some(51.71),
+            Some(51.76),
+            Some(52.06),
+            Some(51.74),
+            Some(51.78),
+            Some(52.10),
         ],
     },
     Table3Group {
@@ -57,15 +121,46 @@ pub const TABLE3: [Table3Group; 4] = [
         n_gpus: 32,
         seq_k: &SEQ_K,
         deepspeed: &[
-            Some(29.93), Some(25.54), None, None, None, None, None, None, None, None, None, None,
+            Some(29.93),
+            Some(25.54),
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
         ],
         megatron: &[
-            Some(35.76), Some(14.70), Some(17.15), Some(23.32), None, None, None, None, None,
-            None, None, None,
+            Some(35.76),
+            Some(14.70),
+            Some(17.15),
+            Some(23.32),
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
         ],
         memo: &[
-            Some(52.12), Some(49.66), Some(50.00), Some(50.69), Some(51.06), Some(51.72),
-            Some(51.18), Some(51.50), Some(51.24), Some(51.73), Some(51.59), None,
+            Some(52.12),
+            Some(49.66),
+            Some(50.00),
+            Some(50.69),
+            Some(51.06),
+            Some(51.72),
+            Some(51.18),
+            Some(51.50),
+            Some(51.24),
+            Some(51.73),
+            Some(51.59),
+            None,
         ],
     },
     Table3Group {
@@ -73,16 +168,46 @@ pub const TABLE3: [Table3Group; 4] = [
         n_gpus: 64,
         seq_k: &SEQ_K,
         deepspeed: &[
-            Some(31.05), Some(26.13), Some(22.07), Some(20.40), Some(19.83), Some(19.06),
-            Some(19.53), Some(19.12), Some(19.00), Some(19.11), Some(18.90), None,
+            Some(31.05),
+            Some(26.13),
+            Some(22.07),
+            Some(20.40),
+            Some(19.83),
+            Some(19.06),
+            Some(19.53),
+            Some(19.12),
+            Some(19.00),
+            Some(19.11),
+            Some(18.90),
+            None,
         ],
         megatron: &[
-            Some(22.79), Some(15.10), Some(9.57), Some(12.07), Some(5.32), None, None, None,
-            None, None, None, None,
+            Some(22.79),
+            Some(15.10),
+            Some(9.57),
+            Some(12.07),
+            Some(5.32),
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
         ],
         memo: &[
-            Some(47.80), Some(48.61), Some(49.87), Some(48.85), Some(49.71), Some(50.05),
-            Some(51.16), Some(51.05), Some(51.27), Some(51.20), Some(51.42), Some(51.45),
+            Some(47.80),
+            Some(48.61),
+            Some(49.87),
+            Some(48.85),
+            Some(49.71),
+            Some(50.05),
+            Some(51.16),
+            Some(51.05),
+            Some(51.27),
+            Some(51.20),
+            Some(51.42),
+            Some(51.45),
         ],
     },
 ];
@@ -101,29 +226,56 @@ pub const TABLE4: [Table4Row; 4] = [
         method: "Full Recomputation",
         seq_k: &TABLE4_SEQ_K,
         mfu: &[
-            Some(41.19), Some(23.00), Some(29.07), Some(25.67), None, None, None, None,
+            Some(41.19),
+            Some(23.00),
+            Some(29.07),
+            Some(25.67),
+            None,
+            None,
+            None,
+            None,
         ],
     },
     Table4Row {
         method: "Full Recomputation + Memory Plan",
         seq_k: &TABLE4_SEQ_K,
         mfu: &[
-            Some(42.91), Some(43.17), Some(42.05), Some(42.49), Some(41.90), Some(42.15), None, None,
+            Some(42.91),
+            Some(43.17),
+            Some(42.05),
+            Some(42.49),
+            Some(41.90),
+            Some(42.15),
+            None,
+            None,
         ],
     },
     Table4Row {
         method: "Full Swapping + Memory Plan",
         seq_k: &TABLE4_SEQ_K,
         mfu: &[
-            Some(37.40), Some(46.33), Some(53.62), None, None, None, None, None,
+            Some(37.40),
+            Some(46.33),
+            Some(53.62),
+            None,
+            None,
+            None,
+            None,
+            None,
         ],
     },
     Table4Row {
         method: "MEMO",
         seq_k: &TABLE4_SEQ_K,
         mfu: &[
-            Some(47.99), Some(50.96), Some(53.62), Some(53.04), Some(51.84), Some(52.59),
-            Some(51.89), Some(52.71),
+            Some(47.99),
+            Some(50.96),
+            Some(53.62),
+            Some(53.04),
+            Some(51.84),
+            Some(52.59),
+            Some(51.89),
+            Some(52.71),
         ],
     },
 ];

@@ -1,15 +1,14 @@
 //! Parallel sweep driver for the end-to-end tables.
 
-use crossbeam::thread;
 use memo_core::outcome::CellOutcome;
 use memo_core::session::Workload;
 use memo_model::config::ModelConfig;
-use memo_parallel::strategy::{ParallelConfig, SystemKind};
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 
 /// One evaluated cell.
 #[derive(Debug, Clone)]
 pub struct Cell {
-    pub system: SystemKind,
+    pub system: SystemSpec,
     pub model: &'static str,
     pub n_gpus: usize,
     pub seq_k: u64,
@@ -22,20 +21,20 @@ pub fn sweep_group(
     model: &ModelConfig,
     n_gpus: usize,
     seq_ks: &[u64],
-    systems: &[SystemKind],
+    systems: &[SystemSpec],
 ) -> Vec<Cell> {
-    let mut jobs: Vec<(SystemKind, u64)> = Vec::new();
+    let mut jobs: Vec<(SystemSpec, u64)> = Vec::new();
     for &sys in systems {
         for &s in seq_ks {
             jobs.push((sys, s));
         }
     }
-    let results = thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .iter()
             .map(|&(sys, s_k)| {
                 let model = model.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let w = Workload::new(model.clone(), n_gpus, s_k * 1024);
                     let (cfg, outcome) = w.run_best_or_failure(sys);
                     Cell {
@@ -49,10 +48,11 @@ pub fn sweep_group(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("cell panicked")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cell panicked"))
+            .collect::<Vec<_>>()
     })
-    .expect("sweep scope");
-    results
 }
 
 #[cfg(test)]
@@ -65,7 +65,7 @@ mod tests {
             &ModelConfig::gpt_7b(),
             8,
             &[64, 256],
-            &[SystemKind::Memo, SystemKind::MegatronLM],
+            &[SystemSpec::Memo, SystemSpec::MegatronLM],
         );
         assert_eq!(cells.len(), 4);
         assert!(cells.iter().all(|c| c.outcome.is_ok()));

@@ -9,12 +9,9 @@
 //!   swapping win and exposes the OOHM failure mode);
 //! * `Memo` — the full system (token-wise α from the LP + plan).
 
-use crate::executor;
 use crate::outcome::CellOutcome;
-use crate::planner;
-use crate::profiler;
 use crate::session::Workload;
-use memo_parallel::strategy::ParallelConfig;
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 use serde::{Deserialize, Serialize};
 
 /// One row of Table 4 (plus one extension row).
@@ -56,66 +53,32 @@ impl Variant {
             Variant::Memo => "MEMO (fine-grained + plan)",
         }
     }
+
+    /// The execution mode each ablation row dispatches to.
+    pub fn spec(self) -> SystemSpec {
+        match self {
+            Variant::FullRecompute => SystemSpec::MegatronLM,
+            Variant::FullRecomputePlan => SystemSpec::FullRecomputePlan,
+            Variant::FullSwapPlan => SystemSpec::FullSwapPlan,
+            Variant::TensorHybrid => SystemSpec::TensorHybrid,
+            Variant::Memo => SystemSpec::Memo,
+        }
+    }
 }
 
-/// Run one ablation variant.
+/// Run one ablation variant: every row is a [`SystemSpec`] through the
+/// staged pipeline.
 pub fn run_variant(w: &Workload, variant: Variant, cfg: &ParallelConfig) -> CellOutcome {
-    match variant {
-        Variant::FullRecompute => executor::run_megatron(w, cfg),
-        Variant::FullRecomputePlan => run_full_recompute_planned(w, cfg),
-        Variant::FullSwapPlan => executor::run_memo_with_alpha(w, cfg, Some(1.0)),
-        Variant::TensorHybrid => executor::run_tensor_hybrid(w, cfg),
-        Variant::Memo => executor::run_memo(w, cfg),
-    }
-}
-
-/// Full recomputation with planned transient addresses: same compute time as
-/// Megatron minus the reorganisation stalls; memory is the planned peak
-/// instead of the fragmented caching-allocator peak.
-fn run_full_recompute_planned(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
-    let p = profiler::profile(w, cfg, memo_model::trace::RematPolicy::FullRecompute, false);
-    let report = planner::plan(&p.trace);
-    let needed = p.model_states.total() + report.plan.peak;
-    let usable = w.calib.usable_gpu_memory();
-    if needed > usable {
-        return CellOutcome::Oom {
-            needed,
-            capacity: usable,
-        };
-    }
-    let lt = &p.layer_time;
-    let layers = p.layers_local as f64;
-    let compute = layers * (2.0 * lt.fwd() + lt.bwd) + p.head_secs;
-    let bubble = memo_parallel::comm::pipeline_bubble_factor(cfg.pp, w.batch as usize);
-    let iter_secs = compute * bubble + p.optimizer_secs + p.grad_sync_secs;
-    let samples = w.batch * cfg.dp as u64;
-    let (mfu, tgs) = crate::metrics::compute_metrics(
-        &w.model,
-        w.seq_len,
-        samples,
-        w.n_gpus,
-        w.calib.peak_flops,
-        iter_secs,
-    );
-    CellOutcome::Ok(crate::metrics::Metrics {
-        iter_secs,
-        mfu,
-        tgs,
-        peak_gpu_bytes: needed,
-        host_peak_bytes: 0,
-        reorgs: 0,
-        alpha: None,
-        strategy: cfg.describe(),
-    })
+    w.run_with(variant.spec(), cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use memo_model::config::ModelConfig;
+    use crate::executor;
 
     fn workload(s_k: u64) -> Workload {
-        Workload::new(ModelConfig::gpt_7b(), 8, s_k * 1024)
+        crate::testutil::w7(8, s_k)
     }
 
     fn cfg() -> ParallelConfig {
@@ -128,13 +91,22 @@ mod tests {
         // full recompute + plan (42.05%) > full recompute (29.07%),
         // with MEMO matching full swapping.
         let w = workload(256);
-        let fr = run_variant(&w, Variant::FullRecompute, &cfg()).mfu().unwrap();
-        let frp = run_variant(&w, Variant::FullRecomputePlan, &cfg()).mfu().unwrap();
-        let fsp = run_variant(&w, Variant::FullSwapPlan, &cfg()).mfu().unwrap();
+        let fr = run_variant(&w, Variant::FullRecompute, &cfg())
+            .mfu()
+            .unwrap();
+        let frp = run_variant(&w, Variant::FullRecomputePlan, &cfg())
+            .mfu()
+            .unwrap();
+        let fsp = run_variant(&w, Variant::FullSwapPlan, &cfg())
+            .mfu()
+            .unwrap();
         let memo = run_variant(&w, Variant::Memo, &cfg()).mfu().unwrap();
         assert!(frp >= fr, "plan must not hurt recompute ({frp} vs {fr})");
         assert!(fsp > frp, "swap {fsp} should beat recompute {frp} at 256K");
-        assert!(memo >= fsp * 0.95, "MEMO {memo} should match full swap {fsp}");
+        assert!(
+            memo >= fsp * 0.95,
+            "MEMO {memo} should match full swap {fsp}"
+        );
     }
 
     #[test]
@@ -148,7 +120,10 @@ mod tests {
                 break;
             }
         }
-        assert!(hit, "full swapping should exhaust host memory somewhere in 384K-768K");
+        assert!(
+            hit,
+            "full swapping should exhaust host memory somewhere in 384K-768K"
+        );
     }
 
     #[test]
@@ -189,7 +164,9 @@ mod tests {
             let memo = executor::run_memo_with_alpha(&w, &cfg(), Some(raw))
                 .mfu()
                 .unwrap();
-            let hybrid = run_variant(&w, Variant::TensorHybrid, &cfg()).mfu().unwrap();
+            let hybrid = run_variant(&w, Variant::TensorHybrid, &cfg())
+                .mfu()
+                .unwrap();
             assert!(
                 memo >= hybrid - 1e-9,
                 "{s}K: memo {memo:.4} < tensor hybrid {hybrid:.4}"
@@ -206,8 +183,12 @@ mod tests {
         // Paper 64K row: full swapping 37.40% < full recompute + plan 42.91%
         // (offload cannot hide under compute at short lengths).
         let w = workload(64);
-        let frp = run_variant(&w, Variant::FullRecomputePlan, &cfg()).mfu().unwrap();
-        let fsp = run_variant(&w, Variant::FullSwapPlan, &cfg()).mfu().unwrap();
+        let frp = run_variant(&w, Variant::FullRecomputePlan, &cfg())
+            .mfu()
+            .unwrap();
+        let fsp = run_variant(&w, Variant::FullSwapPlan, &cfg())
+            .mfu()
+            .unwrap();
         assert!(
             fsp < frp,
             "full swap {fsp} should lose to planned recompute {frp} at 64K"

@@ -1,6 +1,9 @@
-//! Runtime executors: MEMO (§4.3.4) and the two baselines.
+//! Named entry points for the execution modes: MEMO (§4.3.4), the paper
+//! baselines, and the extensions. Each is a thin wrapper that resolves a
+//! [`SystemSpec`] into the staged [`ExecutionPipeline`](crate::pipeline) —
+//! all policy, memory, and schedule logic lives there.
 //!
-//! All three share the same compute cost model (`memo_parallel::cost`) and
+//! All modes share the same compute cost model (`memo_parallel::cost`) and
 //! metric formulas; they differ exactly where the paper says they differ:
 //!
 //! | | activation policy | allocator | loss | stalls |
@@ -9,56 +12,16 @@
 //! | Megatron-LM | full recomputation | caching | chunked vocab-parallel | re-forward every layer + reorganisation penalties |
 //! | DeepSpeed | full recomputation | caching | unfused fp32 (full logits) | re-forward + ZeRO-3 gathers + all-to-all + reorganisations |
 
-use crate::metrics::{compute_metrics, Metrics};
 use crate::outcome::CellOutcome;
-use crate::planner;
-use crate::profiler::{self, ProfileReport};
+use crate::pipeline::{ActivationPolicy, ExecutionPipeline, PipelineStages};
 use crate::session::Workload;
-use memo_alloc::caching::CachingAllocator;
-use memo_alloc::snapshot::{replay, SnapshotSeries};
-use memo_alloc::AllocError;
-use memo_hal::time::SimTime;
-use memo_model::trace::RematPolicy;
-use memo_parallel::comm;
-use memo_parallel::strategy::ParallelConfig;
-use memo_swap::host::HostStaging;
-use memo_swap::schedule::LayerCosts;
-
-/// Shared final assembly: wrap timings into `Metrics`.
-#[allow(clippy::too_many_arguments)]
-fn finish(
-    w: &Workload,
-    cfg: &ParallelConfig,
-    iter_secs: f64,
-    peak_gpu: u64,
-    host_peak: u64,
-    reorgs: u64,
-    alpha: Option<f64>,
-) -> CellOutcome {
-    let samples = w.batch * cfg.dp as u64;
-    let (mfu, tgs) = compute_metrics(
-        &w.model,
-        w.seq_len,
-        samples,
-        w.n_gpus,
-        w.calib.peak_flops,
-        iter_secs,
-    );
-    CellOutcome::Ok(Metrics {
-        iter_secs,
-        mfu,
-        tgs,
-        peak_gpu_bytes: peak_gpu,
-        host_peak_bytes: host_peak,
-        reorgs,
-        alpha,
-        strategy: cfg.describe(),
-    })
-}
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 
 /// Run one MEMO iteration: profile → α → bi-level plan → 3-stream schedule.
 pub fn run_memo(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
-    run_memo_with_alpha(w, cfg, None)
+    ExecutionPipeline::new(SystemSpec::Memo)
+        .execute(w, cfg)
+        .outcome
 }
 
 /// MEMO with an α override (`Some(1.0)` = full swapping ablation,
@@ -69,107 +32,23 @@ pub fn run_memo_with_alpha(
     cfg: &ParallelConfig,
     alpha_override: Option<f64>,
 ) -> CellOutcome {
-    debug_assert!(cfg
-        .validate(&w.model, w.n_gpus, w.calib.gpus_per_node.min(w.n_gpus))
-        .is_ok());
-    let p = profiler::profile(w, cfg, RematPolicy::MemoTokenWise, false);
-    let alpha = alpha_override.unwrap_or(p.alpha.alpha);
-    run_memo_swapped(w, cfg, &p, (alpha * p.split.s_others as f64).round() as u64, alpha)
+    let mut stages = PipelineStages::for_spec(SystemSpec::Memo);
+    stages.policy = ActivationPolicy::TokenWise {
+        alpha_override,
+        slots: 2,
+    };
+    ExecutionPipeline::with_stages(SystemSpec::Memo, stages)
+        .execute(w, cfg)
+        .outcome
 }
 
 /// MEMO extended with a third storage tier (extension beyond the paper):
 /// token rows that the host cannot hold spill to NVMe at lower bandwidth —
 /// a ZeRO-Infinity-style escape from the `X_oohm` cells of Tables 3/4.
 pub fn run_memo_with_nvme(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
-    use memo_swap::alpha::{solve_alpha_two_tier, AlphaInputs};
-    let p = profiler::profile(w, cfg, RematPolicy::MemoTokenWise, false);
-    let two = solve_alpha_two_tier(
-        &AlphaInputs {
-            s_input: p.split.s_input,
-            s_attn: p.split.s_attn,
-            s_others: p.split.s_others,
-            bandwidth: w.calib.effective_pcie(),
-            t_layer_fwd: p.layer_time.fwd(),
-            n_layers: p.layers_local,
-            host_capacity: w.calib.host_capacity_per_gpu(),
-        },
-        w.calib.effective_nvme_per_gpu(),
-        w.calib.nvme_capacity_per_gpu(),
-    );
-    // With NVMe, even the mandatory input+attn tensors can spill, so the
-    // only hard host failure is NVMe exhaustion (practically unreachable).
-    let staged_layers = p.layers_local.saturating_sub(2) as u64;
-    let nvme_bytes_layer = (two.alpha_nvme * p.split.s_others as f64).round() as u64
-        + if two.host_infeasible_at_zero {
-            p.split.s_input + p.split.s_attn
-        } else {
-            0
-        };
-    if staged_layers * nvme_bytes_layer > w.calib.nvme_capacity_per_gpu() {
-        return CellOutcome::Oohm {
-            needed: staged_layers * nvme_bytes_layer,
-            capacity: w.calib.nvme_capacity_per_gpu(),
-        };
-    }
-    let alpha = two.alpha_total().min(1.0);
-
-    // Static memory plan + GPU budget (same as the host-only path).
-    let report = planner::plan(&p.trace);
-    let skeletal = memo_swap::buffers::skeletal_gpu_bytes_with_slots(
-        p.split.s_input,
-        p.split.s_attn,
-        p.split.s_others,
-        alpha,
-        2,
-    );
-    let needed = p.model_states.total() + skeletal + report.plan.peak;
-    let usable = w.calib.usable_gpu_memory();
-    if needed > usable {
-        return CellOutcome::Oom {
-            needed,
-            capacity: usable,
-        };
-    }
-
-    let lt = &p.layer_time;
-    // Host carries input+attn plus its α share unless it cannot even hold
-    // the mandatory tensors (then everything routes through NVMe).
-    let host_bytes = if two.host_infeasible_at_zero {
-        0
-    } else {
-        p.split.s_input
-            + p.split.s_attn
-            + (two.alpha_host * p.split.s_others as f64).round() as u64
-    };
-    let costs = LayerCosts {
-        t_fwd: SimTime::from_secs_f64(lt.fwd()),
-        t_bwd: SimTime::from_secs_f64(lt.bwd),
-        t_recompute: SimTime::from_secs_f64((1.0 - alpha) * lt.fwd_without_attention()),
-        offload_bytes: host_bytes,
-        bandwidth: w.calib.effective_pcie(),
-        nvme_bytes: nvme_bytes_layer,
-        nvme_bandwidth: w.calib.effective_nvme_per_gpu(),
-    };
-    let mut host = HostStaging::new(w.calib.host_capacity_per_gpu().max(1));
-    let sched = match memo_swap::schedule::build_iteration_schedule_with_slots(
-        p.layers_local,
-        costs,
-        SimTime::from_secs_f64(p.head_secs),
-        &mut host,
-        p.split.total(),
-        2,
-    ) {
-        Ok(s) => s,
-        Err(e) => {
-            return CellOutcome::Oohm {
-                needed: e.used + e.requested,
-                capacity: e.capacity,
-            }
-        }
-    };
-    let bubble = comm::pipeline_bubble_factor(cfg.pp, w.batch as usize);
-    let iter_secs = sched.makespan.as_secs_f64() * bubble + p.optimizer_secs + p.grad_sync_secs;
-    finish(w, cfg, iter_secs, needed, sched.host_peak, 0, Some(alpha))
+    ExecutionPipeline::new(SystemSpec::MemoNvme)
+        .execute(w, cfg)
+        .outcome
 }
 
 /// A Capuchin-style *tensor granularity* hybrid (related work, §6): decide
@@ -178,29 +57,9 @@ pub fn run_memo_with_nvme(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
 /// and host budgets. MEMO's token-wise split dominates this whenever the
 /// optimal fraction falls between tensor boundaries.
 pub fn run_tensor_hybrid(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
-    let p = profiler::profile(w, cfg, RematPolicy::MemoTokenWise, false);
-    // Per-tensor candidates (Figure 5's "others"), largest first.
-    let mut candidates: Vec<u64> = memo_model::activations::skeletal_catalog(&p.dims)
-        .into_iter()
-        .filter(|t| t.kind.token_wise_recomputable())
-        .map(|t| t.bytes)
-        .collect();
-    candidates.sort_unstable_by(|a, b| b.cmp(a));
-
-    let mandatory = p.split.s_input + p.split.s_attn;
-    let bw_budget = (w.calib.effective_pcie() * p.layer_time.fwd()) as u64;
-    let staged_layers = p.layers_local.saturating_sub(2).max(1) as u64;
-    let host_budget = w.calib.host_capacity_per_gpu() / staged_layers;
-    let budget = bw_budget.min(host_budget);
-
-    let mut picked = 0u64;
-    for bytes in candidates {
-        if mandatory + picked + bytes <= budget {
-            picked += bytes;
-        }
-    }
-    let alpha_equiv = picked as f64 / p.split.s_others.max(1) as f64;
-    run_memo_swapped(w, cfg, &p, picked, alpha_equiv)
+    ExecutionPipeline::new(SystemSpec::TensorHybrid)
+        .execute(w, cfg)
+        .outcome
 }
 
 /// MEMO with `slots` rounding buffers instead of two — the buffer-count
@@ -208,221 +67,17 @@ pub fn run_tensor_hybrid(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
 /// PCIe bandwidth, which extra buffers cannot relax), so the expected result
 /// is flat MFU at linearly growing skeletal memory.
 pub fn run_memo_with_buffer_slots(w: &Workload, cfg: &ParallelConfig, slots: usize) -> CellOutcome {
-    let p = profiler::profile(w, cfg, RematPolicy::MemoTokenWise, false);
-    let alpha = p.alpha.alpha;
-    run_memo_swapped_slots(
-        w,
-        cfg,
-        &p,
-        (alpha * p.split.s_others as f64).round() as u64,
-        alpha,
-        slots,
-    )
-}
-
-/// Shared MEMO executor body: `swapped_others` bytes of the recomputable
-/// skeletal tensors travel to the host per layer; the rest is recomputed.
-fn run_memo_swapped(
-    w: &Workload,
-    cfg: &ParallelConfig,
-    p: &profiler::ProfileReport,
-    swapped_others: u64,
-    report_alpha: f64,
-) -> CellOutcome {
-    run_memo_swapped_slots(w, cfg, p, swapped_others, report_alpha, 2)
-}
-
-fn run_memo_swapped_slots(
-    w: &Workload,
-    cfg: &ParallelConfig,
-    p: &profiler::ProfileReport,
-    swapped_others: u64,
-    report_alpha: f64,
-    slots: usize,
-) -> CellOutcome {
-    let alpha = report_alpha;
-
-    let offload_bytes = p.split.s_input + p.split.s_attn + swapped_others;
-
-    // Host feasibility of the chosen swap volume (the solver's α is feasible
-    // by construction unless even α = 0 overflows; overrides may not be).
-    let host_capacity = w.calib.host_capacity_per_gpu();
-    let staged_layers = p.layers_local.saturating_sub(2) as u64;
-    let staged = staged_layers * offload_bytes;
-    if p.alpha.host_infeasible_at_zero || staged > host_capacity {
-        return CellOutcome::Oohm {
-            needed: staged.max(staged_layers * p.split.swapped_bytes(0.0)),
-            capacity: host_capacity,
-        };
-    }
-
-    // Static memory plan for the transient tensors.
-    let report = planner::plan(&p.trace);
-
-    // GPU memory: model states + rounding buffers + planned arena.
-    let skeletal = memo_swap::buffers::skeletal_gpu_bytes_with_slots(
-        p.split.s_input,
-        p.split.s_attn,
-        p.split.s_others,
-        alpha,
-        slots,
-    );
-    let needed = p.model_states.total() + skeletal + report.plan.peak;
-    let usable = w.calib.usable_gpu_memory();
-    if needed > usable {
-        return CellOutcome::Oom {
-            needed,
-            capacity: usable,
-        };
-    }
-
-    // Schedule the iteration on the three streams.
-    let lt = &p.layer_time;
-    let recompute_fraction = 1.0 - swapped_others as f64 / p.split.s_others.max(1) as f64;
-    let costs = LayerCosts::without_nvme(
-        SimTime::from_secs_f64(lt.fwd()),
-        SimTime::from_secs_f64(lt.bwd),
-        SimTime::from_secs_f64(recompute_fraction * lt.fwd_without_attention()),
-        offload_bytes,
-        w.calib.effective_pcie(),
-    );
-    let mut host = HostStaging::new(host_capacity);
-    let sched = match memo_swap::schedule::build_iteration_schedule_with_slots(
-        p.layers_local,
-        costs,
-        SimTime::from_secs_f64(p.head_secs),
-        &mut host,
-        p.split.total(),
-        slots,
-    ) {
-        Ok(s) => s,
-        Err(e) => {
-            return CellOutcome::Oohm {
-                needed: e.used + e.requested,
-                capacity: e.capacity,
-            }
-        }
-    };
-
-    let bubble = comm::pipeline_bubble_factor(cfg.pp, w.batch as usize);
-    let iter_secs =
-        sched.makespan.as_secs_f64() * bubble + p.optimizer_secs + p.grad_sync_secs;
-    finish(
-        w,
-        cfg,
-        iter_secs,
-        needed,
-        sched.host_peak,
-        0,
-        Some(alpha),
-    )
-}
-
-/// Replay a baseline through the caching allocator the way a real PyTorch
-/// job runs: iteration 1 on a fresh allocator, then the optimizer's lazy
-/// allocation of persistent gradient/Adam tensors (which land scattered in
-/// the cached activation segments and pin them), then a steady-state
-/// iteration whose reorganisations and peak are what training actually pays
-/// every step. Returns the steady-state snapshot.
-fn baseline_allocator_pass(
-    w: &Workload,
-    cfg: &ParallelConfig,
-    p: &ProfileReport,
-    extra_static: u64,
-) -> Result<SnapshotSeries, CellOutcome> {
-    use memo_alloc::DeviceAllocator as _;
-    use memo_model::trace::TensorId;
-
-    let usable = w.calib.usable_gpu_memory();
-    let static_bytes = memo_parallel::memory::params_bytes(&w.model, cfg) + extra_static;
-    if static_bytes >= usable {
-        return Err(CellOutcome::Oom {
-            needed: static_bytes,
-            capacity: usable,
-        });
-    }
-    let mut alloc = CachingAllocator::new(usable - static_bytes);
-
-    // Iteration 1 (warm-up).
-    let warmup = replay(&mut alloc, &p.trace);
-    if warmup.oom.is_some() {
-        return Err(oom_from(&warmup, static_bytes, usable));
-    }
-
-    // First optimizer step: grads + Adam states appear, permanently.
-    for (k, bytes) in memo_parallel::memory::persistent_tensor_sizes(&w.model, cfg)
-        .into_iter()
-        .enumerate()
-    {
-        let id = TensorId((1 << 40) + k as u64);
-        if let Err(AllocError::OutOfMemory { reserved, requested, .. }) = alloc.malloc(id, bytes) {
-            return Err(CellOutcome::Oom {
-                needed: static_bytes + reserved + requested,
-                capacity: usable,
-            });
-        }
-    }
-    let reorgs_before_steady = alloc.reorg_count();
-
-    // Steady-state iteration.
-    let series = replay(&mut alloc, &p.trace);
-    if series.oom.is_some() {
-        return Err(oom_from(&series, static_bytes, usable));
-    }
-    let mut series = series;
-    series.reorgs = alloc.reorg_count() - reorgs_before_steady;
-    Ok(series)
-}
-
-fn oom_from(series: &SnapshotSeries, static_bytes: u64, usable: u64) -> CellOutcome {
-    match series.oom {
-        Some(AllocError::OutOfMemory {
-            requested, reserved, ..
-        }) => CellOutcome::Oom {
-            needed: static_bytes + reserved + requested,
-            capacity: usable,
-        },
-        _ => CellOutcome::Oom {
-            needed: 0,
-            capacity: usable,
-        },
-    }
-}
-
-/// Iteration seconds of a full-recomputation baseline (per pipeline stage):
-/// forward, head, re-forward + backward, plus fixed costs and stalls.
-fn recompute_iteration_secs(w: &Workload, cfg: &ParallelConfig, p: &ProfileReport, reorgs: u64) -> f64 {
-    let lt = &p.layer_time;
-    let layers = p.layers_local as f64;
-    let compute = layers * (2.0 * lt.fwd() + lt.bwd) + p.head_secs;
-    let bubble = comm::pipeline_bubble_factor(cfg.pp, w.batch as usize);
-    compute * bubble
-        + p.optimizer_secs
-        + p.grad_sync_secs
-        + reorgs as f64 * w.calib.reorg_penalty_secs
+    ExecutionPipeline::new(SystemSpec::MemoBufferSlots(slots as u8))
+        .execute(w, cfg)
+        .outcome
 }
 
 /// Megatron-LM + TransformerEngine: TP/SP/CP/PP + ZeRO-1, full activation
 /// recomputation, PyTorch caching allocator.
 pub fn run_megatron(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
-    debug_assert!(cfg
-        .validate(&w.model, w.n_gpus, w.calib.gpus_per_node.min(w.n_gpus))
-        .is_ok());
-    let p = profiler::profile(w, cfg, RematPolicy::FullRecompute, false);
-    let series = match baseline_allocator_pass(w, cfg, &p, 0) {
-        Ok(s) => s,
-        Err(out) => return out,
-    };
-    let iter_secs = recompute_iteration_secs(w, cfg, &p, series.reorgs);
-    finish(
-        w,
-        cfg,
-        iter_secs,
-        memo_parallel::memory::params_bytes(&w.model, cfg) + series.peak_reserved(),
-        0,
-        series.reorgs,
-        None,
-    )
+    ExecutionPipeline::new(SystemSpec::MegatronLM)
+        .execute(w, cfg)
+        .outcome
 }
 
 /// Megatron-LM with rematerialisation disabled (TransformerEngine
@@ -432,67 +87,24 @@ pub fn run_megatron(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
 /// frontier — the reason long-context Megatron runs force full
 /// recomputation on (§2.2).
 pub fn run_megatron_keepall(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
-    let p = profiler::profile(w, cfg, RematPolicy::KeepAll, false);
-    let series = match baseline_allocator_pass(w, cfg, &p, 0) {
-        Ok(s) => s,
-        Err(out) => return out,
-    };
-    // No re-forward: compute is layers·(fwd + bwd) + head.
-    let lt = &p.layer_time;
-    let layers = p.layers_local as f64;
-    let compute = layers * (lt.fwd() + lt.bwd) + p.head_secs;
-    let bubble = comm::pipeline_bubble_factor(cfg.pp, w.batch as usize);
-    let iter_secs = compute * bubble
-        + p.optimizer_secs
-        + p.grad_sync_secs
-        + series.reorgs as f64 * w.calib.reorg_penalty_secs;
-    finish(
-        w,
-        cfg,
-        iter_secs,
-        memo_parallel::memory::params_bytes(&w.model, cfg) + series.peak_reserved(),
-        0,
-        series.reorgs,
-        None,
-    )
+    ExecutionPipeline::new(SystemSpec::MegatronKeepAll)
+        .execute(w, cfg)
+        .outcome
 }
 
 /// Megatron-DeepSpeed: Ulysses all-to-all SP + ZeRO-3, full recomputation,
 /// unfused fp32 loss, caching allocator.
 pub fn run_deepspeed(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
-    debug_assert!(cfg
-        .validate(&w.model, w.n_gpus, w.calib.gpus_per_node.min(w.n_gpus))
-        .is_ok());
-    let mut p = profiler::profile(w, cfg, RematPolicy::FullRecompute, true);
-    // Unfused fp32 loss: softmax/log/NLL are extra full passes over the
-    // tokens×vocab fp32 tensors, far slower than the fused kernel.
-    p.head_secs *= 3.0;
-    let gather = memo_parallel::memory::zero3_gather_bytes(&w.model, cfg);
-    let series = match baseline_allocator_pass(w, cfg, &p, 2 * gather) {
-        Ok(s) => s,
-        Err(out) => return out,
-    };
-    let iter_secs =
-        recompute_iteration_secs(w, cfg, &p, series.reorgs) / w.calib.ds_compute_derate;
-    finish(
-        w,
-        cfg,
-        iter_secs,
-        memo_parallel::memory::params_bytes(&w.model, cfg) + 2 * gather + series.peak_reserved(),
-        0,
-        series.reorgs,
-        None,
-    )
+    ExecutionPipeline::new(SystemSpec::DeepSpeed)
+        .execute(w, cfg)
+        .outcome
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::w7;
     use memo_model::config::ModelConfig;
-
-    fn w7(n_gpus: usize, s_k: u64) -> Workload {
-        Workload::new(ModelConfig::gpt_7b(), n_gpus, s_k * 1024)
-    }
 
     #[test]
     fn memo_mfu_flat_across_lengths() {
@@ -505,7 +117,9 @@ mod tests {
         ];
         for (s, cfg) in cfgs {
             let out = run_memo(&w7(8, s), &cfg);
-            let m = out.metrics().unwrap_or_else(|| panic!("{s}K infeasible: {out:?}"));
+            let m = out
+                .metrics()
+                .unwrap_or_else(|| panic!("{s}K infeasible: {out:?}"));
             assert!(
                 m.mfu > 0.42 && m.mfu < 0.60,
                 "{s}K: MFU {:.3} outside the ~50% band",
@@ -530,7 +144,7 @@ mod tests {
     fn memo_oom_frontier_beyond_megatron() {
         // Find the largest multiple of 128K each system survives (7B, 8 GPUs)
         // with its best strategy.
-        let frontier = |sys: memo_parallel::SystemKind| -> u64 {
+        let frontier = |sys: SystemSpec| -> u64 {
             let mut best = 0;
             for sk in (1..=12).map(|k| 128 * k as u64) {
                 let w = w7(8, sk);
@@ -540,9 +154,9 @@ mod tests {
             }
             best
         };
-        let memo = frontier(memo_parallel::SystemKind::Memo);
-        let mega = frontier(memo_parallel::SystemKind::MegatronLM);
-        let ds = frontier(memo_parallel::SystemKind::DeepSpeed);
+        let memo = frontier(SystemSpec::Memo);
+        let mega = frontier(SystemSpec::MegatronLM);
+        let ds = frontier(SystemSpec::DeepSpeed);
         assert!(
             memo >= mega + 128 && mega >= ds,
             "frontiers (K tokens): memo {memo}, megatron {mega}, deepspeed {ds}"
@@ -596,8 +210,15 @@ mod tests {
         // where the host α is capped, NVMe must strictly help
         let w = w7(8, 768);
         let base = run_memo(&w, &cfg).metrics().unwrap().alpha.unwrap();
-        let nvme = run_memo_with_nvme(&w, &cfg).metrics().unwrap().alpha.unwrap();
-        assert!(nvme > base, "two-tier α {nvme} must exceed host-only α {base}");
+        let nvme = run_memo_with_nvme(&w, &cfg)
+            .metrics()
+            .unwrap()
+            .alpha
+            .unwrap();
+        assert!(
+            nvme > base,
+            "two-tier α {nvme} must exceed host-only α {base}"
+        );
     }
 
     #[test]
@@ -608,5 +229,34 @@ mod tests {
         let out = run_memo(&w, &cfg);
         let m = out.metrics().expect("8M on 64 GPUs must be feasible");
         assert!(m.mfu > 0.45, "MFU {:.3}", m.mfu);
+    }
+
+    #[test]
+    fn report_breakdowns_account_for_the_iteration() {
+        // The ExecutionReport's byte and time decompositions must agree
+        // with the headline metrics for every mode that succeeds.
+        let w = w7(8, 256);
+        let mega = ParallelConfig::megatron(4, 2, 1, 1);
+        let ds = ParallelConfig::ulysses(8, 1);
+        for spec in SystemSpec::ALL_MODES {
+            let cfg = if spec == SystemSpec::DeepSpeed {
+                &ds
+            } else {
+                &mega
+            };
+            let report = ExecutionPipeline::new(spec).execute(&w, cfg);
+            let Some(m) = report.outcome.metrics() else {
+                continue;
+            };
+            assert_eq!(report.bytes.peak(), m.peak_gpu_bytes, "{spec:?} bytes");
+            let total = report.time.total();
+            assert!(
+                (total - m.iter_secs).abs() < 1e-6 * m.iter_secs.max(1.0),
+                "{spec:?}: breakdown {total} vs iter {}",
+                m.iter_secs
+            );
+            assert!(report.time.compute > 0.0, "{spec:?} compute");
+            assert!(report.time.optimizer > 0.0, "{spec:?} optimizer");
+        }
     }
 }

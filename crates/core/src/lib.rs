@@ -7,24 +7,41 @@
 //!    program;
 //! 2. [`planner::MemoryPlanner`] runs the bi-level MIP over the trace and
 //!    emits a [`MemoryPlan`](memo_plan::MemoryPlan);
-//! 3. [`executor`] runs the training iteration on the simulated cluster:
-//!    MEMO with rounding buffers + three streams + planned addresses, and
-//!    the Megatron-LM / DeepSpeed baselines with full recomputation + the
-//!    caching allocator.
+//! 3. [`pipeline::ExecutionPipeline`] runs the training iteration on the
+//!    simulated cluster as explicit stages — profile, activation policy,
+//!    memory backend, schedule, metrics — covering MEMO (rounding buffers +
+//!    three streams + planned addresses), the Megatron-LM / DeepSpeed
+//!    baselines (full recomputation + the caching allocator), and the
+//!    keep-all / tensor-hybrid / NVMe-tier variants. [`executor`] keeps the
+//!    named `run_*` wrappers.
 //!
 //! [`session`] is the user-facing API: build a [`session::Workload`], pick a
-//! [`SystemKind`](memo_parallel::SystemKind), `run()` — and read MFU/TGS or
-//! an OOM/OOHM outcome (the cells of Table 3). [`ablation`] provides the
-//! Table 4 variants.
+//! [`SystemSpec`](memo_parallel::SystemSpec), `run_with()` — and read
+//! MFU/TGS or an OOM/OOHM outcome (the cells of Table 3), or
+//! `run_report()` for the full byte/time accounting. [`ablation`] provides
+//! the Table 4 variants.
 
 pub mod ablation;
 pub mod executor;
 pub mod metrics;
 pub mod outcome;
+pub mod pipeline;
 pub mod planner;
 pub mod profiler;
 pub mod session;
 
 pub use metrics::Metrics;
 pub use outcome::CellOutcome;
+pub use pipeline::{ExecutionPipeline, ExecutionReport};
 pub use session::Workload;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::session::Workload;
+    use memo_model::config::ModelConfig;
+
+    /// The 7B test workload shared by the executor/session/ablation tests.
+    pub fn w7(n_gpus: usize, s_k: u64) -> Workload {
+        Workload::new(ModelConfig::gpt_7b(), n_gpus, s_k * 1024)
+    }
+}

@@ -9,9 +9,18 @@ use serde::{Deserialize, Serialize};
 pub enum CellOutcome {
     Ok(Metrics),
     /// GPU out-of-memory, with the shortfall diagnostics.
-    Oom { needed: u64, capacity: u64 },
+    Oom {
+        needed: u64,
+        capacity: u64,
+    },
     /// Host (CPU) out-of-memory.
-    Oohm { needed: u64, capacity: u64 },
+    Oohm {
+        needed: u64,
+        capacity: u64,
+    },
+    /// The strategy search space was empty: no parallel configuration is
+    /// valid for the workload (e.g. attention heads not divisible).
+    NoValidStrategy,
 }
 
 impl CellOutcome {
@@ -36,6 +45,7 @@ impl CellOutcome {
             CellOutcome::Ok(m) => format!("{:.2}% {:>8.2}", m.mfu * 100.0, m.tgs),
             CellOutcome::Oom { .. } => "X_oom".into(),
             CellOutcome::Oohm { .. } => "X_oohm".into(),
+            CellOutcome::NoValidStrategy => "X_cfg".into(),
         }
     }
 }

@@ -1,0 +1,749 @@
+//! The staged execution pipeline — Figure 10 made explicit.
+//!
+//! Every execution mode ([`SystemSpec`]) runs the same five stages:
+//!
+//! 1. **profile** — memory-request trace, per-layer costs, α program
+//!    ([`crate::profiler`]);
+//! 2. **activation policy** ([`ActivationPolicy`]) — how activations survive
+//!    to the backward pass: token-wise α swap into rounding buffers,
+//!    per-tensor greedy swap, two-tier host+NVMe spill, full recomputation,
+//!    or keep-all. Swap policies can fail host/NVMe feasibility (`X_oohm`);
+//! 3. **memory backend** ([`MemoryBackend`]) — where tensors live: the
+//!    bi-level static plan or a PyTorch-style caching-allocator replay.
+//!    Both report a peak, reorganisation count, and a uniform `X_oom`;
+//! 4. **schedule** — the three-stream swap schedule for swap policies
+//!    (residual `X_oohm`), the closed-form recompute timing otherwise;
+//! 5. **metrics** — MFU/TGS plus the [`ByteBreakdown`]/[`TimeBreakdown`]
+//!    accounting of the [`ExecutionReport`].
+//!
+//! The `run_*` functions in [`crate::executor`] are thin wrappers over this
+//! pipeline, kept for callers that want a specific mode by name.
+
+use crate::metrics::{compute_metrics, Metrics};
+use crate::outcome::CellOutcome;
+use crate::planner;
+use crate::profiler::{self, ProfileReport};
+use crate::session::Workload;
+use memo_alloc::caching::CachingAllocator;
+use memo_alloc::snapshot::{replay, SnapshotSeries};
+use memo_alloc::AllocError;
+use memo_hal::time::SimTime;
+use memo_model::trace::RematPolicy;
+use memo_parallel::comm;
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
+use memo_swap::host::HostStaging;
+use memo_swap::schedule::LayerCosts;
+
+/// Stage 2: how activations survive from forward to backward.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActivationPolicy {
+    /// Token-wise α split (§4.1): swap `α · others` plus the mandatory
+    /// input/attention rows into `slots` rotating rounding buffers,
+    /// recompute the rest. `None` takes the solved α of the LP.
+    TokenWise {
+        alpha_override: Option<f64>,
+        slots: usize,
+    },
+    /// Capuchin-style granularity: greedily swap whole tensors, largest
+    /// first, under the overlap and host budgets.
+    TensorGreedy,
+    /// Two-tier α (extension): token rows the host cannot hold spill to
+    /// NVMe at lower bandwidth.
+    TwoTierNvme,
+    /// Re-forward every transformer layer during backward (Megatron-LM
+    /// full recomputation, also DeepSpeed's configuration).
+    FullRecompute,
+    /// Keep every activation resident (no recompute, no swap).
+    KeepAll,
+}
+
+/// Stage 3: where tensors live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryBackend {
+    /// Transient tensors at addresses fixed by the bi-level plan; peak is
+    /// the planned arena and reorganisations are zero by construction.
+    StaticPlan,
+    /// PyTorch-style caching allocator replay: warm-up iteration, lazy
+    /// optimizer-state allocation, then a steady-state iteration whose
+    /// fragmentation peak and reorganisation count are what training pays.
+    /// `zero3_prefetch` pins two ZeRO-3 gather buffers beside the
+    /// parameters (DeepSpeed).
+    CachingReplay { zero3_prefetch: bool },
+}
+
+/// A [`SystemSpec`] resolved into concrete stage choices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineStages {
+    /// Rematerialisation policy the profiler traces under.
+    pub remat: RematPolicy,
+    /// Model an unfused fp32 loss (full logits materialised).
+    pub materialize_logits: bool,
+    /// Multiplier on the profiled head seconds (3.0 for the unfused
+    /// softmax/log/NLL passes of the DeepSpeed loss).
+    pub head_scale: f64,
+    /// Stage 2 choice.
+    pub policy: ActivationPolicy,
+    /// Stage 3 choice.
+    pub backend: MemoryBackend,
+    /// Divisor on the closed-form iteration time (DeepSpeed's kernel and
+    /// all-to-all inefficiency, calibrated).
+    pub derate: bool,
+}
+
+impl PipelineStages {
+    /// The stage choices for a named execution mode.
+    pub fn for_spec(spec: SystemSpec) -> PipelineStages {
+        let token_wise = |alpha_override, slots| PipelineStages {
+            remat: RematPolicy::MemoTokenWise,
+            materialize_logits: false,
+            head_scale: 1.0,
+            policy: ActivationPolicy::TokenWise {
+                alpha_override,
+                slots,
+            },
+            backend: MemoryBackend::StaticPlan,
+            derate: false,
+        };
+        match spec {
+            SystemSpec::Memo => token_wise(None, 2),
+            SystemSpec::FullSwapPlan => token_wise(Some(1.0), 2),
+            SystemSpec::MemoBufferSlots(n) => token_wise(None, n as usize),
+            SystemSpec::TensorHybrid => PipelineStages {
+                policy: ActivationPolicy::TensorGreedy,
+                ..token_wise(None, 2)
+            },
+            SystemSpec::MemoNvme => PipelineStages {
+                policy: ActivationPolicy::TwoTierNvme,
+                ..token_wise(None, 2)
+            },
+            SystemSpec::MegatronLM => PipelineStages {
+                remat: RematPolicy::FullRecompute,
+                materialize_logits: false,
+                head_scale: 1.0,
+                policy: ActivationPolicy::FullRecompute,
+                backend: MemoryBackend::CachingReplay {
+                    zero3_prefetch: false,
+                },
+                derate: false,
+            },
+            SystemSpec::MegatronKeepAll => PipelineStages {
+                remat: RematPolicy::KeepAll,
+                materialize_logits: false,
+                head_scale: 1.0,
+                policy: ActivationPolicy::KeepAll,
+                backend: MemoryBackend::CachingReplay {
+                    zero3_prefetch: false,
+                },
+                derate: false,
+            },
+            SystemSpec::DeepSpeed => PipelineStages {
+                remat: RematPolicy::FullRecompute,
+                materialize_logits: true,
+                head_scale: 3.0,
+                policy: ActivationPolicy::FullRecompute,
+                backend: MemoryBackend::CachingReplay {
+                    zero3_prefetch: true,
+                },
+                derate: true,
+            },
+            SystemSpec::FullRecomputePlan => PipelineStages {
+                remat: RematPolicy::FullRecompute,
+                materialize_logits: false,
+                head_scale: 1.0,
+                policy: ActivationPolicy::FullRecompute,
+                backend: MemoryBackend::StaticPlan,
+                derate: false,
+            },
+        }
+    }
+}
+
+/// GPU byte accounting of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteBreakdown {
+    /// Parameters, gradients, optimizer states (plus any pinned gather
+    /// buffers) resident for the whole iteration.
+    pub model_states: u64,
+    /// Rounding-buffer (skeletal) bytes held by swap modes; zero for the
+    /// recompute family.
+    pub skeletal_buffers: u64,
+    /// Transient-tensor arena: the planned peak under [`MemoryBackend::StaticPlan`],
+    /// the caching allocator's reserved peak under replay.
+    pub planned_arena: u64,
+}
+
+impl ByteBreakdown {
+    /// Peak GPU bytes: everything resident at once.
+    pub fn peak(&self) -> u64 {
+        self.model_states + self.skeletal_buffers + self.planned_arena
+    }
+}
+
+/// Where one iteration's seconds went. Components sum to the iteration time
+/// up to floating-point rounding (the metrics' `iter_secs` is computed from
+/// the schedule directly, not by summing this decomposition).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Useful forward + backward + head compute.
+    pub compute: f64,
+    /// Rematerialisation work (re-forward or token-wise recompute).
+    pub recompute: f64,
+    /// Compute-stream idle waiting on transfers, plus reorganisation
+    /// penalties under the caching allocator.
+    pub stall: f64,
+    /// Pipeline-bubble overhead on top of the per-stage work.
+    pub bubble: f64,
+    /// Optimizer step.
+    pub optimizer: f64,
+    /// Exposed gradient synchronisation.
+    pub grad_sync: f64,
+}
+
+impl TimeBreakdown {
+    /// Sum of the components (equals the iteration seconds up to rounding).
+    pub fn total(&self) -> f64 {
+        self.compute + self.recompute + self.stall + self.bubble + self.optimizer + self.grad_sync
+    }
+}
+
+/// Structured result of one pipeline run: the table-cell outcome plus the
+/// byte and time accounting behind it. Failed runs keep whatever accounting
+/// was established before the failing stage.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The mode that ran.
+    pub spec: SystemSpec,
+    /// The strategy it ran under.
+    pub strategy: ParallelConfig,
+    /// GPU byte accounting (model states / skeletal buffers / arena).
+    pub bytes: ByteBreakdown,
+    /// Time decomposition; `time.total()` equals the metrics' `iter_secs`
+    /// on success.
+    pub time: TimeBreakdown,
+    /// The Table 3/4 cell: metrics, `X_oom`, or `X_oohm`.
+    pub outcome: CellOutcome,
+}
+
+/// The staged executor: resolve a [`SystemSpec`] into [`PipelineStages`]
+/// and run profile → policy → memory → schedule → metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionPipeline {
+    spec: SystemSpec,
+    stages: PipelineStages,
+}
+
+impl ExecutionPipeline {
+    pub fn new(spec: SystemSpec) -> Self {
+        ExecutionPipeline {
+            spec,
+            stages: PipelineStages::for_spec(spec),
+        }
+    }
+
+    /// Override the resolved stages (used by the `run_memo_with_alpha`
+    /// wrapper for arbitrary α ablations that no named spec covers).
+    pub fn with_stages(spec: SystemSpec, stages: PipelineStages) -> Self {
+        ExecutionPipeline { spec, stages }
+    }
+
+    pub fn spec(&self) -> SystemSpec {
+        self.spec
+    }
+
+    pub fn stages(&self) -> &PipelineStages {
+        &self.stages
+    }
+
+    /// Run the full pipeline for one workload + strategy.
+    pub fn execute(&self, w: &Workload, cfg: &ParallelConfig) -> ExecutionReport {
+        debug_assert!(cfg
+            .validate(&w.model, w.n_gpus, w.calib.gpus_per_node.min(w.n_gpus))
+            .is_ok());
+
+        // ---- stage 1: profile ---------------------------------------------
+        let mut p = profiler::profile(w, cfg, self.stages.remat, self.stages.materialize_logits);
+        if self.stages.head_scale != 1.0 {
+            p.head_secs *= self.stages.head_scale;
+        }
+
+        let fail = |bytes, outcome| ExecutionReport {
+            spec: self.spec,
+            strategy: *cfg,
+            bytes,
+            time: TimeBreakdown::default(),
+            outcome,
+        };
+
+        // ---- stage 2: activation policy -----------------------------------
+        let plan = match decide_activation(&self.stages.policy, w, &p) {
+            Ok(plan) => plan,
+            Err(out) => {
+                return fail(
+                    ByteBreakdown {
+                        model_states: p.model_states.total(),
+                        ..ByteBreakdown::default()
+                    },
+                    out,
+                )
+            }
+        };
+
+        // ---- stage 3: memory backend --------------------------------------
+        let mem = match account_memory(&self.stages.backend, w, cfg, &p, &plan) {
+            Ok(mem) => mem,
+            Err(out) => {
+                return fail(
+                    ByteBreakdown {
+                        model_states: p.model_states.total(),
+                        ..ByteBreakdown::default()
+                    },
+                    out,
+                )
+            }
+        };
+
+        // ---- stages 4+5: schedule and metrics -----------------------------
+        match build_schedule(w, cfg, &p, &plan, &mem, self.stages.derate) {
+            Ok((iter_secs, time, host_peak)) => {
+                let samples = w.batch * cfg.dp as u64;
+                let (mfu, tgs) = compute_metrics(
+                    &w.model,
+                    w.seq_len,
+                    samples,
+                    w.n_gpus,
+                    w.calib.peak_flops,
+                    iter_secs,
+                );
+                ExecutionReport {
+                    spec: self.spec,
+                    strategy: *cfg,
+                    bytes: mem.bytes,
+                    time,
+                    outcome: CellOutcome::Ok(Metrics {
+                        iter_secs,
+                        mfu,
+                        tgs,
+                        peak_gpu_bytes: mem.bytes.peak(),
+                        host_peak_bytes: host_peak,
+                        reorgs: mem.reorgs,
+                        alpha: plan.reported_alpha(),
+                        strategy: cfg.describe(),
+                    }),
+                }
+            }
+            Err(out) => fail(mem.bytes, out),
+        }
+    }
+}
+
+/// Outcome of stage 2: the per-layer activation traffic.
+#[derive(Debug, Clone, Copy)]
+enum ActivationPlan {
+    /// Swap family: three-stream schedule with these per-layer costs.
+    Swap {
+        /// Reported α (token fraction swapped of the "others" bytes).
+        alpha: f64,
+        /// Rounding-buffer slots.
+        slots: usize,
+        /// Bytes offloaded to the host per swapped layer.
+        offload_bytes: u64,
+        /// Bytes spilled to NVMe per swapped layer (0 without the tier).
+        nvme_bytes: u64,
+        /// Effective NVMe bandwidth (ignored when `nvme_bytes == 0`).
+        nvme_bandwidth: f64,
+        /// Token-wise recompute seconds before each swapped layer's backward.
+        t_recompute: f64,
+    },
+    /// Recompute family: closed-form timing, `refwd` layers re-forwarded.
+    Recompute { refwd: bool },
+}
+
+impl ActivationPlan {
+    fn reported_alpha(&self) -> Option<f64> {
+        match self {
+            ActivationPlan::Swap { alpha, .. } => Some(*alpha),
+            ActivationPlan::Recompute { .. } => None,
+        }
+    }
+}
+
+/// Shared host-feasibility gate of the single-tier swap policies: the
+/// solver's α is feasible by construction unless even α = 0 overflows the
+/// host; overrides and greedy picks may not be.
+fn host_feasibility(
+    w: &Workload,
+    p: &ProfileReport,
+    offload_bytes: u64,
+) -> Result<(), CellOutcome> {
+    let host_capacity = w.calib.host_capacity_per_gpu();
+    let staged_layers = p.layers_local.saturating_sub(2) as u64;
+    let staged = staged_layers * offload_bytes;
+    if p.alpha.host_infeasible_at_zero || staged > host_capacity {
+        return Err(CellOutcome::Oohm {
+            needed: staged.max(staged_layers * p.split.swapped_bytes(0.0)),
+            capacity: host_capacity,
+        });
+    }
+    Ok(())
+}
+
+/// Token-wise swap of `swapped_others` bytes of the recomputable skeletal
+/// tensors per layer; the rest is recomputed before the layer's backward.
+fn token_wise_plan(
+    w: &Workload,
+    p: &ProfileReport,
+    swapped_others: u64,
+    report_alpha: f64,
+    slots: usize,
+) -> Result<ActivationPlan, CellOutcome> {
+    let offload_bytes = p.split.s_input + p.split.s_attn + swapped_others;
+    host_feasibility(w, p, offload_bytes)?;
+    let recompute_fraction = 1.0 - swapped_others as f64 / p.split.s_others.max(1) as f64;
+    Ok(ActivationPlan::Swap {
+        alpha: report_alpha,
+        slots,
+        offload_bytes,
+        nvme_bytes: 0,
+        nvme_bandwidth: 1.0,
+        t_recompute: recompute_fraction * p.layer_time.fwd_without_attention(),
+    })
+}
+
+fn decide_activation(
+    policy: &ActivationPolicy,
+    w: &Workload,
+    p: &ProfileReport,
+) -> Result<ActivationPlan, CellOutcome> {
+    match *policy {
+        ActivationPolicy::TokenWise {
+            alpha_override,
+            slots,
+        } => {
+            let alpha = alpha_override.unwrap_or(p.alpha.alpha);
+            token_wise_plan(
+                w,
+                p,
+                (alpha * p.split.s_others as f64).round() as u64,
+                alpha,
+                slots,
+            )
+        }
+        ActivationPolicy::TensorGreedy => {
+            // Per-tensor candidates (Figure 5's "others"), largest first.
+            let mut candidates: Vec<u64> = memo_model::activations::skeletal_catalog(&p.dims)
+                .into_iter()
+                .filter(|t| t.kind.token_wise_recomputable())
+                .map(|t| t.bytes)
+                .collect();
+            candidates.sort_unstable_by(|a, b| b.cmp(a));
+
+            let mandatory = p.split.s_input + p.split.s_attn;
+            let bw_budget = (w.calib.effective_pcie() * p.layer_time.fwd()) as u64;
+            let staged_layers = p.layers_local.saturating_sub(2).max(1) as u64;
+            let host_budget = w.calib.host_capacity_per_gpu() / staged_layers;
+            let budget = bw_budget.min(host_budget);
+
+            let mut picked = 0u64;
+            for bytes in candidates {
+                if mandatory + picked + bytes <= budget {
+                    picked += bytes;
+                }
+            }
+            let alpha_equiv = picked as f64 / p.split.s_others.max(1) as f64;
+            token_wise_plan(w, p, picked, alpha_equiv, 2)
+        }
+        ActivationPolicy::TwoTierNvme => {
+            use memo_swap::alpha::{solve_alpha_two_tier, AlphaInputs};
+            let two = solve_alpha_two_tier(
+                &AlphaInputs {
+                    s_input: p.split.s_input,
+                    s_attn: p.split.s_attn,
+                    s_others: p.split.s_others,
+                    bandwidth: w.calib.effective_pcie(),
+                    t_layer_fwd: p.layer_time.fwd(),
+                    n_layers: p.layers_local,
+                    host_capacity: w.calib.host_capacity_per_gpu(),
+                },
+                w.calib.effective_nvme_per_gpu(),
+                w.calib.nvme_capacity_per_gpu(),
+            );
+            // With NVMe, even the mandatory input+attn tensors can spill, so
+            // the only hard failure is NVMe exhaustion itself.
+            let staged_layers = p.layers_local.saturating_sub(2) as u64;
+            let nvme_bytes = (two.alpha_nvme * p.split.s_others as f64).round() as u64
+                + if two.host_infeasible_at_zero {
+                    p.split.s_input + p.split.s_attn
+                } else {
+                    0
+                };
+            if staged_layers * nvme_bytes > w.calib.nvme_capacity_per_gpu() {
+                return Err(CellOutcome::Oohm {
+                    needed: staged_layers * nvme_bytes,
+                    capacity: w.calib.nvme_capacity_per_gpu(),
+                });
+            }
+            let alpha = two.alpha_total().min(1.0);
+            // Host carries input+attn plus its α share unless it cannot even
+            // hold the mandatory tensors (then everything routes via NVMe).
+            let host_bytes = if two.host_infeasible_at_zero {
+                0
+            } else {
+                p.split.s_input
+                    + p.split.s_attn
+                    + (two.alpha_host * p.split.s_others as f64).round() as u64
+            };
+            Ok(ActivationPlan::Swap {
+                alpha,
+                slots: 2,
+                offload_bytes: host_bytes,
+                nvme_bytes,
+                nvme_bandwidth: w.calib.effective_nvme_per_gpu(),
+                t_recompute: (1.0 - alpha) * p.layer_time.fwd_without_attention(),
+            })
+        }
+        ActivationPolicy::FullRecompute => Ok(ActivationPlan::Recompute { refwd: true }),
+        ActivationPolicy::KeepAll => Ok(ActivationPlan::Recompute { refwd: false }),
+    }
+}
+
+/// Outcome of stage 3.
+#[derive(Debug, Clone, Copy)]
+struct MemoryAccounting {
+    bytes: ByteBreakdown,
+    reorgs: u64,
+}
+
+fn account_memory(
+    backend: &MemoryBackend,
+    w: &Workload,
+    cfg: &ParallelConfig,
+    p: &ProfileReport,
+    plan: &ActivationPlan,
+) -> Result<MemoryAccounting, CellOutcome> {
+    let usable = w.calib.usable_gpu_memory();
+    match *backend {
+        MemoryBackend::StaticPlan => {
+            let report = planner::plan(&p.trace);
+            let skeletal = match *plan {
+                ActivationPlan::Swap { alpha, slots, .. } => {
+                    memo_swap::buffers::skeletal_gpu_bytes_with_slots(
+                        p.split.s_input,
+                        p.split.s_attn,
+                        p.split.s_others,
+                        alpha,
+                        slots,
+                    )
+                }
+                ActivationPlan::Recompute { .. } => 0,
+            };
+            let bytes = ByteBreakdown {
+                model_states: p.model_states.total(),
+                skeletal_buffers: skeletal,
+                planned_arena: report.plan.peak,
+            };
+            if bytes.peak() > usable {
+                return Err(CellOutcome::Oom {
+                    needed: bytes.peak(),
+                    capacity: usable,
+                });
+            }
+            Ok(MemoryAccounting { bytes, reorgs: 0 })
+        }
+        MemoryBackend::CachingReplay { zero3_prefetch } => {
+            let extra_static = if zero3_prefetch {
+                2 * memo_parallel::memory::zero3_gather_bytes(&w.model, cfg)
+            } else {
+                0
+            };
+            let series = caching_replay_pass(w, cfg, p, extra_static)?;
+            Ok(MemoryAccounting {
+                bytes: ByteBreakdown {
+                    model_states: memo_parallel::memory::params_bytes(&w.model, cfg) + extra_static,
+                    skeletal_buffers: 0,
+                    planned_arena: series.peak_reserved(),
+                },
+                reorgs: series.reorgs,
+            })
+        }
+    }
+}
+
+/// Replay a baseline through the caching allocator the way a real PyTorch
+/// job runs: iteration 1 on a fresh allocator, then the optimizer's lazy
+/// allocation of persistent gradient/Adam tensors (which land scattered in
+/// the cached activation segments and pin them), then a steady-state
+/// iteration whose reorganisations and peak are what training actually pays
+/// every step. Returns the steady-state snapshot.
+fn caching_replay_pass(
+    w: &Workload,
+    cfg: &ParallelConfig,
+    p: &ProfileReport,
+    extra_static: u64,
+) -> Result<SnapshotSeries, CellOutcome> {
+    use memo_alloc::DeviceAllocator as _;
+    use memo_model::trace::TensorId;
+
+    let usable = w.calib.usable_gpu_memory();
+    let static_bytes = memo_parallel::memory::params_bytes(&w.model, cfg) + extra_static;
+    if static_bytes >= usable {
+        return Err(CellOutcome::Oom {
+            needed: static_bytes,
+            capacity: usable,
+        });
+    }
+    let mut alloc = CachingAllocator::new(usable - static_bytes);
+
+    // Iteration 1 (warm-up).
+    let warmup = replay(&mut alloc, &p.trace);
+    if let Some(err) = &warmup.oom {
+        return Err(replay_oom(err, static_bytes, usable));
+    }
+
+    // First optimizer step: grads + Adam states appear, permanently.
+    for (k, bytes) in memo_parallel::memory::persistent_tensor_sizes(&w.model, cfg)
+        .into_iter()
+        .enumerate()
+    {
+        let id = TensorId((1 << 40) + k as u64);
+        if let Err(AllocError::OutOfMemory {
+            reserved,
+            requested,
+            ..
+        }) = alloc.malloc(id, bytes)
+        {
+            return Err(CellOutcome::Oom {
+                needed: static_bytes + reserved + requested,
+                capacity: usable,
+            });
+        }
+    }
+    let reorgs_before_steady = alloc.reorg_count();
+
+    // Steady-state iteration.
+    let series = replay(&mut alloc, &p.trace);
+    if let Some(err) = &series.oom {
+        return Err(replay_oom(err, static_bytes, usable));
+    }
+    let mut series = series;
+    series.reorgs = alloc.reorg_count() - reorgs_before_steady;
+    Ok(series)
+}
+
+/// A replay OOM with the static bytes folded into the shortfall. Plan
+/// errors (`NotInPlan`/`PlanOverlap`) cannot occur on a caching allocator,
+/// but are still reported with real numbers rather than a sentinel.
+fn replay_oom(err: &AllocError, static_bytes: u64, usable: u64) -> CellOutcome {
+    match *err {
+        AllocError::OutOfMemory {
+            requested,
+            reserved,
+            ..
+        } => CellOutcome::Oom {
+            needed: static_bytes + reserved + requested,
+            capacity: usable,
+        },
+        AllocError::NotInPlan(_) | AllocError::PlanOverlap(_, _) => CellOutcome::Oom {
+            needed: static_bytes,
+            capacity: usable,
+        },
+    }
+}
+
+/// Stage 4: the iteration seconds, their decomposition, and the host peak.
+fn build_schedule(
+    w: &Workload,
+    cfg: &ParallelConfig,
+    p: &ProfileReport,
+    plan: &ActivationPlan,
+    mem: &MemoryAccounting,
+    derate: bool,
+) -> Result<(f64, TimeBreakdown, u64), CellOutcome> {
+    let bubble_factor = comm::pipeline_bubble_factor(cfg.pp, w.batch as usize);
+    let lt = &p.layer_time;
+    match *plan {
+        ActivationPlan::Swap {
+            slots,
+            offload_bytes,
+            nvme_bytes,
+            nvme_bandwidth,
+            t_recompute,
+            ..
+        } => {
+            let costs = LayerCosts {
+                t_fwd: SimTime::from_secs_f64(lt.fwd()),
+                t_bwd: SimTime::from_secs_f64(lt.bwd),
+                t_recompute: SimTime::from_secs_f64(t_recompute),
+                offload_bytes,
+                bandwidth: w.calib.effective_pcie(),
+                nvme_bytes,
+                nvme_bandwidth,
+            };
+            let mut host = HostStaging::new(w.calib.host_capacity_per_gpu().max(1));
+            let sched = match memo_swap::schedule::build_iteration_schedule_with_slots(
+                p.layers_local,
+                costs,
+                SimTime::from_secs_f64(p.head_secs),
+                &mut host,
+                p.split.total(),
+                slots,
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    return Err(CellOutcome::Oohm {
+                        needed: e.used + e.requested,
+                        capacity: e.capacity,
+                    })
+                }
+            };
+            let makespan = sched.makespan.as_secs_f64();
+            let iter_secs = makespan * bubble_factor + p.optimizer_secs + p.grad_sync_secs;
+            // Only layers `i + slots < n` swap, and only those recompute.
+            let swapped_layers = p.layers_local.saturating_sub(slots) as f64;
+            let recompute = swapped_layers * t_recompute;
+            Ok((
+                iter_secs,
+                TimeBreakdown {
+                    compute: (sched.compute_busy.as_secs_f64() - recompute).max(0.0),
+                    recompute,
+                    stall: sched.compute_idle.as_secs_f64(),
+                    bubble: makespan * (bubble_factor - 1.0),
+                    optimizer: p.optimizer_secs,
+                    grad_sync: p.grad_sync_secs,
+                },
+                sched.host_peak,
+            ))
+        }
+        ActivationPlan::Recompute { refwd } => {
+            let layers = p.layers_local as f64;
+            // Forward, head, optional re-forward + backward, plus fixed
+            // costs and reorganisation stalls — the closed-form baseline.
+            let compute = if refwd {
+                layers * (2.0 * lt.fwd() + lt.bwd) + p.head_secs
+            } else {
+                layers * (lt.fwd() + lt.bwd) + p.head_secs
+            };
+            let stalls = mem.reorgs as f64 * w.calib.reorg_penalty_secs;
+            let raw = compute * bubble_factor + p.optimizer_secs + p.grad_sync_secs + stalls;
+            let derate = if derate {
+                w.calib.ds_compute_derate
+            } else {
+                1.0
+            };
+            let iter_secs = raw / derate;
+            let useful = layers * (lt.fwd() + lt.bwd) + p.head_secs;
+            let refwd_secs = if refwd { layers * lt.fwd() } else { 0.0 };
+            Ok((
+                iter_secs,
+                TimeBreakdown {
+                    compute: useful / derate,
+                    recompute: refwd_secs / derate,
+                    stall: stalls / derate,
+                    bubble: compute * (bubble_factor - 1.0) / derate,
+                    optimizer: p.optimizer_secs / derate,
+                    grad_sync: p.grad_sync_secs / derate,
+                },
+                0,
+            ))
+        }
+    }
+}

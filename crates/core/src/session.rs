@@ -1,23 +1,23 @@
 //! The user-facing API: describe a workload, pick a system, run.
 
 use crate::ablation::Variant;
-use crate::executor;
 use crate::outcome::CellOutcome;
+use crate::pipeline::{ExecutionPipeline, ExecutionReport};
 use memo_hal::calib::Calibration;
 use memo_hal::topology::ClusterSpec;
 use memo_model::config::ModelConfig;
 use memo_parallel::search;
-use memo_parallel::strategy::{ParallelConfig, SystemKind};
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 
 /// One training workload: a model, a cluster, a sequence length.
 ///
 /// ```
 /// use memo_core::session::Workload;
 /// use memo_model::config::ModelConfig;
-/// use memo_parallel::strategy::SystemKind;
+/// use memo_parallel::strategy::SystemSpec;
 ///
 /// let w = Workload::new(ModelConfig::gpt_7b(), 8, 256 * 1024);
-/// let (cfg, outcome) = w.run_best(SystemKind::Memo).expect("feasible");
+/// let (cfg, outcome) = w.run_best(SystemSpec::Memo).expect("feasible");
 /// let metrics = outcome.metrics().unwrap();
 /// assert!(metrics.mfu > 0.45);
 /// assert_eq!(cfg.world(), 8);
@@ -46,13 +46,17 @@ impl Workload {
         ClusterSpec::with_gpus(self.n_gpus, self.calib.clone())
     }
 
-    /// Run one system with an explicit parallel configuration.
-    pub fn run_with(&self, system: SystemKind, cfg: &ParallelConfig) -> CellOutcome {
-        match system {
-            SystemKind::Memo => executor::run_memo(self, cfg),
-            SystemKind::MegatronLM => executor::run_megatron(self, cfg),
-            SystemKind::DeepSpeed => executor::run_deepspeed(self, cfg),
-        }
+    /// Run one execution mode with an explicit parallel configuration.
+    /// Every [`SystemSpec`] variant dispatches through the staged
+    /// [`ExecutionPipeline`].
+    pub fn run_with(&self, system: SystemSpec, cfg: &ParallelConfig) -> CellOutcome {
+        self.run_report(system, cfg).outcome
+    }
+
+    /// Like [`Self::run_with`], but returning the full structured report:
+    /// the cell outcome plus the byte and time accounting behind it.
+    pub fn run_report(&self, system: SystemSpec, cfg: &ParallelConfig) -> ExecutionReport {
+        ExecutionPipeline::new(system).execute(self, cfg)
     }
 
     /// Run an ablation variant (Table 4) with an explicit configuration.
@@ -64,67 +68,85 @@ impl Workload {
     /// adjust ... for optimal performance", automated) and return the best
     /// outcome by TGS, with its configuration. `None` when every strategy
     /// fails (the whole table cell is X_oom / X_oohm).
-    pub fn run_best(&self, system: SystemKind) -> Option<(ParallelConfig, CellOutcome)> {
-        let gpn = self.calib.gpus_per_node.min(self.n_gpus);
-        let mut outcomes = std::collections::HashMap::new();
-        let best = search::best_config(system, &self.model, self.n_gpus, gpn, |cfg| {
-            let out = self.run_with(system, cfg);
-            let score = out.metrics().map(|m| m.tgs);
-            outcomes.insert(*cfg, out);
-            score
-        });
-        best.map(|(cfg, _)| {
-            let out = outcomes.remove(&cfg).expect("scored configs are cached");
-            (cfg, out)
-        })
+    pub fn run_best(&self, system: SystemSpec) -> Option<(ParallelConfig, CellOutcome)> {
+        self.search_strategies(system).0
     }
 
     /// Like [`Self::run_best`] but also reporting the dominant failure when
     /// no strategy works (for the X_oom vs X_oohm distinction in Table 3).
-    pub fn run_best_or_failure(&self, system: SystemKind) -> (Option<ParallelConfig>, CellOutcome) {
-        if let Some((cfg, out)) = self.run_best(system) {
-            return (Some(cfg), out);
+    pub fn run_best_or_failure(&self, system: SystemSpec) -> (Option<ParallelConfig>, CellOutcome) {
+        match self.search_strategies(system) {
+            (Some((cfg, out)), _) => (Some(cfg), out),
+            (None, failure) => (None, failure),
         }
-        // No feasible strategy: report the failure of the least-bad config
-        // (smallest shortfall), preferring OOHM if any config hits it (it
-        // means GPU memory sufficed but the host gave out).
+    }
+
+    /// One pass over the strategy space, capturing both the TGS-best
+    /// success and the least-bad failure: OOHM dominates OOM (GPU memory
+    /// sufficed, the host gave out), and within a kind the smallest
+    /// shortfall wins. [`CellOutcome::NoValidStrategy`] when the space is
+    /// empty.
+    fn search_strategies(
+        &self,
+        system: SystemSpec,
+    ) -> (Option<(ParallelConfig, CellOutcome)>, CellOutcome) {
         let gpn = self.calib.gpus_per_node.min(self.n_gpus);
-        let mut fallback: Option<CellOutcome> = None;
+        let mut best: Option<(ParallelConfig, CellOutcome, f64)> = None;
+        let mut failure: Option<CellOutcome> = None;
         for cfg in search::enumerate_configs(system, &self.model, self.n_gpus, gpn) {
             let out = self.run_with(system, &cfg);
-            match (&fallback, &out) {
-                (None, _) => fallback = Some(out),
-                (Some(CellOutcome::Oom { .. }), CellOutcome::Oohm { .. }) => {
-                    fallback = Some(out);
+            match out.metrics().map(|m| m.tgs) {
+                Some(tgs) => {
+                    // `>=` matches `Iterator::max_by` (ties keep the last
+                    // enumerated config), preserving pre-refactor picks.
+                    if best.as_ref().is_none_or(|(_, _, b)| tgs >= *b) {
+                        best = Some((cfg, out, tgs));
+                    }
                 }
-                _ => {}
+                None => {
+                    if failure_rank(&out) < failure.as_ref().map_or(u128::MAX, failure_rank) {
+                        failure = Some(out);
+                    }
+                }
             }
         }
         (
-            None,
-            fallback.unwrap_or(CellOutcome::Oom {
-                needed: 0,
-                capacity: 0,
-            }),
+            best.map(|(cfg, out, _)| (cfg, out)),
+            failure.unwrap_or(CellOutcome::NoValidStrategy),
         )
+    }
+}
+
+/// Lower ranks are less-bad failures: any OOHM before any OOM (host gave
+/// out while the GPU fit), smaller shortfalls first within each kind.
+fn failure_rank(out: &CellOutcome) -> u128 {
+    let kind_penalty = 1u128 << 64;
+    match out {
+        CellOutcome::Ok(_) => 0,
+        CellOutcome::Oohm { needed, capacity } => needed.saturating_sub(*capacity) as u128,
+        CellOutcome::Oom { needed, capacity } => {
+            kind_penalty + needed.saturating_sub(*capacity) as u128
+        }
+        CellOutcome::NoValidStrategy => u128::MAX,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::w7;
 
     #[test]
     fn memo_beats_baselines_at_moderate_length() {
         // 7B on 8 GPUs at 256K: Table 3 has MEMO ≈ 53.6%, Megatron ≈ 29%,
         // DeepSpeed ≈ 23%. Require the ordering and rough bands.
-        let w = Workload::new(ModelConfig::gpt_7b(), 8, 256 * 1024);
-        let (_, memo) = (
-            (),
-            w.run_with(SystemKind::Memo, &ParallelConfig::megatron(4, 2, 1, 1)),
+        let w = w7(8, 256);
+        let memo = w.run_with(SystemSpec::Memo, &ParallelConfig::megatron(4, 2, 1, 1));
+        let mega = w.run_with(
+            SystemSpec::MegatronLM,
+            &ParallelConfig::megatron(4, 2, 1, 1),
         );
-        let mega = w.run_with(SystemKind::MegatronLM, &ParallelConfig::megatron(4, 2, 1, 1));
-        let ds = w.run_with(SystemKind::DeepSpeed, &ParallelConfig::ulysses(8, 1));
+        let ds = w.run_with(SystemSpec::DeepSpeed, &ParallelConfig::ulysses(8, 1));
         let m_mfu = memo.mfu().expect("MEMO must fit 256K");
         let g_mfu = mega.mfu().expect("Megatron must fit 256K");
         assert!(m_mfu > g_mfu, "MEMO {m_mfu} vs Megatron {g_mfu}");
@@ -136,18 +158,37 @@ mod tests {
 
     #[test]
     fn run_best_returns_feasible_strategy() {
-        let w = Workload::new(ModelConfig::gpt_7b(), 8, 128 * 1024);
-        let (cfg, out) = w.run_best(SystemKind::Memo).expect("128K must be feasible");
+        let w = w7(8, 128);
+        let (cfg, out) = w.run_best(SystemSpec::Memo).expect("128K must be feasible");
         assert!(out.is_ok());
         assert_eq!(cfg.world(), 8);
     }
 
     #[test]
+    fn run_best_covers_every_mode() {
+        // All six execution modes are searchable end-to-end at a length
+        // each can survive, and return a strategy of the right family.
+        let w = w7(8, 64);
+        for spec in SystemSpec::ALL_MODES {
+            let (cfg, out) = w
+                .run_best(spec)
+                .unwrap_or_else(|| panic!("{spec:?} must be feasible at 64K"));
+            assert!(out.is_ok(), "{spec:?}");
+            assert_eq!(cfg.world(), 8, "{spec:?}");
+            if spec == SystemSpec::DeepSpeed {
+                assert!(cfg.ulysses > 1, "DeepSpeed must search the SP grid");
+            } else {
+                assert_eq!(cfg.ulysses, 1, "{spec:?} searches the Megatron grid");
+            }
+        }
+    }
+
+    #[test]
     fn memo_reaches_1m_on_8_gpus() {
         // The headline: 7B, 1Mi context, 8 GPUs, MFU > 50%.
-        let w = Workload::new(ModelConfig::gpt_7b(), 8, 1 << 20);
+        let w = w7(8, 1024);
         let (cfg, out) = w
-            .run_best(SystemKind::Memo)
+            .run_best(SystemSpec::Memo)
             .expect("MEMO must train 1M tokens on 8 GPUs");
         let m = out.metrics().expect("feasible");
         assert!(
@@ -160,10 +201,26 @@ mod tests {
 
     #[test]
     fn baselines_oom_before_memo() {
-        let w = Workload::new(ModelConfig::gpt_7b(), 8, 1 << 20);
-        let (_, mega) = w.run_best_or_failure(SystemKind::MegatronLM);
-        let (_, ds) = w.run_best_or_failure(SystemKind::DeepSpeed);
+        let w = w7(8, 1024);
+        let (_, mega) = w.run_best_or_failure(SystemSpec::MegatronLM);
+        let (_, ds) = w.run_best_or_failure(SystemSpec::DeepSpeed);
         assert!(!mega.is_ok(), "Megatron should not reach 1M on 8 GPUs");
         assert!(!ds.is_ok(), "DeepSpeed should not reach 1M on 8 GPUs");
+    }
+
+    #[test]
+    fn best_or_failure_reports_real_shortfalls() {
+        // The failure path must carry actual byte counts, not sentinels —
+        // and an empty search space reports NoValidStrategy.
+        let w = w7(8, 2048);
+        let (cfg, out) = w.run_best_or_failure(SystemSpec::MegatronLM);
+        assert!(cfg.is_none());
+        match out {
+            CellOutcome::Oom { needed, capacity } | CellOutcome::Oohm { needed, capacity } => {
+                assert!(needed > 0 && capacity > 0, "sentinel failure: {out:?}");
+                assert!(needed > capacity, "failure must show a shortfall");
+            }
+            other => panic!("expected a memory failure, got {other:?}"),
+        }
     }
 }

@@ -45,7 +45,6 @@ impl ClusterTimeline {
 
     /// Enqueue an offload transfer on one rank; returns its completion event.
     pub fn offload(&mut self, rank: usize, dur: SimTime, label: &str) -> EventId {
-        
         {
             let tl = &mut self.timelines[rank];
             let compute_done = tl.record_event(self.compute[rank]);

@@ -147,13 +147,14 @@ impl Calibration {
 
     /// Host DRAM usable for activation staging, per GPU (bytes).
     pub fn host_capacity_per_gpu(&self) -> u64 {
-        ((self.host_memory_bytes as f64 * self.host_usable_fraction)
-            / self.gpus_per_node as f64) as u64
+        ((self.host_memory_bytes as f64 * self.host_usable_fraction) / self.gpus_per_node as f64)
+            as u64
     }
 
     /// HBM usable by the training job's allocator (bytes).
     pub fn usable_gpu_memory(&self) -> u64 {
-        self.gpu_memory_bytes.saturating_sub(self.gpu_reserved_bytes)
+        self.gpu_memory_bytes
+            .saturating_sub(self.gpu_reserved_bytes)
     }
 
     /// Seconds to execute `flops` at the given efficiency fraction.

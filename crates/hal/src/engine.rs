@@ -214,7 +214,11 @@ pub struct CausalityError {
 
 impl fmt::Display for CausalityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "causality violation at '{}': {}", self.label, self.detail)
+        write!(
+            f,
+            "causality violation at '{}': {}",
+            self.label, self.detail
+        )
     }
 }
 

@@ -16,12 +16,7 @@ pub fn render_ascii(tl: &Timeline, width: usize) -> String {
     if makespan == SimTime::ZERO {
         return String::from("(empty timeline)\n");
     }
-    let n_streams = tl
-        .spans()
-        .iter()
-        .map(|s| s.stream.0 + 1)
-        .max()
-        .unwrap_or(0);
+    let n_streams = tl.spans().iter().map(|s| s.stream.0 + 1).max().unwrap_or(0);
     let scale = width as f64 / makespan.as_secs_f64();
     let name_w = (0..n_streams)
         .map(|i| tl.stream_name(StreamId(i)).len())
@@ -35,8 +30,7 @@ pub fn render_ascii(tl: &Timeline, width: usize) -> String {
         let mut lane = vec![' '; width];
         for sp in tl.spans().iter().filter(|s| s.stream == sid) {
             let a = ((sp.start.as_secs_f64() * scale) as usize).min(width - 1);
-            let b = ((sp.end.as_secs_f64() * scale).ceil() as usize)
-                .clamp(a + 1, width);
+            let b = ((sp.end.as_secs_f64() * scale).ceil() as usize).clamp(a + 1, width);
             let cell = &mut lane[a..b];
             if cell.len() <= 2 {
                 cell.fill('#');

@@ -139,13 +139,25 @@ mod tests {
     #[test]
     fn table2_hyperparameters() {
         let m = ModelConfig::gpt_7b();
-        assert_eq!((m.n_layers, m.hidden, m.ffn_hidden, m.n_heads), (32, 4096, 16384, 32));
+        assert_eq!(
+            (m.n_layers, m.hidden, m.ffn_hidden, m.n_heads),
+            (32, 4096, 16384, 32)
+        );
         let m = ModelConfig::gpt_13b();
-        assert_eq!((m.n_layers, m.hidden, m.ffn_hidden, m.n_heads), (40, 5120, 20480, 40));
+        assert_eq!(
+            (m.n_layers, m.hidden, m.ffn_hidden, m.n_heads),
+            (40, 5120, 20480, 40)
+        );
         let m = ModelConfig::gpt_30b();
-        assert_eq!((m.n_layers, m.hidden, m.ffn_hidden, m.n_heads), (48, 7168, 28672, 56));
+        assert_eq!(
+            (m.n_layers, m.hidden, m.ffn_hidden, m.n_heads),
+            (48, 7168, 28672, 56)
+        );
         let m = ModelConfig::gpt_65b();
-        assert_eq!((m.n_layers, m.hidden, m.ffn_hidden, m.n_heads), (80, 8192, 32768, 64));
+        assert_eq!(
+            (m.n_layers, m.hidden, m.ffn_hidden, m.n_heads),
+            (80, 8192, 32768, 64)
+        );
     }
 
     #[test]

@@ -66,7 +66,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -94,12 +98,15 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<IterationTrace, ParseError> {
         let mut parts = line.splitn(4, ' ');
         match parts.next() {
             Some("segment") => {
-                let tag = parts.next().ok_or_else(|| err(i + 1, "missing segment kind"))?;
+                let tag = parts
+                    .next()
+                    .ok_or_else(|| err(i + 1, "missing segment kind"))?;
                 let arg: usize = parts
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err(i + 1, "bad segment arg"))?;
-                let kind = parse_kind(tag, arg).ok_or_else(|| err(i + 1, "unknown segment kind"))?;
+                let kind =
+                    parse_kind(tag, arg).ok_or_else(|| err(i + 1, "unknown segment kind"))?;
                 segments.push(TraceSegment {
                     kind,
                     requests: Vec::new(),
@@ -119,7 +126,11 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<IterationTrace, ParseError> {
                     .ok_or_else(|| err(i + 1, "bad byte count"))?;
                 let label = parts.next().unwrap_or("").to_string();
                 seg.requests.push(Request {
-                    op: if op == "malloc" { MemOp::Malloc } else { MemOp::Free },
+                    op: if op == "malloc" {
+                        MemOp::Malloc
+                    } else {
+                        MemOp::Free
+                    },
                     tensor: TensorId(id),
                     bytes,
                     label,

@@ -15,9 +15,9 @@
 //!   the bi-level planner can exploit the repetitive substructure.
 
 pub mod activations;
-pub mod io;
 pub mod config;
 pub mod flops;
+pub mod io;
 pub mod trace;
 
 pub use activations::{LayerDims, SkeletalKind, SkeletalTensor};

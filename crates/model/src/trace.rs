@@ -220,7 +220,11 @@ impl IterationTrace {
     pub fn render_segment(&self, kind: SegmentKind, n: usize) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "{:<6} {:<12} {:<10} {:<12} label", "index", "instruction", "tensor_id", "size");
+        let _ = writeln!(
+            out,
+            "{:<6} {:<12} {:<10} {:<12} label",
+            "index", "instruction", "tensor_id", "size"
+        );
         let mut idx = 0usize;
         for seg in &self.segments {
             for r in &seg.requests {
@@ -282,7 +286,9 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::DoubleMalloc(t) => write!(f, "tensor {} malloc'd twice", t.0),
-            TraceError::FreeWithoutMalloc(t) => write!(f, "tensor {} freed but never malloc'd", t.0),
+            TraceError::FreeWithoutMalloc(t) => {
+                write!(f, "tensor {} freed but never malloc'd", t.0)
+            }
             TraceError::SizeMismatch(t) => write!(f, "tensor {} freed with a different size", t.0),
             TraceError::Leaked(t) => write!(f, "tensor {} never freed", t.0),
         }
@@ -497,8 +503,7 @@ fn layer_forward(
     let alloc_skeletal = remat_pass || !matches!(p.policy, RematPolicy::MemoTokenWise);
     // Under full recomputation the forward pass keeps nothing but the input,
     // so "skeletal" tensors behave like transients inside this segment.
-    let keep = remat_pass
-        || matches!(p.policy, RematPolicy::KeepAll | RematPolicy::MemoTokenWise);
+    let keep = remat_pass || matches!(p.policy, RematPolicy::KeepAll | RematPolicy::MemoTokenWise);
 
     let mut skel = LayerSkeleton {
         input,
@@ -841,7 +846,10 @@ mod tests {
         pc.vocab_local = 100_000;
         let base = generate(&pc);
         // Three fp32 tokens×vocab tensors at peak vs chunked loss.
-        assert!(t.peak_live_bytes() >= base.peak_live_bytes() + 2 * p.dims.tokens_local * p.vocab_local * 4);
+        assert!(
+            t.peak_live_bytes()
+                >= base.peak_live_bytes() + 2 * p.dims.tokens_local * p.vocab_local * 4
+        );
     }
 
     #[test]

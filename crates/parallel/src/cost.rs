@@ -68,7 +68,9 @@ pub fn layer_time(
     // Backward: dense 2×, attention 2.5× (flash recomputes internally),
     // elementwise 2×, comm volume symmetric — except ZeRO-3, which pays both
     // a parameter gather and a gradient reduce-scatter.
-    let bwd = 2.0 * dense_fwd + 2.5 * attn_fwd + 2.0 * elementwise_fwd
+    let bwd = 2.0 * dense_fwd
+        + 2.5 * attn_fwd
+        + 2.0 * elementwise_fwd
         + comm_fwd
         + comm_detail.zero3_gather;
 
@@ -135,7 +137,10 @@ mod tests {
         // The crossover sits in the 128K–256K band around the paper's 192K.
         let lo = ratio_at(128 * 1024);
         let hi = ratio_at(256 * 1024);
-        assert!(lo > 1.0 && hi < 1.0, "crossover must lie between 128K and 256K (got {lo:.2}, {hi:.2})");
+        assert!(
+            lo > 1.0 && hi < 1.0,
+            "crossover must lie between 128K and 256K (got {lo:.2}, {hi:.2})"
+        );
     }
 
     /// Figure 7: FlashAttention share of forward time exceeds 90% past 576K.

@@ -18,11 +18,11 @@
 //! system and picks the best under a caller-provided evaluation.
 
 pub mod comm;
-pub mod pipeline;
 pub mod cost;
 pub mod memory;
+pub mod pipeline;
 pub mod search;
 pub mod strategy;
 
 pub use cost::LayerTime;
-pub use strategy::{ParallelConfig, StrategyError, SystemKind};
+pub use strategy::{ParallelConfig, SearchFamily, StrategyError, SystemKind, SystemSpec};

@@ -76,8 +76,7 @@ pub fn persistent_tensor_sizes(model: &ModelConfig, cfg: &ParallelConfig) -> Vec
     let layer_p = model.params_per_layer().div_ceil((cfg.tp) as u64);
     // Embedding/classifier states sit on the first/last pipeline stages;
     // charge the per-stage average.
-    let head_p =
-        (2 * model.vocab as u64 * model.hidden as u64).div_ceil((cfg.tp * cfg.pp) as u64);
+    let head_p = (2 * model.vocab as u64 * model.hidden as u64).div_ceil((cfg.tp * cfg.pp) as u64);
     let layers = model.n_layers.div_ceil(cfg.pp);
     let mut out = Vec::with_capacity(layers * 4 + 4);
     for _ in 0..layers {
@@ -215,7 +214,10 @@ mod tests {
     #[test]
     fn gather_buffer_only_for_zero3() {
         let m = ModelConfig::gpt_7b();
-        assert_eq!(zero3_gather_bytes(&m, &ParallelConfig::megatron(4, 2, 1, 1)), 0);
+        assert_eq!(
+            zero3_gather_bytes(&m, &ParallelConfig::megatron(4, 2, 1, 1)),
+            0
+        );
         let u = ParallelConfig::ulysses(8, 1);
         assert_eq!(zero3_gather_bytes(&m, &u), 2 * m.params_per_layer());
     }

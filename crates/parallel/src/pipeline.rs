@@ -50,7 +50,9 @@ pub fn simulate(
 ) -> PipelineOutcome {
     assert!(pp >= 1 && m >= 1);
     let mut tl = Timeline::new();
-    let stages: Vec<_> = (0..pp).map(|s| tl.add_stream(format!("stage{s}"))).collect();
+    let stages: Vec<_> = (0..pp)
+        .map(|s| tl.add_stream(format!("stage{s}")))
+        .collect();
 
     // fwd_done[s][j] = event after stage s finishes fwd of micro-batch j
     let mut fwd_done: Vec<Vec<Option<EventId>>> = vec![vec![None; m]; pp];

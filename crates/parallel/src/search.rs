@@ -6,7 +6,7 @@
 //! system, score each with a caller-supplied evaluator (typically the full
 //! simulated iteration, returning `None` on OOM/OOHM), and keep the best.
 
-use crate::strategy::{ParallelConfig, SystemKind};
+use crate::strategy::{ParallelConfig, SearchFamily, SystemSpec};
 use memo_model::config::ModelConfig;
 
 /// All divisor pairs/tuples of `n`.
@@ -16,14 +16,14 @@ fn divisors(n: usize) -> Vec<usize> {
 
 /// Enumerate valid configurations for a system on `n_gpus`.
 pub fn enumerate_configs(
-    system: SystemKind,
+    system: SystemSpec,
     model: &ModelConfig,
     n_gpus: usize,
     gpus_per_node: usize,
 ) -> Vec<ParallelConfig> {
     let mut out = Vec::new();
-    match system {
-        SystemKind::Memo | SystemKind::MegatronLM => {
+    match system.family() {
+        SearchFamily::MegatronGrid => {
             for &tp in &divisors(n_gpus) {
                 for &cp in &divisors(n_gpus / tp) {
                     for &pp in &divisors(n_gpus / (tp * cp)) {
@@ -36,7 +36,7 @@ pub fn enumerate_configs(
                 }
             }
         }
-        SystemKind::DeepSpeed => {
+        SearchFamily::UlyssesGrid => {
             for &sp in &divisors(n_gpus) {
                 let dp = n_gpus / sp;
                 let cfg = ParallelConfig::ulysses(sp, dp);
@@ -52,7 +52,7 @@ pub fn enumerate_configs(
 /// Best configuration under `score` (higher is better; `None` = infeasible).
 /// Returns the config and its score.
 pub fn best_config<F>(
-    system: SystemKind,
+    system: SystemSpec,
     model: &ModelConfig,
     n_gpus: usize,
     gpus_per_node: usize,
@@ -74,7 +74,7 @@ mod tests {
     #[test]
     fn megatron_space_covers_paper_choices() {
         let m = ModelConfig::gpt_7b();
-        let cfgs = enumerate_configs(SystemKind::MegatronLM, &m, 8, 8);
+        let cfgs = enumerate_configs(SystemSpec::MegatronLM, &m, 8, 8);
         // Table 6's 7B/8GPU strategies must be present.
         assert!(cfgs.contains(&ParallelConfig::megatron(2, 4, 1, 1)));
         assert!(cfgs.contains(&ParallelConfig::megatron(4, 2, 1, 1)));
@@ -86,7 +86,7 @@ mod tests {
         // 30B has 56 heads: SP 16/32 invalid on 32 GPUs, SP 8 valid —
         // exactly the paper's observation (§5.2).
         let m = ModelConfig::gpt_30b();
-        let cfgs = enumerate_configs(SystemKind::DeepSpeed, &m, 32, 8);
+        let cfgs = enumerate_configs(SystemSpec::DeepSpeed, &m, 32, 8);
         let sps: Vec<usize> = cfgs.iter().map(|c| c.ulysses).collect();
         assert!(sps.contains(&8));
         assert!(!sps.contains(&16));
@@ -97,24 +97,24 @@ mod tests {
     fn best_config_maximises_score() {
         let m = ModelConfig::gpt_7b();
         // Prefer large TP artificially.
-        let best = best_config(SystemKind::MegatronLM, &m, 8, 8, |c| Some(c.tp as f64));
+        let best = best_config(SystemSpec::MegatronLM, &m, 8, 8, |c| Some(c.tp as f64));
         assert_eq!(best.unwrap().0.tp, 8);
     }
 
     #[test]
     fn infeasible_everything_yields_none() {
         let m = ModelConfig::gpt_7b();
-        let best = best_config(SystemKind::DeepSpeed, &m, 8, 8, |_| None::<f64>);
+        let best = best_config(SystemSpec::DeepSpeed, &m, 8, 8, |_| None::<f64>);
         assert!(best.is_none());
     }
 
     #[test]
     fn enumerations_multiply_to_world() {
         let m = ModelConfig::gpt_65b();
-        for cfg in enumerate_configs(SystemKind::MegatronLM, &m, 64, 8) {
+        for cfg in enumerate_configs(SystemSpec::MegatronLM, &m, 64, 8) {
             assert_eq!(cfg.world(), 64);
         }
-        for cfg in enumerate_configs(SystemKind::DeepSpeed, &m, 64, 8) {
+        for cfg in enumerate_configs(SystemSpec::DeepSpeed, &m, 64, 8) {
             assert_eq!(cfg.world(), 64);
         }
     }

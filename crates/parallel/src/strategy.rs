@@ -3,28 +3,89 @@
 use memo_model::config::ModelConfig;
 use serde::{Deserialize, Serialize};
 
-/// Which training framework a run simulates.
+/// Which execution mode a run simulates: the three paper systems, the two
+/// rematerialisation/granularity baselines, the NVMe extension, and the
+/// ablation variants of Table 4. Every variant dispatches through the same
+/// staged `ExecutionPipeline` in `memo-core`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SystemKind {
+pub enum SystemSpec {
     /// MEMO: Megatron-style parallelism + token-wise swap + memory plan.
     Memo,
     /// Megatron-LM + TransformerEngine: TP/SP/CP/PP, ZeRO-1, full
     /// recomputation, caching allocator.
     MegatronLM,
+    /// Megatron-LM with rematerialisation disabled (keep-all activations).
+    MegatronKeepAll,
     /// Megatron-DeepSpeed: Ulysses SP + ZeRO-3, full recomputation,
     /// caching allocator.
     DeepSpeed,
+    /// Capuchin-style hybrid: swap-vs-recompute decided per whole tensor.
+    TensorHybrid,
+    /// MEMO with a third storage tier: host overflow spills to NVMe.
+    MemoNvme,
+    /// Ablation: full recomputation with bi-level planned addresses.
+    FullRecomputePlan,
+    /// Ablation: α forced to 1 (swap everything, recompute nothing).
+    FullSwapPlan,
+    /// Ablation: MEMO with `n` rounding buffers instead of two.
+    MemoBufferSlots(u8),
 }
 
-impl SystemKind {
+/// How the strategy search enumerates configurations for a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchFamily {
+    /// TP × CP × PP × DP divisor grid (Megatron-style systems and MEMO).
+    MegatronGrid,
+    /// Ulysses SP × DP pairs (DeepSpeed).
+    UlyssesGrid,
+}
+
+impl SystemSpec {
+    /// The paper's three headline systems (Tables 3 and 5).
+    pub const PAPER: [SystemSpec; 3] = [
+        SystemSpec::DeepSpeed,
+        SystemSpec::MegatronLM,
+        SystemSpec::Memo,
+    ];
+
+    /// All six primary execution modes (systems + baselines + NVMe tier).
+    pub const ALL_MODES: [SystemSpec; 6] = [
+        SystemSpec::DeepSpeed,
+        SystemSpec::MegatronLM,
+        SystemSpec::MegatronKeepAll,
+        SystemSpec::TensorHybrid,
+        SystemSpec::Memo,
+        SystemSpec::MemoNvme,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
-            SystemKind::Memo => "MEMO",
-            SystemKind::MegatronLM => "Megatron-LM",
-            SystemKind::DeepSpeed => "DeepSpeed",
+            SystemSpec::Memo => "MEMO",
+            SystemSpec::MegatronLM => "Megatron-LM",
+            SystemSpec::MegatronKeepAll => "Megatron-KA",
+            SystemSpec::DeepSpeed => "DeepSpeed",
+            SystemSpec::TensorHybrid => "TensorHybrid",
+            SystemSpec::MemoNvme => "MEMO+NVMe",
+            SystemSpec::FullRecomputePlan => "Recompute+Plan",
+            SystemSpec::FullSwapPlan => "FullSwap+Plan",
+            SystemSpec::MemoBufferSlots(_) => "MEMO-slots",
+        }
+    }
+
+    /// Which strategy grid the search walks for this mode. Everything
+    /// Megatron-shaped (including all MEMO variants) searches TP/CP/PP/DP;
+    /// only DeepSpeed uses the Ulysses SP×DP space.
+    pub fn family(self) -> SearchFamily {
+        match self {
+            SystemSpec::DeepSpeed => SearchFamily::UlyssesGrid,
+            _ => SearchFamily::MegatronGrid,
         }
     }
 }
+
+/// Former name of [`SystemSpec`] when it covered only the paper's three
+/// systems. Kept as an alias so existing call sites keep compiling.
+pub type SystemKind = SystemSpec;
 
 /// A concrete parallelism assignment. World size is the product of all
 /// degrees; unused dimensions stay at 1.
@@ -204,7 +265,10 @@ impl std::fmt::Display for StrategyError {
                 write!(f, "TP {tp} exceeds node size {gpus_per_node}")
             }
             StrategyError::HeadsNotDivisible { heads, split } => {
-                write!(f, "{heads} attention heads not divisible by head split {split}")
+                write!(
+                    f,
+                    "{heads} attention heads not divisible by head split {split}"
+                )
             }
             StrategyError::TooManyStages { pp, layers } => {
                 write!(f, "{pp} pipeline stages for {layers} layers")
@@ -243,24 +307,35 @@ mod tests {
     #[test]
     fn validation_catches_paper_constraints() {
         let m7 = ModelConfig::gpt_7b(); // 32 heads
-        // valid Memo config from Table 7 (8 GPUs, 256K): TP4 CP2
-        ParallelConfig::megatron(4, 2, 1, 1).validate(&m7, 8, 8).unwrap();
+                                        // valid Memo config from Table 7 (8 GPUs, 256K): TP4 CP2
+        ParallelConfig::megatron(4, 2, 1, 1)
+            .validate(&m7, 8, 8)
+            .unwrap();
         // Ulysses SP cannot exceed head divisibility: 13B has 40 heads, SP 16
         // does not divide -> invalid (why DeepSpeed tops out at SP 8, §5.2).
         let m13 = ModelConfig::gpt_13b();
-        let err = ParallelConfig::ulysses(16, 1).validate(&m13, 16, 8).unwrap_err();
+        let err = ParallelConfig::ulysses(16, 1)
+            .validate(&m13, 16, 8)
+            .unwrap_err();
         assert!(matches!(err, StrategyError::HeadsNotDivisible { .. }));
         // TP must fit in a node.
-        let err = ParallelConfig::megatron(16, 1, 1, 1).validate(&m7, 16, 8).unwrap_err();
+        let err = ParallelConfig::megatron(16, 1, 1, 1)
+            .validate(&m7, 16, 8)
+            .unwrap_err();
         assert!(matches!(err, StrategyError::TpExceedsNode { .. }));
         // world mismatch
-        let err = ParallelConfig::megatron(4, 2, 1, 1).validate(&m7, 16, 8).unwrap_err();
+        let err = ParallelConfig::megatron(4, 2, 1, 1)
+            .validate(&m7, 16, 8)
+            .unwrap_err();
         assert!(matches!(err, StrategyError::WorldMismatch { .. }));
     }
 
     #[test]
     fn describe_is_compact() {
-        assert_eq!(ParallelConfig::megatron(4, 2, 1, 1).describe(), "TP4·CP2·DP1·Z1");
+        assert_eq!(
+            ParallelConfig::megatron(4, 2, 1, 1).describe(),
+            "TP4·CP2·DP1·Z1"
+        );
         assert_eq!(ParallelConfig::ulysses(8, 2).describe(), "SP8·DP2·Z3");
     }
 

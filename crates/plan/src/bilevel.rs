@@ -219,7 +219,9 @@ pub fn plan_iteration(trace: &IterationTrace, opts: &PlanOptions) -> BilevelRepo
             death: span.end.min(total_events),
         });
     }
-    let l2_inst = DsaInstance { tensors: l2_tensors };
+    let l2_inst = DsaInstance {
+        tensors: l2_tensors,
+    };
     let l2_sol = bnb::solve(&l2_inst, opts.level2);
     debug_assert!(l2_sol.assignment.validate(&l2_inst).is_ok());
 

@@ -206,12 +206,7 @@ mod tests {
     /// pruning shortcuts (tiny instances only).
     #[allow(clippy::needless_range_loop)]
     fn brute_force(inst: &DsaInstance) -> u64 {
-        fn rec(
-            inst: &DsaInstance,
-            offsets: &mut Vec<Option<u64>>,
-            best: &mut u64,
-            peak: u64,
-        ) {
+        fn rec(inst: &DsaInstance, offsets: &mut Vec<Option<u64>>, best: &mut u64, peak: u64) {
             if peak >= *best {
                 return;
             }
@@ -261,12 +256,7 @@ mod tests {
         // Sizes and lifespans chosen so naive size-ordered best-fit leaves a
         // hole; exact search must reach the liveness bound or prove a gap.
         let inst = DsaInstance {
-            tensors: vec![
-                t(0, 4, 0, 3),
-                t(1, 4, 4, 8),
-                t(2, 6, 2, 6),
-                t(3, 2, 1, 7),
-            ],
+            tensors: vec![t(0, 4, 0, 3), t(1, 4, 4, 8), t(2, 6, 2, 6), t(3, 2, 1, 7)],
         };
         let sol = solve(&inst, BnbOptions::default());
         assert!(sol.optimal);
@@ -321,7 +311,12 @@ mod tests {
         let tensors = (0..120)
             .map(|i| {
                 let birth = rng.gen_range(0..50usize);
-                t(i as u64, rng.gen_range(1..100), birth, birth + rng.gen_range(1..20))
+                t(
+                    i as u64,
+                    rng.gen_range(1..100),
+                    birth,
+                    birth + rng.gen_range(1..20),
+                )
             })
             .collect();
         let inst = DsaInstance { tensors };
@@ -343,7 +338,12 @@ mod tests {
         let tensors = (0..18)
             .map(|i| {
                 let birth = rng.gen_range(0..10usize);
-                t(i as u64, rng.gen_range(1..50), birth, birth + rng.gen_range(1..9))
+                t(
+                    i as u64,
+                    rng.gen_range(1..50),
+                    birth,
+                    birth + rng.gen_range(1..9),
+                )
             })
             .collect();
         let inst = DsaInstance { tensors };

@@ -72,7 +72,10 @@ fn ordering(inst: &DsaInstance, order: Order) -> Vec<usize> {
         }),
         Order::DurationDesc => idx.sort_by_key(|&i| {
             let t = inst.tensors[i];
-            (std::cmp::Reverse(t.death - t.birth), std::cmp::Reverse(t.size))
+            (
+                std::cmp::Reverse(t.death - t.birth),
+                std::cmp::Reverse(t.size),
+            )
         }),
         Order::BirthAsc => idx.sort_by_key(|&i| inst.tensors[i].birth),
         Order::AreaDesc => idx.sort_by_key(|&i| {

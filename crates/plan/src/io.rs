@@ -35,7 +35,11 @@ pub struct PlanParseError {
 
 impl std::fmt::Display for PlanParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "plan parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "plan parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -24,10 +24,10 @@
 //!   consumed by `memo_alloc::plan::PlanAllocator`.
 
 pub mod bilevel;
-pub mod io;
 pub mod bnb;
 pub mod dsa;
 pub mod heuristic;
+pub mod io;
 pub mod memplan;
 
 pub use bilevel::{plan_iteration, BilevelReport, PlanOptions};

@@ -250,7 +250,9 @@ mod tests {
         let c = costs(10, 1.5, 0);
         let out = run(8, c);
         // Backward portion (from forward_end + head) should be ~8 × t_bwd.
-        let bwd_span = out.makespan.saturating_sub(out.forward_end + SimTime::from_millis(5));
+        let bwd_span = out
+            .makespan
+            .saturating_sub(out.forward_end + SimTime::from_millis(5));
         let lower = SimTime::from_millis(8 * 20);
         let upper = SimTime::from_millis(8 * 20 + 25);
         assert!(
@@ -315,8 +317,7 @@ mod tests {
         let c = costs(10, 1.5, 0);
         let run_slots = |slots: usize| {
             let mut host = HostStaging::new(u64::MAX / 2);
-            build_iteration_schedule_with_slots(24, c, SimTime::ZERO, &mut host, 0, slots)
-                .unwrap()
+            build_iteration_schedule_with_slots(24, c, SimTime::ZERO, &mut host, 0, slots).unwrap()
         };
         let two = run_slots(2);
         let three = run_slots(3);

@@ -18,7 +18,14 @@ pub struct AttnOutput {
 }
 
 /// Streaming causal attention forward.
-pub fn attention_fwd(q: &[f32], k: &[f32], v: &[f32], t: usize, n_heads: usize, d: usize) -> AttnOutput {
+pub fn attention_fwd(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    t: usize,
+    n_heads: usize,
+    d: usize,
+) -> AttnOutput {
     let h = n_heads * d;
     assert_eq!(q.len(), t * h);
     let scale = 1.0 / (d as f32).sqrt();
@@ -37,7 +44,11 @@ pub fn attention_fwd(q: &[f32], k: &[f32], v: &[f32], t: usize, n_heads: usize, 
                 let kj = &k[j * h + col..j * h + col + d];
                 let s: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
                 let m_new = m.max(s);
-                let corr = if m.is_finite() { (m - m_new).exp() } else { 0.0 };
+                let corr = if m.is_finite() {
+                    (m - m_new).exp()
+                } else {
+                    0.0
+                };
                 let p = (s - m_new).exp();
                 z = z * corr + p;
                 let vj = &v[j * h + col..j * h + col + d];
@@ -201,7 +212,9 @@ mod tests {
         let o = attention_fwd(&q, &k, &v, t, n_heads, d);
         let dout: Vec<f32> = o.out.iter().zip(&target).map(|(a, b)| a - b).collect();
         let (mut dq, mut dk, mut dv) = (vec![0.0; t * h], vec![0.0; t * h], vec![0.0; t * h]);
-        attention_bwd(&q, &k, &v, &o, &dout, t, n_heads, d, &mut dq, &mut dk, &mut dv);
+        attention_bwd(
+            &q, &k, &v, &o, &dout, t, n_heads, d, &mut dq, &mut dk, &mut dv,
+        );
 
         for which in 0..3 {
             let analytic = match which {

@@ -60,7 +60,9 @@ impl GptGrads {
         GptGrads {
             tok_emb: vec![0.0; cfg.vocab * cfg.hidden],
             pos_emb: vec![0.0; cfg.max_seq * cfg.hidden],
-            layers: (0..cfg.n_layers).map(|_| LayerGrads::zeros(cfg.shape())).collect(),
+            layers: (0..cfg.n_layers)
+                .map(|_| LayerGrads::zeros(cfg.shape()))
+                .collect(),
             lnf_g: vec![0.0; cfg.hidden],
             lnf_b: vec![0.0; cfg.hidden],
             head: vec![0.0; cfg.hidden * cfg.vocab],
@@ -94,9 +96,8 @@ impl TinyGpt {
         let mut rng = StdRng::seed_from_u64(seed);
         let h = cfg.hidden;
         let scale = 0.08;
-        let mut rv = |n: usize| -> Vec<f32> {
-            (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
-        };
+        let mut rv =
+            |n: usize| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-scale..scale)).collect() };
         let tok_emb = rv(cfg.vocab * h);
         let pos_emb = rv(cfg.max_seq * h);
         let layers = (0..cfg.n_layers)
@@ -161,8 +162,17 @@ impl TinyGpt {
         take(&mut self.pos_emb);
         for l in &mut self.layers {
             for v in [
-                &mut l.ln1_g, &mut l.ln1_b, &mut l.wqkv, &mut l.bqkv, &mut l.wproj,
-                &mut l.bproj, &mut l.ln2_g, &mut l.ln2_b, &mut l.w1, &mut l.b1, &mut l.w2,
+                &mut l.ln1_g,
+                &mut l.ln1_b,
+                &mut l.wqkv,
+                &mut l.bqkv,
+                &mut l.wproj,
+                &mut l.bproj,
+                &mut l.ln2_g,
+                &mut l.ln2_b,
+                &mut l.w1,
+                &mut l.b1,
+                &mut l.w2,
                 &mut l.b2,
             ] {
                 take(v);
@@ -211,9 +221,27 @@ impl TinyGpt {
 
         // ---- backward ---------------------------------------------------
         let mut dlnf = vec![0.0f32; t * h];
-        matmul_bwd(&lnf, &self.head, &dlogits, t, h, v, &mut dlnf, &mut grads.head);
+        matmul_bwd(
+            &lnf,
+            &self.head,
+            &dlogits,
+            t,
+            h,
+            v,
+            &mut dlnf,
+            &mut grads.head,
+        );
         let mut dx = vec![0.0f32; t * h];
-        layernorm_bwd(&x, &self.lnf_g, &dlnf, t, h, &mut dx, &mut grads.lnf_g, &mut grads.lnf_b);
+        layernorm_bwd(
+            &x,
+            &self.lnf_g,
+            &dlnf,
+            t,
+            h,
+            &mut dx,
+            &mut grads.lnf_g,
+            &mut grads.lnf_b,
+        );
         for idx in (0..self.layers.len()).rev() {
             let layer = &self.layers[idx];
             let skel = layer.materialize(store.take(idx));
@@ -272,7 +300,10 @@ mod tests {
         let mut g = GptGrads::zeros(&cfg());
         let loss = m.loss_and_grad(&tokens, &targets, Policy::KeepAll, &mut g);
         let uniform = (17f32).ln();
-        assert!((loss - uniform).abs() < 0.7, "init loss {loss} vs ln(V) {uniform}");
+        assert!(
+            (loss - uniform).abs() < 0.7,
+            "init loss {loss} vs ln(V) {uniform}"
+        );
     }
 
     #[test]

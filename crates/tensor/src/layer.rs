@@ -9,9 +9,9 @@
 
 use crate::attention::{attention_bwd, attention_fwd};
 use crate::ops::*;
-use crate::store::{ActivationStore, Skeletal, Stash};
 #[cfg(test)]
 use crate::store::Policy;
+use crate::store::{ActivationStore, Skeletal, Stash};
 
 /// Layer hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,8 +36,8 @@ pub struct LayerParams {
     pub shape: LayerShape,
     pub ln1_g: Vec<f32>,
     pub ln1_b: Vec<f32>,
-    pub wqkv: Vec<f32>, // [h, 3h]
-    pub bqkv: Vec<f32>, // [3h]
+    pub wqkv: Vec<f32>,  // [h, 3h]
+    pub bqkv: Vec<f32>,  // [3h]
     pub wproj: Vec<f32>, // [h, h]
     pub bproj: Vec<f32>,
     pub ln2_g: Vec<f32>,
@@ -180,7 +180,14 @@ impl LayerParams {
             skel.input = input;
         }
         // Phase 2: attention over the full q/k/v.
-        let attn = attention_fwd(&skel.q, &skel.k, &skel.v, t, self.shape.n_heads, self.shape.head_dim());
+        let attn = attention_fwd(
+            &skel.q,
+            &skel.k,
+            &skel.v,
+            t,
+            self.shape.n_heads,
+            self.shape.head_dim(),
+        );
         // Phase 3: proj/res1/LN2/FFN (token-wise) with the real attention.
         {
             let input = std::mem::take(&mut skel.input);
@@ -229,7 +236,14 @@ impl LayerParams {
                 skel.input = input;
                 // rows < keep already hold q/k/v (KeepAll) — under
                 // FullRecompute keep == 0, so this covers everything.
-                attention_fwd(&skel.q, &skel.k, &skel.v, t, self.shape.n_heads, self.shape.head_dim())
+                attention_fwd(
+                    &skel.q,
+                    &skel.k,
+                    &skel.v,
+                    t,
+                    self.shape.n_heads,
+                    self.shape.head_dim(),
+                )
             }
         };
         if keep < t {
@@ -242,7 +256,13 @@ impl LayerParams {
     }
 
     /// Backward pass. Consumes the rebuilt skeletal set; returns `d(input)`.
-    pub fn backward(&self, skel: &Skeletal, dout: &[f32], t: usize, g: &mut LayerGrads) -> Vec<f32> {
+    pub fn backward(
+        &self,
+        skel: &Skeletal,
+        dout: &[f32],
+        t: usize,
+        g: &mut LayerGrads,
+    ) -> Vec<f32> {
         let h = self.shape.hidden;
         let f = self.shape.ffn;
         let heads = self.shape.n_heads;
@@ -251,7 +271,7 @@ impl LayerParams {
 
         // out = res1 + fc2(gelu)
         let dres_out = dout; // residual branch
-        // FC2
+                             // FC2
         let mut dgelu = vec![0.0f32; t * f];
         matmul_bwd(&skel.gelu, &self.w2, dout, t, f, h, &mut dgelu, &mut g.w2);
         add_bias_bwd(dout, t, h, &mut g.b2);
@@ -264,7 +284,16 @@ impl LayerParams {
         add_bias_bwd(&dfc1, t, f, &mut g.b1);
         // LN2
         let mut dres1 = vec![0.0f32; t * h];
-        layernorm_bwd(&skel.res1, &self.ln2_g, &dln2, t, h, &mut dres1, &mut g.ln2_g, &mut g.ln2_b);
+        layernorm_bwd(
+            &skel.res1,
+            &self.ln2_g,
+            &dln2,
+            t,
+            h,
+            &mut dres1,
+            &mut g.ln2_g,
+            &mut g.ln2_b,
+        );
         // residual join: res1 also feeds the output directly
         for i in 0..t * h {
             dres1[i] += dres_out[i];
@@ -272,10 +301,25 @@ impl LayerParams {
         // res1 = input + proj(attn) + bproj
         add_bias_bwd(&dres1, t, h, &mut g.bproj);
         let mut dattn = vec![0.0f32; t * h];
-        matmul_bwd(&attn.out, &self.wproj, &dres1, t, h, h, &mut dattn, &mut g.wproj);
+        matmul_bwd(
+            &attn.out,
+            &self.wproj,
+            &dres1,
+            t,
+            h,
+            h,
+            &mut dattn,
+            &mut g.wproj,
+        );
         // attention
-        let (mut dq, mut dk, mut dv) = (vec![0.0f32; t * h], vec![0.0f32; t * h], vec![0.0f32; t * h]);
-        attention_bwd(&skel.q, &skel.k, &skel.v, attn, &dattn, t, heads, d, &mut dq, &mut dk, &mut dv);
+        let (mut dq, mut dk, mut dv) = (
+            vec![0.0f32; t * h],
+            vec![0.0f32; t * h],
+            vec![0.0f32; t * h],
+        );
+        attention_bwd(
+            &skel.q, &skel.k, &skel.v, attn, &dattn, t, heads, d, &mut dq, &mut dk, &mut dv,
+        );
         // RoPE backward: rotate dq/dk by the inverse angle per row and head.
         if self.shape.rope {
             let dd = self.shape.head_dim();
@@ -294,11 +338,29 @@ impl LayerParams {
             dqkv[i * 3 * h + 2 * h..i * 3 * h + 3 * h].copy_from_slice(&dv[i * h..(i + 1) * h]);
         }
         let mut dln1 = vec![0.0f32; t * h];
-        matmul_bwd(&skel.ln1, &self.wqkv, &dqkv, t, h, 3 * h, &mut dln1, &mut g.wqkv);
+        matmul_bwd(
+            &skel.ln1,
+            &self.wqkv,
+            &dqkv,
+            t,
+            h,
+            3 * h,
+            &mut dln1,
+            &mut g.wqkv,
+        );
         add_bias_bwd(&dqkv, t, 3 * h, &mut g.bqkv);
         // LN1
         let mut dinput = vec![0.0f32; t * h];
-        layernorm_bwd(&skel.input, &self.ln1_g, &dln1, t, h, &mut dinput, &mut g.ln1_g, &mut g.ln1_b);
+        layernorm_bwd(
+            &skel.input,
+            &self.ln1_g,
+            &dln1,
+            t,
+            h,
+            &mut dinput,
+            &mut g.ln1_g,
+            &mut g.ln1_b,
+        );
         // residual join: input also feeds res1 directly
         for i in 0..t * h {
             dinput[i] += dres1[i];
@@ -349,7 +411,10 @@ mod tests {
     }
 
     fn shape_rope() -> LayerShape {
-        LayerShape { rope: true, ..shape() }
+        LayerShape {
+            rope: true,
+            ..shape()
+        }
     }
 
     #[test]
@@ -459,8 +524,15 @@ mod tests {
         let (di0, g0) = run(Policy::KeepAll);
         for keep in [
             TensorMask::NONE,
-            TensorMask { fc1: true, gelu: true, ..TensorMask::NONE },
-            TensorMask { qkv: true, ..TensorMask::NONE },
+            TensorMask {
+                fc1: true,
+                gelu: true,
+                ..TensorMask::NONE
+            },
+            TensorMask {
+                qkv: true,
+                ..TensorMask::NONE
+            },
             TensorMask::ALL,
         ] {
             let (di, g) = run(Policy::PerTensor { keep });
@@ -505,7 +577,11 @@ mod tests {
         let loss = |input: &[f32]| -> f32 {
             let mut store = ActivationStore::new(Policy::KeepAll, 1);
             let out = layer.forward(input.to_vec(), t, &mut store, 0);
-            out.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / 2.0
+            out.iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / 2.0
         };
         let mut store = ActivationStore::new(Policy::KeepAll, 1);
         let out = layer.forward(input.clone(), t, &mut store, 0);
@@ -543,7 +619,11 @@ mod tests {
         let loss = |input: &[f32]| -> f32 {
             let mut store = ActivationStore::new(Policy::KeepAll, 1);
             let out = layer.forward(input.to_vec(), t, &mut store, 0);
-            out.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / 2.0
+            out.iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / 2.0
         };
         let mut store = ActivationStore::new(Policy::KeepAll, 1);
         let out = layer.forward(input.clone(), t, &mut store, 0);

@@ -216,7 +216,13 @@ pub fn embedding_bwd(dy: &[f32], ids: &[usize], n: usize, dtable: &mut [f32]) {
 
 /// Fused softmax cross-entropy over logits `[t, v]` with integer targets.
 /// Returns mean loss; writes `dlogits` scaled by `1/t`.
-pub fn softmax_xent(logits: &[f32], targets: &[usize], t: usize, v: usize, dlogits: &mut [f32]) -> f32 {
+pub fn softmax_xent(
+    logits: &[f32],
+    targets: &[usize],
+    t: usize,
+    v: usize,
+    dlogits: &mut [f32],
+) -> f32 {
     let mut loss = 0.0f64;
     for i in 0..t {
         let row = &logits[i * v..(i + 1) * v];
@@ -245,12 +251,7 @@ mod tests {
     }
 
     /// Central-difference check of `f`'s gradient at `x` against `analytic`.
-    fn check_grad(
-        x: &mut [f32],
-        analytic: &[f32],
-        mut f: impl FnMut(&[f32]) -> f32,
-        tol: f32,
-    ) {
+    fn check_grad(x: &mut [f32], analytic: &[f32], mut f: impl FnMut(&[f32]) -> f32, tol: f32) {
         for i in 0..x.len() {
             let eps = 1e-2;
             let orig = x[i];
@@ -299,7 +300,11 @@ mod tests {
         let loss = |x: &[f32], w: &[f32]| -> f32 {
             let mut y = vec![0.0; t * n];
             matmul(x, w, t, m, n, &mut y);
-            y.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / 2.0
+            y.iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / 2.0
         };
         let mut y = vec![0.0; t * n];
         matmul(&x, &w, t, m, n, &mut y);
@@ -324,7 +329,11 @@ mod tests {
         let loss = |x: &[f32]| -> f32 {
             let mut y = vec![0.0; t * n];
             layernorm(x, &g, &b, t, n, &mut y);
-            y.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / 2.0
+            y.iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / 2.0
         };
         let mut y = vec![0.0; t * n];
         layernorm(&x, &g, &b, t, n, &mut y);
@@ -342,7 +351,11 @@ mod tests {
         let loss = |x: &[f32]| -> f32 {
             let mut y = vec![0.0; x.len()];
             gelu(x, &mut y);
-            y.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / 2.0
+            y.iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / 2.0
         };
         let mut y = vec![0.0; 10];
         gelu(&x, &mut y);
@@ -387,7 +400,11 @@ mod tests {
         let loss = |x: &[f32]| -> f32 {
             let mut y = x.to_vec();
             rope_row(&mut y, pos);
-            y.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / 2.0
+            y.iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / 2.0
         };
         let mut y = x.clone();
         rope_row(&mut y, pos);

@@ -50,7 +50,10 @@ impl SoftmaxState {
 
     fn finish(&self) -> (Vec<f32>, f32) {
         let inv = 1.0 / self.z;
-        (self.acc.iter().map(|a| a * inv).collect(), self.m + self.z.ln())
+        (
+            self.acc.iter().map(|a| a * inv).collect(),
+            self.m + self.z.ln(),
+        )
     }
 }
 
@@ -67,7 +70,10 @@ pub fn ring_attention_fwd(
     d: usize,
     n_ranks: usize,
 ) -> AttnOutput {
-    assert!(n_ranks >= 1 && t.is_multiple_of(n_ranks), "t must split evenly");
+    assert!(
+        n_ranks >= 1 && t.is_multiple_of(n_ranks),
+        "t must split evenly"
+    );
     let h = n_heads * d;
     let block = t / n_ranks;
     let scale = 1.0 / (d as f32).sqrt();
@@ -101,8 +107,7 @@ pub fn ring_attention_fwd(
                     for j_local in 0..j_end {
                         let j = src * block + j_local;
                         let krow = &k[j * h + col..j * h + col + d];
-                        let s: f32 =
-                            qrow.iter().zip(krow).map(|(a, b)| a * b).sum::<f32>() * scale;
+                        let s: f32 = qrow.iter().zip(krow).map(|(a, b)| a * b).sum::<f32>() * scale;
                         state.push(s, &v[j * h + col..j * h + col + d]);
                     }
                 }
@@ -162,7 +167,10 @@ mod tests {
                 );
             }
             for (idx, (a, b)) in ring.lse.iter().zip(&single.lse).enumerate() {
-                assert!((a - b).abs() < 1e-4, "ranks={n_ranks} lse[{idx}]: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "ranks={n_ranks} lse[{idx}]: {a} vs {b}"
+                );
             }
         }
     }
@@ -207,7 +215,7 @@ mod tests {
         assert_eq!(work, vec![10, 26, 42, 58]);
         let total: u64 = work.iter().sum();
         assert_eq!(total, 16 * 17 / 2); // full causal triangle
-        // last rank does ~4x the first — why CP needs load balancing
+                                        // last rank does ~4x the first — why CP needs load balancing
         assert!(work[3] > 5 * work[0]);
     }
 

@@ -55,9 +55,13 @@ impl TensorMask {
 pub enum Policy {
     KeepAll,
     FullRecompute,
-    TokenWise { alpha: f64 },
+    TokenWise {
+        alpha: f64,
+    },
     /// Whole-tensor swap/recompute decisions (Capuchin-style granularity).
-    PerTensor { keep: TensorMask },
+    PerTensor {
+        keep: TensorMask,
+    },
 }
 
 impl Policy {

@@ -24,8 +24,17 @@ fn main() {
         ("full swapping α=1", Policy::TokenWise { alpha: 1.0 }),
     ];
 
-    println!("{:<22} {:>10} {:>10} {:>16}", "policy", "first loss", "last loss", "max |Δ| vs base");
-    println!("{:<22} {:>10.4} {:>10.4} {:>16}", "keep-all baseline", baseline[0], baseline[baseline.len() - 1], "-");
+    println!(
+        "{:<22} {:>10} {:>10} {:>16}",
+        "policy", "first loss", "last loss", "max |Δ| vs base"
+    );
+    println!(
+        "{:<22} {:>10.4} {:>10.4} {:>16}",
+        "keep-all baseline",
+        baseline[0],
+        baseline[baseline.len() - 1],
+        "-"
+    );
     for (name, policy) in policies {
         let curve = train_loss_curve(&spec, policy);
         let max_delta = curve

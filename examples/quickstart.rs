@@ -7,7 +7,7 @@
 
 use memo::core::session::Workload;
 use memo::model::config::ModelConfig;
-use memo::parallel::strategy::SystemKind;
+use memo::parallel::strategy::SystemSpec;
 
 fn main() {
     // A workload = model × cluster × sequence length. The calibration
@@ -15,7 +15,11 @@ fn main() {
     let workload = Workload::new(ModelConfig::gpt_7b(), 8, 256 * 1024);
 
     println!("7B GPT, 256K context, 8×A800 (simulated)\n");
-    for system in [SystemKind::DeepSpeed, SystemKind::MegatronLM, SystemKind::Memo] {
+    for system in [
+        SystemSpec::DeepSpeed,
+        SystemSpec::MegatronLM,
+        SystemSpec::Memo,
+    ] {
         // `run_best` searches every valid parallelism strategy for the
         // system and returns the fastest feasible one.
         match workload.run_best(system) {

@@ -10,14 +10,12 @@
 use memo::core::session::Workload;
 use memo::model::config::ModelConfig;
 use memo::parallel::search::enumerate_configs;
-use memo::parallel::strategy::SystemKind;
+use memo::parallel::strategy::SystemSpec;
 
 fn main() {
     let workload = Workload::new(ModelConfig::gpt_30b(), 32, 512 * 1024);
-    let system = SystemKind::Memo;
-    println!(
-        "ranking all valid MEMO strategies: 30B model, 512K tokens, 32 GPUs\n"
-    );
+    let system = SystemSpec::Memo;
+    println!("ranking all valid MEMO strategies: 30B model, 512K tokens, 32 GPUs\n");
 
     let mut rows: Vec<(String, Option<f64>, Option<f64>, String)> = Vec::new();
     for cfg in enumerate_configs(system, &workload.model, workload.n_gpus, 8) {
@@ -38,12 +36,16 @@ fn main() {
             .expect("finite")
     });
 
-    println!("{:<22} {:>8} {:>8} {:>12}", "strategy", "MFU", "α", "GPU peak");
+    println!(
+        "{:<22} {:>8} {:>8} {:>12}",
+        "strategy", "MFU", "α", "GPU peak"
+    );
     for (desc, mfu, alpha, mem) in rows {
         println!(
             "{:<22} {:>8} {:>8} {:>12}",
             desc,
-            mfu.map(|m| format!("{:.2}%", m * 100.0)).unwrap_or_else(|| "-".into()),
+            mfu.map(|m| format!("{:.2}%", m * 100.0))
+                .unwrap_or_else(|| "-".into()),
             alpha.map(|a| format!("{a}")).unwrap_or_else(|| "-".into()),
             mem
         );

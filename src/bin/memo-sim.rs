@@ -8,7 +8,7 @@
 
 use memo::core::session::Workload;
 use memo::model::config::ModelConfig;
-use memo::parallel::strategy::{ParallelConfig, SystemKind};
+use memo::parallel::strategy::{ParallelConfig, SystemSpec};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -20,8 +20,10 @@ USAGE:
 LEN accepts k/m suffixes (e.g. 512k, 1m).
 
 OPTIONS:
-    --system <memo|megatron|deepspeed>   system to simulate (default: memo)
-    --all                                run all three systems
+    --system <SYS>                       system to simulate (default: memo); one of
+                                         memo, megatron, keepall, deepspeed,
+                                         hybrid, nvme
+    --all                                run all six systems
     --strategy tp<T>,cp<C>,pp<P>,dp<D>   fix the parallelism (default: search)
     --batch <B>                          sequences per DP replica (default: 1)
     --sweep <START>:<END>:<STEP>         sweep the sequence length (k/m suffixes ok)
@@ -52,16 +54,19 @@ fn parse_model(s: &str) -> Option<ModelConfig> {
     })
 }
 
-fn parse_system(s: &str) -> Option<SystemKind> {
+fn parse_system(s: &str) -> Option<SystemSpec> {
     Some(match s.to_ascii_lowercase().as_str() {
-        "memo" => SystemKind::Memo,
-        "megatron" | "megatron-lm" => SystemKind::MegatronLM,
-        "deepspeed" | "ds" => SystemKind::DeepSpeed,
+        "memo" => SystemSpec::Memo,
+        "megatron" | "megatron-lm" => SystemSpec::MegatronLM,
+        "keepall" | "megatron-keepall" | "megatron-ka" => SystemSpec::MegatronKeepAll,
+        "deepspeed" | "ds" => SystemSpec::DeepSpeed,
+        "hybrid" | "tensor-hybrid" => SystemSpec::TensorHybrid,
+        "nvme" | "memo-nvme" => SystemSpec::MemoNvme,
         _ => return None,
     })
 }
 
-fn parse_strategy(s: &str, system: SystemKind) -> Option<ParallelConfig> {
+fn parse_strategy(s: &str, system: SystemSpec) -> Option<ParallelConfig> {
     let mut tp = 1;
     let mut cp = 1;
     let mut pp = 1;
@@ -84,13 +89,13 @@ fn parse_strategy(s: &str, system: SystemKind) -> Option<ParallelConfig> {
         }
     }
     Some(match system {
-        SystemKind::DeepSpeed => ParallelConfig::ulysses(sp.max(tp), dp),
+        SystemSpec::DeepSpeed => ParallelConfig::ulysses(sp.max(tp), dp),
         _ => ParallelConfig::megatron(tp, cp, pp, dp),
     })
 }
 
 /// Returns false when the strategy was invalid (so main can exit nonzero).
-fn report(workload: &Workload, system: SystemKind, cfg: Option<ParallelConfig>) -> bool {
+fn report(workload: &Workload, system: SystemSpec, cfg: Option<ParallelConfig>) -> bool {
     let (cfg, outcome) = match cfg {
         Some(cfg) => {
             if let Err(e) = cfg.validate(
@@ -127,7 +132,7 @@ fn main() -> ExitCode {
     let mut model = None;
     let mut gpus = None;
     let mut seq = None;
-    let mut system = SystemKind::Memo;
+    let mut system = SystemSpec::Memo;
     let mut all = false;
     let mut strategy: Option<String> = None;
     let mut batch = 1u64;
@@ -223,8 +228,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let systems: Vec<SystemKind> = if all {
-        vec![SystemKind::DeepSpeed, SystemKind::MegatronLM, SystemKind::Memo]
+    let systems: Vec<SystemSpec> = if all {
+        SystemSpec::ALL_MODES.to_vec()
     } else {
         vec![system]
     };

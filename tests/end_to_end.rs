@@ -3,18 +3,23 @@
 
 use memo::core::session::Workload;
 use memo::model::config::ModelConfig;
-use memo::parallel::strategy::{ParallelConfig, SystemKind};
+use memo::parallel::strategy::{ParallelConfig, SystemSpec};
 
 #[test]
 fn headline_7b_1m_on_8_gpus() {
     let w = Workload::new(ModelConfig::gpt_7b(), 8, 1 << 20);
-    let (cfg, out) = w.run_best(SystemKind::Memo).expect("1M tokens must fit");
+    let (cfg, out) = w.run_best(SystemSpec::Memo).expect("1M tokens must fit");
     let m = out.metrics().unwrap();
-    assert!(m.mfu > 0.48, "MFU {:.3} below band (cfg {})", m.mfu, cfg.describe());
+    assert!(
+        m.mfu > 0.48,
+        "MFU {:.3} below band (cfg {})",
+        m.mfu,
+        cfg.describe()
+    );
     assert!(m.mfu < 0.60);
     // Baselines cannot.
-    assert!(w.run_best(SystemKind::MegatronLM).is_none());
-    assert!(w.run_best(SystemKind::DeepSpeed).is_none());
+    assert!(w.run_best(SystemSpec::MegatronLM).is_none());
+    assert!(w.run_best(SystemSpec::DeepSpeed).is_none());
 }
 
 #[test]
@@ -27,9 +32,9 @@ fn mfu_ordering_holds_across_models() {
         (ModelConfig::gpt_65b(), 64),
     ] {
         let w = Workload::new(model.clone(), n_gpus, 64 * 1024);
-        let memo = w.run_best(SystemKind::Memo).unwrap().1.mfu().unwrap();
-        let mega = w.run_best(SystemKind::MegatronLM).unwrap().1.mfu().unwrap();
-        let ds = w.run_best(SystemKind::DeepSpeed).unwrap().1.mfu().unwrap();
+        let memo = w.run_best(SystemSpec::Memo).unwrap().1.mfu().unwrap();
+        let mega = w.run_best(SystemSpec::MegatronLM).unwrap().1.mfu().unwrap();
+        let ds = w.run_best(SystemSpec::DeepSpeed).unwrap().1.mfu().unwrap();
         assert!(
             memo > mega && mega > ds,
             "{}: memo {memo:.3}, megatron {mega:.3}, ds {ds:.3}",
@@ -44,7 +49,7 @@ fn memo_mfu_flat_within_band_13b() {
     let mut mfus = Vec::new();
     for s_k in [128u64, 384, 768, 1152, 1408] {
         let w = Workload::new(ModelConfig::gpt_13b(), 16, s_k * 1024);
-        let (_, out) = w.run_best(SystemKind::Memo).expect("13B supports 1408K");
+        let (_, out) = w.run_best(SystemSpec::Memo).expect("13B supports 1408K");
         mfus.push(out.mfu().unwrap());
     }
     let min = mfus.iter().cloned().fold(f64::MAX, f64::min);
@@ -61,7 +66,7 @@ fn alpha_values_follow_paper_pattern() {
     let cfg = ParallelConfig::megatron(4, 2, 1, 1);
     let alpha_at = |s_k: u64| {
         let w = Workload::new(ModelConfig::gpt_7b(), 8, s_k * 1024);
-        w.run_with(SystemKind::Memo, &cfg)
+        w.run_with(SystemSpec::Memo, &cfg)
             .metrics()
             .map(|m| m.alpha.unwrap())
     };
@@ -70,7 +75,10 @@ fn alpha_values_follow_paper_pattern() {
     let long = alpha_at(1024).unwrap();
     assert!(mid > short || mid == 1.0, "mid {mid} vs short {short}");
     assert_eq!(mid, 1.0, "256K should fully swap (paper Table 7: α=1.0)");
-    assert!(long < 1.0, "1024K must be host-capped (paper: α→0), got {long}");
+    assert!(
+        long < 1.0,
+        "1024K must be host-capped (paper: α→0), got {long}"
+    );
 }
 
 #[test]
@@ -82,7 +90,7 @@ fn scalability_frontier_grows_linearly() {
         let max_steps = 7 * n_gpus as u64 / 8;
         for s_k in (1..=max_steps).map(|k| k * 256) {
             let w = Workload::new(ModelConfig::gpt_7b(), n_gpus, s_k * 1024);
-            if w.run_best(SystemKind::Memo).is_some() {
+            if w.run_best(SystemSpec::Memo).is_some() {
                 best = s_k;
             }
         }
@@ -108,6 +116,6 @@ fn oohm_vs_oom_distinguished() {
     ));
 
     let too_long = Workload::new(ModelConfig::gpt_7b(), 8, 2 << 20);
-    let (_, fail) = too_long.run_best_or_failure(SystemKind::MegatronLM);
+    let (_, fail) = too_long.run_best_or_failure(SystemSpec::MegatronLM);
     assert!(matches!(fail, memo::core::outcome::CellOutcome::Oom { .. }));
 }

@@ -40,7 +40,10 @@ fn convergence_identical_for_all_alphas() {
 fn training_actually_learns() {
     let spec = spec();
     let curve = train_loss_curve(&spec, Policy::TokenWise { alpha: 0.25 });
-    assert!(curve[curve.len() - 1] < curve[0] - 0.3, "no learning: {curve:?}");
+    assert!(
+        curve[curve.len() - 1] < curve[0] - 0.3,
+        "no learning: {curve:?}"
+    );
 }
 
 #[test]
@@ -111,8 +114,12 @@ fn equivalence_check_has_teeth() {
     let (tokens, _) = synthetic_batch(&spec, 1);
     let t = tokens.len();
     let h = spec.cfg.hidden;
-    let input: Vec<f32> = (0..t * h).map(|i| ((i as f32) * 0.37).sin() * 0.2).collect();
-    let dout: Vec<f32> = (0..t * h).map(|i| ((i as f32) * 0.11).cos() * 0.1).collect();
+    let input: Vec<f32> = (0..t * h)
+        .map(|i| ((i as f32) * 0.37).sin() * 0.2)
+        .collect();
+    let dout: Vec<f32> = (0..t * h)
+        .map(|i| ((i as f32) * 0.11).cos() * 0.1)
+        .collect();
     let layer = &model.layers[0];
 
     let run = |corrupt: bool| -> Vec<f32> {

@@ -43,7 +43,12 @@ fn every_plan_executes_cleanly() {
         let mut alloc =
             PlanAllocator::from_addresses(report.plan.address_triples(), report.plan.peak);
         let series = replay(&mut alloc, &trace);
-        assert!(series.oom.is_none(), "{:?}: {:?}", params.policy, series.oom);
+        assert!(
+            series.oom.is_none(),
+            "{:?}: {:?}",
+            params.policy,
+            series.oom
+        );
         assert_eq!(series.reorgs, 0);
         assert_eq!(alloc.allocated_bytes(), 0, "all tensors freed at the end");
         // The executed peak can never exceed the declared arena.

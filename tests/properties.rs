@@ -3,14 +3,14 @@
 
 use memo::alloc::caching::CachingAllocator;
 use memo::alloc::DeviceAllocator;
+use memo::dist::groups::{Axis, RankGrid};
+use memo::dist::iteration::{run_distributed_iteration, DistSpec};
+use memo::hal::time::SimTime;
 use memo::model::trace::TensorId;
 use memo::plan::bnb::{self, BnbOptions};
 use memo::plan::dsa::{DsaInstance, DsaTensor};
 use memo::plan::heuristic;
 use memo::swap::alpha::{solve_alpha, AlphaInputs};
-use memo::dist::groups::{Axis, RankGrid};
-use memo::dist::iteration::{run_distributed_iteration, DistSpec};
-use memo::hal::time::SimTime;
 use proptest::prelude::*;
 
 fn arb_instance(max_n: usize) -> impl Strategy<Value = DsaInstance> {

@@ -5,9 +5,9 @@
 
 use memo::core::session::Workload;
 use memo::model::config::ModelConfig;
-use memo::parallel::strategy::{ParallelConfig, SystemKind};
+use memo::parallel::strategy::{ParallelConfig, SystemSpec};
 
-fn mfu(model: ModelConfig, n_gpus: usize, s_k: u64, sys: SystemKind) -> f64 {
+fn mfu(model: ModelConfig, n_gpus: usize, s_k: u64, sys: SystemSpec) -> f64 {
     let w = Workload::new(model, n_gpus, s_k * 1024);
     w.run_best(sys)
         .unwrap_or_else(|| panic!("{}K infeasible", s_k))
@@ -27,27 +27,43 @@ fn assert_near(value: f64, golden: f64, tol: f64) {
 #[test]
 fn golden_memo_cells() {
     // 7B / 8 GPUs
-    assert_near(mfu(ModelConfig::gpt_7b(), 8, 64, SystemKind::Memo), 0.530, 0.010);
-    assert_near(mfu(ModelConfig::gpt_7b(), 8, 512, SystemKind::Memo), 0.523, 0.010);
-    assert_near(mfu(ModelConfig::gpt_7b(), 8, 1024, SystemKind::Memo), 0.516, 0.010);
+    assert_near(
+        mfu(ModelConfig::gpt_7b(), 8, 64, SystemSpec::Memo),
+        0.530,
+        0.010,
+    );
+    assert_near(
+        mfu(ModelConfig::gpt_7b(), 8, 512, SystemSpec::Memo),
+        0.523,
+        0.010,
+    );
+    assert_near(
+        mfu(ModelConfig::gpt_7b(), 8, 1024, SystemSpec::Memo),
+        0.516,
+        0.010,
+    );
     // 65B / 64 GPUs at the frontier
-    assert_near(mfu(ModelConfig::gpt_65b(), 64, 1408, SystemKind::Memo), 0.508, 0.010);
+    assert_near(
+        mfu(ModelConfig::gpt_65b(), 64, 1408, SystemSpec::Memo),
+        0.508,
+        0.010,
+    );
 }
 
 #[test]
 fn golden_baseline_cells() {
     assert_near(
-        mfu(ModelConfig::gpt_7b(), 8, 256, SystemKind::MegatronLM),
+        mfu(ModelConfig::gpt_7b(), 8, 256, SystemSpec::MegatronLM),
         0.414,
         0.012,
     );
     assert_near(
-        mfu(ModelConfig::gpt_7b(), 8, 256, SystemKind::DeepSpeed),
+        mfu(ModelConfig::gpt_7b(), 8, 256, SystemSpec::DeepSpeed),
         0.296,
         0.012,
     );
     assert_near(
-        mfu(ModelConfig::gpt_65b(), 64, 1024, SystemKind::DeepSpeed),
+        mfu(ModelConfig::gpt_65b(), 64, 1024, SystemSpec::DeepSpeed),
         0.282,
         0.012,
     );
@@ -56,7 +72,7 @@ fn golden_baseline_cells() {
 #[test]
 fn golden_frontiers() {
     // max supported length on a 128K grid (ours; paper in comments)
-    let frontier = |model: ModelConfig, n_gpus: usize, sys: SystemKind, max_k: u64| -> u64 {
+    let frontier = |model: ModelConfig, n_gpus: usize, sys: SystemSpec, max_k: u64| -> u64 {
         let mut best = 0;
         let mut k = 128;
         while k <= max_k {
@@ -69,11 +85,20 @@ fn golden_frontiers() {
         best
     };
     // paper: 1024K
-    assert_eq!(frontier(ModelConfig::gpt_7b(), 8, SystemKind::Memo, 1536), 1152);
+    assert_eq!(
+        frontier(ModelConfig::gpt_7b(), 8, SystemSpec::Memo, 1536),
+        1152
+    );
     // paper: 640K
-    assert_eq!(frontier(ModelConfig::gpt_7b(), 8, SystemKind::MegatronLM, 1536), 896);
+    assert_eq!(
+        frontier(ModelConfig::gpt_7b(), 8, SystemSpec::MegatronLM, 1536),
+        896
+    );
     // paper: 256K — exact match
-    assert_eq!(frontier(ModelConfig::gpt_7b(), 8, SystemKind::DeepSpeed, 1536), 256);
+    assert_eq!(
+        frontier(ModelConfig::gpt_7b(), 8, SystemSpec::DeepSpeed, 1536),
+        256
+    );
 }
 
 #[test]
@@ -82,7 +107,7 @@ fn golden_alpha_schedule() {
     let cfg = ParallelConfig::megatron(4, 2, 1, 1);
     let alpha = |s_k: u64| {
         Workload::new(ModelConfig::gpt_7b(), 8, s_k * 1024)
-            .run_with(SystemKind::Memo, &cfg)
+            .run_with(SystemSpec::Memo, &cfg)
             .metrics()
             .unwrap()
             .alpha

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container that builds this repository has no crates.io access, and
+//! the workspace never serializes anything — types merely carry
+//! `#[derive(Serialize, Deserialize)]` so that a future wire format can be
+//! added without touching every struct. These marker traits (with blanket
+//! impls) and the no-op derives in `serde_derive` keep those annotations
+//! compiling. Swap this path dependency back to the real crate when network
+//! access is available.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing actually serializes — so the derives expand to
+//! nothing. The blanket impls in the sibling `serde` stub satisfy any trait
+//! bounds that do appear.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
