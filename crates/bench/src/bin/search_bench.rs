@@ -1,0 +1,160 @@
+//! Strategy-search performance benchmark.
+//!
+//! Times `run_best` for all six execution modes at 7B/8GPU/{64K, 256K, 1M}
+//! twice: once forced-serial with the profile cache disabled (the
+//! pre-optimization code path) and once parallel + cached (the default).
+//! Emits `BENCH_search.json` with per-cell wall-clock, branch-and-bound
+//! node counts, the cache hit rate, and the headline MEMO@256K speedup —
+//! and asserts both legs pick the identical (strategy, outcome).
+
+use memo_core::cache::ProfileCache;
+use memo_core::session::{SearchOptions, Workload};
+use memo_model::config::ModelConfig;
+use memo_parallel::strategy::SystemSpec;
+use memo_plan::bnb;
+use std::time::Instant;
+
+struct CellTiming {
+    system: &'static str,
+    seq_k: u64,
+    serial_uncached_ms: f64,
+    parallel_cached_ms: f64,
+    serial_bnb_nodes: u64,
+    parallel_bnb_nodes: u64,
+    identical: bool,
+}
+
+fn main() {
+    let seq_ks: [u64; 3] = [64, 256, 1024];
+    let model = ModelConfig::gpt_7b();
+    let n_gpus = 8;
+    let cache = ProfileCache::global();
+
+    println!(
+        "search_bench — 7B on 8 GPUs, {} modes × {:?}K\n",
+        SystemSpec::ALL_MODES.len(),
+        seq_ks
+    );
+
+    // Leg 1: forced-serial, cache disabled — the baseline the tentpole
+    // optimizes away. Cache disabled globally so concurrent inserts from
+    // this leg cannot pre-warm the optimized leg.
+    cache.set_enabled(false);
+    bnb::reset_node_counter();
+    let mut serial: Vec<(SystemSpec, u64, f64, u64, _)> = Vec::new();
+    for &sys in &SystemSpec::ALL_MODES {
+        for &s_k in &seq_ks {
+            let w = Workload::new(model.clone(), n_gpus, s_k * 1024);
+            let nodes_before = bnb::nodes_expanded_total();
+            let t0 = Instant::now();
+            let picked = w.run_best_or_failure_with(sys, SearchOptions::serial_uncached());
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            serial.push((
+                sys,
+                s_k,
+                ms,
+                bnb::nodes_expanded_total() - nodes_before,
+                picked,
+            ));
+        }
+    }
+
+    // Leg 2: the default path — work-stealing pool + profile cache.
+    cache.set_enabled(true);
+    cache.clear();
+    cache.reset_stats();
+    bnb::reset_node_counter();
+    let mut cells: Vec<CellTiming> = Vec::new();
+    for &(sys, s_k, serial_ms, serial_nodes, ref serial_pick) in &serial {
+        let w = Workload::new(model.clone(), n_gpus, s_k * 1024);
+        let nodes_before = bnb::nodes_expanded_total();
+        let t0 = Instant::now();
+        let picked = w.run_best_or_failure_with(sys, SearchOptions::default());
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let identical = picked == *serial_pick;
+        assert!(
+            identical,
+            "{} @ {s_k}K: parallel+cached pick diverged from serial ({picked:?} vs {serial_pick:?})",
+            sys.name()
+        );
+        cells.push(CellTiming {
+            system: sys.name(),
+            seq_k: s_k,
+            serial_uncached_ms: serial_ms,
+            parallel_cached_ms: ms,
+            serial_bnb_nodes: serial_nodes,
+            parallel_bnb_nodes: bnb::nodes_expanded_total() - nodes_before,
+            identical,
+        });
+    }
+    let stats = cache.stats();
+
+    println!(
+        "{:<14} {:>6} {:>14} {:>14} {:>8} {:>12} {:>12}",
+        "system", "seq", "serial ms", "optimized ms", "speedup", "ser nodes", "opt nodes"
+    );
+    for c in &cells {
+        println!(
+            "{:<14} {:>5}K {:>14.1} {:>14.1} {:>7.1}x {:>12} {:>12}",
+            c.system,
+            c.seq_k,
+            c.serial_uncached_ms,
+            c.parallel_cached_ms,
+            c.serial_uncached_ms / c.parallel_cached_ms.max(1e-9),
+            c.serial_bnb_nodes,
+            c.parallel_bnb_nodes,
+        );
+    }
+    println!(
+        "\nprofile cache: {} hits / {} misses ({:.1}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+
+    let memo_256 = cells
+        .iter()
+        .find(|c| c.system == SystemSpec::Memo.name() && c.seq_k == 256)
+        .expect("MEMO@256K cell present");
+    let headline = memo_256.serial_uncached_ms / memo_256.parallel_cached_ms.max(1e-9);
+    println!(
+        "MEMO@256K: {:.1}x vs forced-serial uncached (target >= 3x)",
+        headline
+    );
+
+    // Hand-rolled JSON (the workspace has no serde_json).
+    let cell_json: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"system\": \"{}\", \"seq_k\": {}, \"serial_uncached_ms\": {:.3}, \
+                 \"parallel_cached_ms\": {:.3}, \"speedup\": {:.3}, \
+                 \"serial_bnb_nodes\": {}, \"parallel_bnb_nodes\": {}, \"identical_pick\": {}}}",
+                c.system,
+                c.seq_k,
+                c.serial_uncached_ms,
+                c.parallel_cached_ms,
+                c.serial_uncached_ms / c.parallel_cached_ms.max(1e-9),
+                c.serial_bnb_nodes,
+                c.parallel_bnb_nodes,
+                c.identical
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"search\",\n  \"model\": \"{}\",\n  \"n_gpus\": {},\n  \
+         \"workers\": {},\n  \"cells\": [\n{}\n  ],\n  \
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \
+         \"memo_256k_speedup\": {:.3}\n}}\n",
+        model.name,
+        n_gpus,
+        memo_parallel::pool::available_workers(),
+        cell_json.join(",\n"),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+        headline
+    );
+    std::fs::write("BENCH_search.json", &json).expect("write BENCH_search.json");
+    println!("\nwrote BENCH_search.json");
+}

@@ -3,6 +3,7 @@
 use memo_core::outcome::CellOutcome;
 use memo_core::session::Workload;
 use memo_model::config::ModelConfig;
+use memo_parallel::pool::Pool;
 use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 
 /// One evaluated cell.
@@ -17,6 +18,11 @@ pub struct Cell {
 }
 
 /// Evaluate `systems × seq_k` for one (model, n_gpus) pair, in parallel.
+///
+/// Cells fan out over the work-stealing [`Pool`], capped at
+/// `available_parallelism` workers machine-wide (the per-cell strategy
+/// search shares the same budget, so a sweep never oversubscribes the
+/// host). Results come back in job order, identical to a serial loop.
 pub fn sweep_group(
     model: &ModelConfig,
     n_gpus: usize,
@@ -29,29 +35,17 @@ pub fn sweep_group(
             jobs.push((sys, s));
         }
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(sys, s_k)| {
-                let model = model.clone();
-                scope.spawn(move || {
-                    let w = Workload::new(model.clone(), n_gpus, s_k * 1024);
-                    let (cfg, outcome) = w.run_best_or_failure(sys);
-                    Cell {
-                        system: sys,
-                        model: model.name,
-                        n_gpus,
-                        seq_k: s_k,
-                        strategy: cfg,
-                        outcome,
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("cell panicked"))
-            .collect::<Vec<_>>()
+    Pool::machine().map(jobs, |(sys, s_k)| {
+        let w = Workload::new(model.clone(), n_gpus, s_k * 1024);
+        let (cfg, outcome) = w.run_best_or_failure(sys);
+        Cell {
+            system: sys,
+            model: model.name,
+            n_gpus,
+            seq_k: s_k,
+            strategy: cfg,
+            outcome,
+        }
     })
 }
 

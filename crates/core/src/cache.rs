@@ -1,0 +1,288 @@
+//! Memoization of the profiling stage.
+//!
+//! `profile()` — trace generation, the α solve, and the calibrated cost
+//! model — is a pure function of (model, strategy, remat policy, logits
+//! materialization, sequence length, batch, calibration). The strategy
+//! search, the ablation variants and the bench sweeps evaluate the *same*
+//! (workload, config) pair under different downstream stages over and over;
+//! this cache computes each distinct profile once and shares it as an
+//! `Arc<ProfileReport>`.
+//!
+//! Correctness argument: a hit returns the identical bytes a fresh
+//! `profile()` call would produce, because the key captures **every** input
+//! the function reads — the calibration is folded in by its IEEE-754 bit
+//! pattern ([`memo_hal::calib::Calibration::fingerprint`]), so any change
+//! that could perturb a float in the report changes the key. Stages that
+//! post-process the report (the DeepSpeed `head_scale`) do so *outside* the
+//! cached value. Eviction (when a shard overflows [`ProfileCache::SHARD_CAP`])
+//! only affects the hit rate, never a result.
+
+use crate::profiler::{self, ProfileReport};
+use crate::session::Workload;
+use memo_hal::calib::CalibFingerprint;
+use memo_model::config::ModelConfig;
+use memo_model::trace::{IterationTrace, RematPolicy};
+use memo_parallel::strategy::ParallelConfig;
+use memo_plan::bilevel::BilevelReport;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything `profile()` reads, by value. Two equal keys guarantee
+/// bit-identical reports.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProfileKey {
+    model: ModelConfig,
+    cfg: ParallelConfig,
+    policy: RematPolicy,
+    materialize_logits: bool,
+    n_gpus: usize,
+    seq_len: u64,
+    batch: u64,
+    calib: CalibFingerprint,
+}
+
+impl ProfileKey {
+    pub fn new(
+        w: &Workload,
+        cfg: &ParallelConfig,
+        policy: RematPolicy,
+        materialize_logits: bool,
+    ) -> Self {
+        ProfileKey {
+            model: w.model.clone(),
+            cfg: *cfg,
+            policy,
+            materialize_logits,
+            n_gpus: w.n_gpus,
+            seq_len: w.seq_len,
+            batch: w.batch,
+            calib: w.calib.fingerprint(),
+        }
+    }
+}
+
+/// Sharded, process-wide memo table for [`profiler::profile`] and for the
+/// bi-level memory plan derived from its trace. Both are pure functions of
+/// the same [`ProfileKey`], so one key type serves both tables.
+#[derive(Debug)]
+pub struct ProfileCache {
+    shards: Vec<Mutex<HashMap<ProfileKey, Arc<ProfileReport>>>>,
+    plan_shards: Vec<Mutex<HashMap<ProfileKey, Arc<BilevelReport>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: AtomicBool,
+}
+
+/// Hit/miss counters since the last [`ProfileCache::reset_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl ProfileCache {
+    const SHARDS: usize = 16;
+    /// Per-shard entry cap. Profiles are a few hundred KiB (the trace
+    /// dominates), so ~16 × 256 entries bounds the cache at a few GiB on
+    /// the largest sweeps while still covering a full table grid.
+    const SHARD_CAP: usize = 256;
+
+    fn new() -> Self {
+        ProfileCache {
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            plan_shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// The process-wide cache instance.
+    pub fn global() -> &'static ProfileCache {
+        static CACHE: OnceLock<ProfileCache> = OnceLock::new();
+        CACHE.get_or_init(ProfileCache::new)
+    }
+
+    fn shard_idx(&self, key: &ProfileKey) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Look up or compute the profile for `(w, cfg, policy, materialize_logits)`.
+    ///
+    /// With the cache disabled (or `use_cache` false) this is a plain
+    /// `profile()` call wrapped in a fresh `Arc` — no lookup, no insert,
+    /// no stats.
+    pub fn profile(
+        &self,
+        w: &Workload,
+        cfg: &ParallelConfig,
+        policy: RematPolicy,
+        materialize_logits: bool,
+        use_cache: bool,
+    ) -> Arc<ProfileReport> {
+        if !use_cache || !self.enabled.load(Ordering::Relaxed) {
+            return Arc::new(profiler::profile(w, cfg, policy, materialize_logits));
+        }
+        let key = ProfileKey::new(w, cfg, policy, materialize_logits);
+        let shard = &self.shards[self.shard_idx(&key)];
+        if let Some(hit) = shard.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock: profiles are expensive and concurrent
+        // misses on the same key are rare (the search fans out over distinct
+        // configs). A racing duplicate insert is harmless — both values are
+        // bit-identical by purity of `profile()`.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = Arc::new(profiler::profile(w, cfg, policy, materialize_logits));
+        let mut map = shard.lock().expect("cache shard poisoned");
+        if map.len() >= Self::SHARD_CAP {
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&report));
+        report
+    }
+
+    /// Look up or compute the bi-level memory plan for the trace profiled
+    /// under the same key. `trace` must be the trace of the [`ProfileReport`]
+    /// this key maps to — the plan is a pure function of the trace, and the
+    /// trace a pure function of the key, so hits are bit-identical to fresh
+    /// [`crate::planner::plan`] calls.
+    pub fn plan(
+        &self,
+        w: &Workload,
+        cfg: &ParallelConfig,
+        policy: RematPolicy,
+        materialize_logits: bool,
+        trace: &IterationTrace,
+        use_cache: bool,
+    ) -> Arc<BilevelReport> {
+        if !use_cache || !self.enabled.load(Ordering::Relaxed) {
+            return Arc::new(crate::planner::plan(trace));
+        }
+        let key = ProfileKey::new(w, cfg, policy, materialize_logits);
+        let shard = &self.plan_shards[self.shard_idx(&key)];
+        if let Some(hit) = shard.lock().expect("plan shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = Arc::new(crate::planner::plan(trace));
+        let mut map = shard.lock().expect("plan shard poisoned");
+        if map.len() >= Self::SHARD_CAP {
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&report));
+        report
+    }
+
+    /// Hit/miss counters since the last reset.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the hit/miss counters (bench runs measure per-phase rates).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Globally enable/disable the cache (e.g. the forced-serial baseline
+    /// leg of `search_bench`). Disabling does not drop existing entries.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether lookups are currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drop every cached entry (tests; bench runs isolating phases).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+        for shard in &self.plan_shards {
+            shard.lock().expect("plan shard poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::w7;
+
+    #[test]
+    fn hit_is_bit_identical_to_fresh_profile() {
+        let cache = ProfileCache::new();
+        let w = w7(8, 64);
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        let first = cache.profile(&w, &cfg, RematPolicy::MemoTokenWise, false, true);
+        let second = cache.profile(&w, &cfg, RematPolicy::MemoTokenWise, false, true);
+        assert!(Arc::ptr_eq(&first, &second), "second lookup must hit");
+        let fresh = profiler::profile(&w, &cfg, RematPolicy::MemoTokenWise, false);
+        assert_eq!(*first, fresh);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_inputs_do_not_collide() {
+        let cache = ProfileCache::new();
+        let w = w7(8, 64);
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        let a = cache.profile(&w, &cfg, RematPolicy::MemoTokenWise, false, true);
+        let b = cache.profile(&w, &cfg, RematPolicy::FullRecompute, false, true);
+        let c = cache.profile(&w, &cfg, RematPolicy::FullRecompute, true, true);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&b, &c));
+        let mut w2 = w.clone();
+        w2.calib.gemm_efficiency *= 0.5;
+        let d = cache.profile(&w2, &cfg, RematPolicy::MemoTokenWise, false, true);
+        assert!(!Arc::ptr_eq(&a, &d), "calibration change must miss");
+        assert_ne!(a.layer_time.fwd(), d.layer_time.fwd());
+    }
+
+    #[test]
+    fn disabled_cache_never_records_stats() {
+        let cache = ProfileCache::new();
+        let w = w7(8, 64);
+        let cfg = ParallelConfig::megatron(8, 1, 1, 1);
+        cache.set_enabled(false);
+        let a = cache.profile(&w, &cfg, RematPolicy::MemoTokenWise, false, true);
+        let b = cache.profile(&w, &cfg, RematPolicy::MemoTokenWise, false, true);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0 });
+        assert_eq!(*a, *b, "bypass still deterministic");
+    }
+
+    #[test]
+    fn hit_rate_arithmetic() {
+        assert_eq!(CacheStats { hits: 0, misses: 0 }.hit_rate(), 0.0);
+        assert_eq!(CacheStats { hits: 3, misses: 1 }.hit_rate(), 0.75);
+    }
+}

@@ -22,6 +22,7 @@
 //! the Table 4 variants.
 
 pub mod ablation;
+pub mod cache;
 pub mod executor;
 pub mod metrics;
 pub mod outcome;
@@ -30,6 +31,7 @@ pub mod planner;
 pub mod profiler;
 pub mod session;
 
+pub use cache::{CacheStats, ProfileCache};
 pub use metrics::Metrics;
 pub use outcome::CellOutcome;
 pub use pipeline::{ExecutionPipeline, ExecutionReport};

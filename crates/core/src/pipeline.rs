@@ -19,10 +19,10 @@
 //! The `run_*` functions in [`crate::executor`] are thin wrappers over this
 //! pipeline, kept for callers that want a specific mode by name.
 
+use crate::cache::ProfileCache;
 use crate::metrics::{compute_metrics, Metrics};
 use crate::outcome::CellOutcome;
-use crate::planner;
-use crate::profiler::{self, ProfileReport};
+use crate::profiler::ProfileReport;
 use crate::session::Workload;
 use memo_alloc::caching::CachingAllocator;
 use memo_alloc::snapshot::{replay, SnapshotSeries};
@@ -256,15 +256,36 @@ impl ExecutionPipeline {
 
     /// Run the full pipeline for one workload + strategy.
     pub fn execute(&self, w: &Workload, cfg: &ParallelConfig) -> ExecutionReport {
+        self.execute_cached(w, cfg, true)
+    }
+
+    /// [`Self::execute`] with explicit control over the [`ProfileCache`]:
+    /// `use_cache = false` recomputes the profile unconditionally (the
+    /// forced-serial baseline leg of `search_bench`). Cached and uncached
+    /// runs are bit-identical — the cache key covers every profiler input,
+    /// and stage-specific post-processing (`head_scale`) happens outside
+    /// the shared report.
+    pub fn execute_cached(
+        &self,
+        w: &Workload,
+        cfg: &ParallelConfig,
+        use_cache: bool,
+    ) -> ExecutionReport {
         debug_assert!(cfg
             .validate(&w.model, w.n_gpus, w.calib.gpus_per_node.min(w.n_gpus))
             .is_ok());
 
         // ---- stage 1: profile ---------------------------------------------
-        let mut p = profiler::profile(w, cfg, self.stages.remat, self.stages.materialize_logits);
-        if self.stages.head_scale != 1.0 {
-            p.head_secs *= self.stages.head_scale;
-        }
+        let p = ProfileCache::global().profile(
+            w,
+            cfg,
+            self.stages.remat,
+            self.stages.materialize_logits,
+            use_cache,
+        );
+        // `x * 1.0` is bit-exact for finite x, so the unconditional multiply
+        // reproduces the old in-place `if head_scale != 1.0` mutation.
+        let head_secs = p.head_secs * self.stages.head_scale;
 
         let fail = |bytes, outcome| ExecutionReport {
             spec: self.spec,
@@ -289,7 +310,7 @@ impl ExecutionPipeline {
         };
 
         // ---- stage 3: memory backend --------------------------------------
-        let mem = match account_memory(&self.stages.backend, w, cfg, &p, &plan) {
+        let mem = match account_memory(&self.stages, w, cfg, &p, &plan, use_cache) {
             Ok(mem) => mem,
             Err(out) => {
                 return fail(
@@ -303,7 +324,7 @@ impl ExecutionPipeline {
         };
 
         // ---- stages 4+5: schedule and metrics -----------------------------
-        match build_schedule(w, cfg, &p, &plan, &mem, self.stages.derate) {
+        match build_schedule(w, cfg, &p, head_secs, &plan, &mem, self.stages.derate) {
             Ok((iter_secs, time, host_peak)) => {
                 let samples = w.batch * cfg.dp as u64;
                 let (mfu, tgs) = compute_metrics(
@@ -514,16 +535,26 @@ struct MemoryAccounting {
 }
 
 fn account_memory(
-    backend: &MemoryBackend,
+    stages: &PipelineStages,
     w: &Workload,
     cfg: &ParallelConfig,
     p: &ProfileReport,
     plan: &ActivationPlan,
+    use_cache: bool,
 ) -> Result<MemoryAccounting, CellOutcome> {
     let usable = w.calib.usable_gpu_memory();
-    match *backend {
+    match stages.backend {
         MemoryBackend::StaticPlan => {
-            let report = planner::plan(&p.trace);
+            // The bi-level plan is a pure function of the trace, which is a
+            // pure function of the profile key — memoized beside the profile.
+            let report = ProfileCache::global().plan(
+                w,
+                cfg,
+                stages.remat,
+                stages.materialize_logits,
+                &p.trace,
+                use_cache,
+            );
             let skeletal = match *plan {
                 ActivationPlan::Swap { alpha, slots, .. } => {
                     memo_swap::buffers::skeletal_gpu_bytes_with_slots(
@@ -650,10 +681,13 @@ fn replay_oom(err: &AllocError, static_bytes: u64, usable: u64) -> CellOutcome {
 }
 
 /// Stage 4: the iteration seconds, their decomposition, and the host peak.
+/// `head_secs` is the stage-scaled head time (the cached [`ProfileReport`]
+/// stays pristine so it can be shared across modes).
 fn build_schedule(
     w: &Workload,
     cfg: &ParallelConfig,
     p: &ProfileReport,
+    head_secs: f64,
     plan: &ActivationPlan,
     mem: &MemoryAccounting,
     derate: bool,
@@ -682,7 +716,7 @@ fn build_schedule(
             let sched = match memo_swap::schedule::build_iteration_schedule_with_slots(
                 p.layers_local,
                 costs,
-                SimTime::from_secs_f64(p.head_secs),
+                SimTime::from_secs_f64(head_secs),
                 &mut host,
                 p.split.total(),
                 slots,
@@ -718,9 +752,9 @@ fn build_schedule(
             // Forward, head, optional re-forward + backward, plus fixed
             // costs and reorganisation stalls — the closed-form baseline.
             let compute = if refwd {
-                layers * (2.0 * lt.fwd() + lt.bwd) + p.head_secs
+                layers * (2.0 * lt.fwd() + lt.bwd) + head_secs
             } else {
-                layers * (lt.fwd() + lt.bwd) + p.head_secs
+                layers * (lt.fwd() + lt.bwd) + head_secs
             };
             let stalls = mem.reorgs as f64 * w.calib.reorg_penalty_secs;
             let raw = compute * bubble_factor + p.optimizer_secs + p.grad_sync_secs + stalls;
@@ -730,7 +764,7 @@ fn build_schedule(
                 1.0
             };
             let iter_secs = raw / derate;
-            let useful = layers * (lt.fwd() + lt.bwd) + p.head_secs;
+            let useful = layers * (lt.fwd() + lt.bwd) + head_secs;
             let refwd_secs = if refwd { layers * lt.fwd() } else { 0.0 };
             Ok((
                 iter_secs,

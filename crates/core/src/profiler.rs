@@ -32,7 +32,7 @@ pub enum ProfilingMode {
 }
 
 /// Everything the planner and executor need about one workload+strategy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileReport {
     /// The per-GPU memory request trace of one iteration.
     pub trace: IterationTrace,

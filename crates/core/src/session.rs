@@ -6,8 +6,41 @@ use crate::pipeline::{ExecutionPipeline, ExecutionReport};
 use memo_hal::calib::Calibration;
 use memo_hal::topology::ClusterSpec;
 use memo_model::config::ModelConfig;
+use memo_parallel::pool::Pool;
 use memo_parallel::search;
 use memo_parallel::strategy::{ParallelConfig, SystemSpec};
+
+/// Knobs of the strategy search. Both default on; the forced-serial,
+/// cache-disabled combination is the baseline leg of `search_bench` and the
+/// oracle of the parallel-parity tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Fan the per-config evaluations out over the work-stealing
+    /// [`Pool`]. The reduction stays serial in enumeration order, so the
+    /// picked (cfg, outcome) is bit-identical to a serial run.
+    pub parallel: bool,
+    /// Share profiles through the global [`crate::cache::ProfileCache`].
+    pub cache: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            parallel: true,
+            cache: true,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// Serial, uncached: exactly the pre-pool code path.
+    pub fn serial_uncached() -> Self {
+        SearchOptions {
+            parallel: false,
+            cache: false,
+        }
+    }
+}
 
 /// One training workload: a model, a cluster, a sequence length.
 ///
@@ -69,13 +102,31 @@ impl Workload {
     /// outcome by TGS, with its configuration. `None` when every strategy
     /// fails (the whole table cell is X_oom / X_oohm).
     pub fn run_best(&self, system: SystemSpec) -> Option<(ParallelConfig, CellOutcome)> {
-        self.search_strategies(system).0
+        self.run_best_with(system, SearchOptions::default())
+    }
+
+    /// [`Self::run_best`] with explicit [`SearchOptions`].
+    pub fn run_best_with(
+        &self,
+        system: SystemSpec,
+        opts: SearchOptions,
+    ) -> Option<(ParallelConfig, CellOutcome)> {
+        self.search_strategies(system, opts).0
     }
 
     /// Like [`Self::run_best`] but also reporting the dominant failure when
     /// no strategy works (for the X_oom vs X_oohm distinction in Table 3).
     pub fn run_best_or_failure(&self, system: SystemSpec) -> (Option<ParallelConfig>, CellOutcome) {
-        match self.search_strategies(system) {
+        self.run_best_or_failure_with(system, SearchOptions::default())
+    }
+
+    /// [`Self::run_best_or_failure`] with explicit [`SearchOptions`].
+    pub fn run_best_or_failure_with(
+        &self,
+        system: SystemSpec,
+        opts: SearchOptions,
+    ) -> (Option<ParallelConfig>, CellOutcome) {
+        match self.search_strategies(system, opts) {
             (Some((cfg, out)), _) => (Some(cfg), out),
             (None, failure) => (None, failure),
         }
@@ -86,15 +137,34 @@ impl Workload {
     /// sufficed, the host gave out), and within a kind the smallest
     /// shortfall wins. [`CellOutcome::NoValidStrategy`] when the space is
     /// empty.
+    ///
+    /// The per-config evaluations are independent and fan out over the
+    /// work-stealing pool; the *reduction* stays a serial fold in
+    /// enumeration-index order, so the `>=` tie-break below keeps its
+    /// "last enumerated wins" semantics bit-exactly regardless of which
+    /// worker finished first (golden parity depends on this — DESIGN.md).
     fn search_strategies(
         &self,
         system: SystemSpec,
+        opts: SearchOptions,
     ) -> (Option<(ParallelConfig, CellOutcome)>, CellOutcome) {
         let gpn = self.calib.gpus_per_node.min(self.n_gpus);
+        let configs = search::enumerate_configs(system, &self.model, self.n_gpus, gpn);
+        let pipeline = ExecutionPipeline::new(system);
+        let evaluate =
+            |cfg: &ParallelConfig| pipeline.execute_cached(self, cfg, opts.cache).outcome;
+        let outcomes: Vec<(ParallelConfig, CellOutcome)> = if opts.parallel {
+            Pool::machine().map(configs, |cfg| (cfg, evaluate(&cfg)))
+        } else {
+            configs
+                .into_iter()
+                .map(|cfg| (cfg, evaluate(&cfg)))
+                .collect()
+        };
+
         let mut best: Option<(ParallelConfig, CellOutcome, f64)> = None;
         let mut failure: Option<CellOutcome> = None;
-        for cfg in search::enumerate_configs(system, &self.model, self.n_gpus, gpn) {
-            let out = self.run_with(system, &cfg);
+        for (cfg, out) in outcomes {
             match out.metrics().map(|m| m.tgs) {
                 Some(tgs) => {
                     // `>=` matches `Iterator::max_by` (ties keep the last

@@ -162,7 +162,71 @@ impl Calibration {
         debug_assert!(efficiency > 0.0 && efficiency <= 1.0);
         flops / (self.peak_flops * efficiency) + self.kernel_launch_secs
     }
+
+    /// A bit-exact fingerprint of every calibration field, usable as a hash
+    /// key. Floats are captured by their IEEE-754 bit patterns, so two
+    /// calibrations fingerprint equal iff every field is bit-identical —
+    /// exactly the condition under which the cost models produce identical
+    /// outputs. The exhaustive destructuring makes adding a field without
+    /// extending the fingerprint a compile error.
+    pub fn fingerprint(&self) -> CalibFingerprint {
+        let &Calibration {
+            peak_flops,
+            gemm_efficiency,
+            attn_efficiency,
+            elementwise_efficiency,
+            gpu_memory_bytes,
+            gpu_reserved_bytes,
+            host_memory_bytes,
+            host_usable_fraction,
+            gpus_per_node,
+            pcie_bandwidth,
+            pcie_utilization,
+            pcie_sharers,
+            nvlink_bandwidth,
+            nvlink_utilization,
+            ib_bandwidth,
+            ib_utilization,
+            reorg_penalty_secs,
+            kernel_launch_secs,
+            comm_overlap_fraction,
+            optimizer_secs_per_bparam,
+            ds_compute_derate,
+            nvme_bandwidth,
+            nvme_capacity_bytes,
+        } = self;
+        CalibFingerprint([
+            peak_flops.to_bits(),
+            gemm_efficiency.to_bits(),
+            attn_efficiency.to_bits(),
+            elementwise_efficiency.to_bits(),
+            gpu_memory_bytes,
+            gpu_reserved_bytes,
+            host_memory_bytes,
+            host_usable_fraction.to_bits(),
+            gpus_per_node as u64,
+            pcie_bandwidth.to_bits(),
+            pcie_utilization.to_bits(),
+            pcie_sharers.to_bits(),
+            nvlink_bandwidth.to_bits(),
+            nvlink_utilization.to_bits(),
+            ib_bandwidth.to_bits(),
+            ib_utilization.to_bits(),
+            reorg_penalty_secs.to_bits(),
+            kernel_launch_secs.to_bits(),
+            comm_overlap_fraction.to_bits(),
+            optimizer_secs_per_bparam.to_bits(),
+            ds_compute_derate.to_bits(),
+            nvme_bandwidth.to_bits(),
+            nvme_capacity_bytes,
+        ])
+    }
 }
+
+/// The bit pattern of a [`Calibration`] — `Eq + Hash`, unlike the float
+/// struct itself. See [`Calibration::fingerprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CalibFingerprint([u64; 23]);
 
 #[cfg(test)]
 mod tests {
@@ -191,6 +255,18 @@ mod tests {
         let per_gpu = c.host_capacity_per_gpu();
         assert!(per_gpu * 8 <= c.host_memory_bytes);
         assert!(per_gpu > 100 * GIB);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_any_field_change() {
+        let base = Calibration::default();
+        let mut c = base.clone();
+        assert_eq!(base.fingerprint(), c.fingerprint());
+        c.nvme_bandwidth += 1.0;
+        assert_ne!(base.fingerprint(), c.fingerprint());
+        let mut c = base.clone();
+        c.gpus_per_node = 4;
+        assert_ne!(base.fingerprint(), c.fingerprint());
     }
 
     #[test]

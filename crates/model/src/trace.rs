@@ -74,7 +74,7 @@ pub struct TraceSegment {
 }
 
 /// How skeletal activations are rematerialised.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RematPolicy {
     /// Keep every skeletal tensor resident (no rematerialisation).
     KeepAll,

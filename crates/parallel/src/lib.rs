@@ -21,6 +21,7 @@ pub mod comm;
 pub mod cost;
 pub mod memory;
 pub mod pipeline;
+pub mod pool;
 pub mod search;
 pub mod strategy;
 

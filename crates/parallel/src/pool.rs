@@ -1,0 +1,304 @@
+//! A bounded work-stealing job pool for the strategy search and sweeps.
+//!
+//! The planner-quality experiments re-run the full strategy search for every
+//! (system × model × seq-len) cell, and `bench::sweep_group` used to spawn
+//! one OS thread per cell unconditionally. This module replaces both with a
+//! single abstraction: submit a batch of independent jobs, get their results
+//! back **in submission order**, never running more worker threads than the
+//! machine has cores — across *nested* uses too.
+//!
+//! Design notes (std-only; the workspace has no crates.io access):
+//!
+//! * **Work stealing.** Jobs are dealt to per-worker deques in contiguous
+//!   blocks. A worker drains its own deque from the front and, when empty,
+//!   steals from the back of the fullest other deque — the classic Chase-Lev
+//!   arrangement approximated with mutexed deques, which is plenty here
+//!   because each job is a full profile/plan/schedule run (milliseconds to
+//!   seconds), not a microtask.
+//! * **Global concurrency budget.** Helper threads beyond the calling thread
+//!   are metered by a process-wide token counter initialised to
+//!   `available_parallelism() - 1`. Nested `run` calls (a sweep cell whose
+//!   strategy search itself fans out) degrade gracefully toward serial
+//!   execution on the caller's thread instead of oversubscribing the host.
+//! * **Deterministic reduction order.** Results are returned indexed by
+//!   submission order regardless of which worker ran what and when. Callers
+//!   that fold the results serially therefore observe the exact sequence a
+//!   serial loop would have produced — this is what lets the parallel
+//!   strategy search keep the `>=` last-enumerated tie-break bit-exactly
+//!   (see `memo-core::session` and DESIGN.md).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of workers the host supports (`available_parallelism`, min 1).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Process-wide helper-thread tokens. The calling thread is always free, so
+/// the budget is one less than the core count.
+fn helper_tokens() -> &'static AtomicUsize {
+    static TOKENS: OnceLock<AtomicUsize> = OnceLock::new();
+    TOKENS.get_or_init(|| AtomicUsize::new(available_workers().saturating_sub(1)))
+}
+
+/// Take up to `want` helper tokens (possibly zero).
+fn acquire_helpers(want: usize) -> usize {
+    let tokens = helper_tokens();
+    let mut cur = tokens.load(Ordering::Relaxed);
+    loop {
+        let take = want.min(cur);
+        if take == 0 {
+            return 0;
+        }
+        match tokens.compare_exchange_weak(cur, cur - take, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return take,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn release_helpers(n: usize) {
+    if n > 0 {
+        helper_tokens().fetch_add(n, Ordering::AcqRel);
+    }
+}
+
+/// A bounded work-stealing pool. Holds no threads of its own: each [`run`]
+/// spawns scoped workers capped by both the pool's width and the global
+/// helper budget, so a `Pool` is cheap to construct anywhere.
+///
+/// [`run`]: Pool::run
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    width: usize,
+}
+
+impl Pool {
+    /// A pool that uses at most `width` concurrent workers (including the
+    /// calling thread). Width 0 is clamped to 1.
+    pub fn new(width: usize) -> Self {
+        Pool {
+            width: width.max(1),
+        }
+    }
+
+    /// The default pool: as wide as the machine (`available_parallelism`).
+    pub fn machine() -> Self {
+        Pool::new(available_workers())
+    }
+
+    /// Run every job and return the results **in submission order**.
+    ///
+    /// Jobs run at most `min(width, jobs, cores)` at a time; when the global
+    /// helper budget is exhausted (nested `run` calls), everything executes
+    /// on the calling thread, serially, in submission order. A panicking job
+    /// propagates the panic to the caller after the scope joins.
+    pub fn run<F, T>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let helpers = if self.width <= 1 || n <= 1 {
+            0
+        } else {
+            acquire_helpers((self.width - 1).min(n - 1))
+        };
+        if helpers == 0 {
+            // Serial fast path: submission order *is* execution order.
+            return jobs.into_iter().map(|f| f()).collect();
+        }
+        let workers = helpers + 1;
+
+        // Deal contiguous index blocks to per-worker deques.
+        let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = w * n / workers;
+                let hi = (w + 1) * n / workers;
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let jobs = &jobs;
+            let queues = &queues;
+            let handles: Vec<_> = (1..workers)
+                .map(|w| scope.spawn(move || worker_loop(w, jobs, queues)))
+                .collect();
+            let mut done = worker_loop(0, jobs, queues);
+            for h in handles {
+                done.extend(h.join().expect("pool worker panicked"));
+            }
+            for (idx, value) in done {
+                slots[idx] = Some(value);
+            }
+        });
+        release_helpers(helpers);
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job index produced a result"))
+            .collect()
+    }
+
+    /// Map `f` over `items` through the pool, preserving item order.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        let f = &f;
+        self.run(
+            items
+                .into_iter()
+                .map(|item| move || f(item))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// One worker: drain own deque from the front, then steal from the back of
+/// the fullest other deque until every queue is empty.
+fn worker_loop<F, T>(
+    me: usize,
+    jobs: &[Mutex<Option<F>>],
+    queues: &[Mutex<VecDeque<usize>>],
+) -> Vec<(usize, T)>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let mut out = Vec::new();
+    loop {
+        let idx = pop_own(&queues[me]).or_else(|| steal(me, queues));
+        let Some(idx) = idx else { break };
+        let job = jobs[idx]
+            .lock()
+            .expect("job mutex poisoned")
+            .take()
+            .expect("job indices are claimed exactly once");
+        out.push((idx, job()));
+    }
+    out
+}
+
+fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    queue.lock().expect("queue mutex poisoned").pop_front()
+}
+
+fn steal(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    // Victim with the most remaining work first.
+    let mut victims: Vec<(usize, usize)> = queues
+        .iter()
+        .enumerate()
+        .filter(|&(w, _)| w != me)
+        .map(|(w, q)| (q.lock().expect("queue mutex poisoned").len(), w))
+        .collect();
+    victims.sort_unstable_by(|a, b| b.cmp(a));
+    for (_, w) in victims {
+        if let Some(idx) = queues[w].lock().expect("queue mutex poisoned").pop_back() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_keep_submission_order() {
+        let pool = Pool::machine();
+        let jobs: Vec<_> = (0..64)
+            .map(|i| {
+                move || {
+                    // Stagger so completion order scrambles.
+                    std::thread::sleep(std::time::Duration::from_micros((64 - i) as u64 * 10));
+                    i * i
+                }
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn width_one_is_serial() {
+        let order = Mutex::new(Vec::new());
+        let jobs: Vec<_> = (0..8)
+            .map(|i| {
+                let order = &order;
+                move || {
+                    order.lock().unwrap().push(i);
+                    i
+                }
+            })
+            .collect();
+        let out = Pool::new(1).run(jobs);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_runs_stay_within_the_budget() {
+        // Outer × inner fan-out far beyond the core count must not deadlock
+        // and must still produce ordered results at every level.
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        let outer: Vec<_> = (0..8)
+            .map(|o| {
+                move || {
+                    let inner: Vec<_> = (0..8)
+                        .map(|i| {
+                            move || {
+                                let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                                PEAK.fetch_max(live, Ordering::SeqCst);
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                                LIVE.fetch_sub(1, Ordering::SeqCst);
+                                o * 10 + i
+                            }
+                        })
+                        .collect();
+                    Pool::machine().run(inner)
+                }
+            })
+            .collect();
+        let out = Pool::machine().run(outer);
+        for (o, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..8).map(|i| o * 10 + i).collect::<Vec<_>>());
+        }
+        // The caller thread of each nested run also executes jobs, so the
+        // theoretical ceiling is the core count plus the callers blocked in
+        // their own scopes; helper threads alone never exceed the budget.
+        assert!(
+            PEAK.load(Ordering::SeqCst) <= 2 * available_workers() + 8,
+            "peak concurrency {} for {} cores",
+            PEAK.load(Ordering::SeqCst),
+            available_workers()
+        );
+    }
+
+    #[test]
+    fn empty_and_single_jobs() {
+        let none: Vec<fn() -> u32> = Vec::new();
+        assert!(Pool::machine().run(none).is_empty());
+        assert_eq!(Pool::machine().run(vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let out = Pool::machine().map((0..100).collect::<Vec<_>>(), |x| x + 1);
+        assert_eq!(out, (1..101).collect::<Vec<_>>());
+    }
+}

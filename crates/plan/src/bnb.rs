@@ -14,13 +14,23 @@
 //!   placed conflicting tensor `j`.
 //!
 //! Pruning: a best-fit incumbent (from [`crate::heuristic`]), peak-based
-//! branch cuts, early exit when the incumbent meets the liveness lower bound
-//! (then it is provably optimal), symmetry breaking among identical tensors,
-//! and a node budget. Within the budget the solver is exact; beyond it, it
-//! returns the incumbent flagged `optimal = false` unless the bound closed.
+//! branch cuts, a clique-packing bound recomputed at every node (see
+//! [`Searcher::clique_bound`]), early exit when the incumbent meets the
+//! liveness lower bound (then it is provably optimal), symmetry breaking
+//! among identical tensors, and a node budget. Within the budget the solver
+//! is exact; beyond it, it returns the incumbent flagged `optimal = false`
+//! unless the bound closed.
+//!
+//! The inner loop is allocation-free: candidate/interval/symmetry buffers
+//! are preallocated per depth and reused across the whole search, placed
+//! conflicts are kept as offset-sorted intervals so both candidate
+//! generation and feasibility checks stream them with early exit, and
+//! tensors are expanded in incumbent order (the heuristic's offsets are a
+//! strong hint for where the optimum packs tight).
 
 use crate::dsa::{Assignment, DsaInstance};
 use crate::heuristic;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Solver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -52,9 +62,51 @@ pub struct Solution {
     pub lower_bound: u64,
 }
 
+/// Process-wide count of search nodes expanded by every [`solve`] call
+/// (planner instrumentation for `search_bench`).
+static TOTAL_NODES: AtomicU64 = AtomicU64::new(0);
+
+/// Total nodes expanded across all [`solve`] calls since process start (or
+/// the last [`reset_node_counter`]).
+pub fn nodes_expanded_total() -> u64 {
+    TOTAL_NODES.load(Ordering::Relaxed)
+}
+
+/// Zero the global node counter (bench runs measure per-phase counts).
+pub fn reset_node_counter() {
+    TOTAL_NODES.store(0, Ordering::Relaxed)
+}
+
+/// Reusable per-depth scratch. Each DFS depth owns one (taken/restored
+/// around the expansion loop), so recursion never clobbers a live buffer
+/// and no `Vec` is allocated per node.
+#[derive(Default)]
+struct DepthBuf {
+    /// Candidate offsets for the tensor under expansion, ascending.
+    candidates: Vec<u64>,
+    /// `(offset, end)` of placed conflicting tensors, sorted by offset.
+    placed_iv: Vec<(u64, u64)>,
+    /// Symmetry stamps per class: `class_seen[c] == stamp of this node`
+    /// marks class `c` as already expanded here. Depth-local so deeper
+    /// nodes (which bump the global stamp) cannot invalidate our marks.
+    class_seen: Vec<u64>,
+}
+
 struct Searcher<'a> {
     inst: &'a DsaInstance,
+    /// Conflict adjacency, ascending index order.
     conflicts: Vec<Vec<usize>>,
+    /// Symmetry class (identical `(size, birth, death)`) of each tensor.
+    class_of: Vec<usize>,
+    /// Static expansion order: incumbent offset ascending, size descending.
+    order: Vec<usize>,
+    /// Tensors live at the max-liveness point (their sizes sum to the
+    /// liveness lower bound).
+    clique: Vec<usize>,
+    /// Scratch for [`Self::clique_bound`] (never live across recursion).
+    clique_iv: Vec<(u64, u64)>,
+    depth_bufs: Vec<DepthBuf>,
+    stamp: u64,
     best: Assignment,
     nodes: u64,
     node_limit: u64,
@@ -64,18 +116,61 @@ struct Searcher<'a> {
     lower_bound: u64,
 }
 
+/// Overlap test against an offset-sorted interval list, early-exiting once
+/// intervals start at or above `offset + size`.
+fn feasible_sorted(placed_iv: &[(u64, u64)], offset: u64, size: u64) -> bool {
+    for &(o, e) in placed_iv {
+        if o >= offset + size {
+            break;
+        }
+        if offset < e {
+            return false;
+        }
+    }
+    true
+}
+
 impl<'a> Searcher<'a> {
-    fn feasible_at(&self, i: usize, offset: u64) -> bool {
-        let size = self.inst.tensors[i].size;
-        for &j in &self.conflicts[i] {
-            if self.placed[j] {
-                let (oj, sj) = (self.offsets[j], self.inst.tensors[j].size);
-                if offset < oj + sj && oj < offset + size {
-                    return false;
-                }
+    /// Node-local lower bound from the max-liveness clique: its placed
+    /// members occupy known, pairwise-disjoint address intervals, and the
+    /// unplaced members' bytes must land somewhere outside them. Packing
+    /// those bytes greedily into the gaps from address 0 upward (allowing
+    /// fractional splits — a relaxation, hence a valid bound) yields the
+    /// minimal address `P` any completion of this node can reach. At the
+    /// root this equals the liveness bound; once placements leave gaps the
+    /// clique cannot use, it is strictly stronger.
+    fn clique_bound(&mut self, current_peak: u64) -> u64 {
+        let mut iv = std::mem::take(&mut self.clique_iv);
+        iv.clear();
+        let mut unplaced_bytes = 0u64;
+        for idx in 0..self.clique.len() {
+            let i = self.clique[idx];
+            let size = self.inst.tensors[i].size;
+            if self.placed[i] {
+                iv.push((self.offsets[i], self.offsets[i] + size));
+            } else {
+                unplaced_bytes += size;
             }
         }
-        true
+        iv.sort_unstable();
+        let mut bound = current_peak;
+        let mut cursor = 0u64;
+        let mut rem = unplaced_bytes;
+        for &(o, e) in &iv {
+            if rem > 0 && o > cursor {
+                let used = (o - cursor).min(rem);
+                rem -= used;
+                if rem == 0 {
+                    bound = bound.max(cursor + used);
+                }
+            }
+            cursor = cursor.max(e);
+        }
+        if rem > 0 {
+            bound = bound.max(cursor + rem);
+        }
+        self.clique_iv = iv;
+        bound
     }
 
     fn dfs(&mut self, n_placed: usize, current_peak: u64) {
@@ -87,6 +182,9 @@ impl<'a> Searcher<'a> {
         if current_peak >= self.best.peak {
             return; // cannot improve
         }
+        if self.clique_bound(current_peak) >= self.best.peak {
+            return; // no completion fits under the incumbent
+        }
         let n = self.inst.tensors.len();
         if n_placed == n {
             self.best = Assignment {
@@ -96,35 +194,46 @@ impl<'a> Searcher<'a> {
             return;
         }
 
-        // Symmetry breaking: among unplaced tensors with identical
-        // (size, birth, death), expand only the first.
-        let mut seen: Vec<(u64, usize, usize)> = Vec::new();
-        for i in 0..n {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut bufs = std::mem::take(&mut self.depth_bufs[n_placed]);
+        for oi in 0..n {
+            let i = self.order[oi];
             if self.placed[i] {
                 continue;
             }
-            let t = self.inst.tensors[i];
-            let key = (t.size, t.birth, t.death);
-            if seen.contains(&key) {
+            // Symmetry breaking: among unplaced tensors with identical
+            // (size, birth, death), expand only the first in order.
+            let class = self.class_of[i];
+            if bufs.class_seen[class] == stamp {
                 continue;
             }
-            seen.push(key);
+            bufs.class_seen[class] = stamp;
+            let t = self.inst.tensors[i];
 
-            // Candidate offsets: 0 plus tops of placed conflicting tensors.
-            let mut candidates: Vec<u64> = vec![0];
+            bufs.placed_iv.clear();
             for &j in &self.conflicts[i] {
                 if self.placed[j] {
-                    candidates.push(self.offsets[j] + self.inst.tensors[j].size);
+                    bufs.placed_iv
+                        .push((self.offsets[j], self.offsets[j] + self.inst.tensors[j].size));
                 }
             }
-            candidates.sort_unstable();
-            candidates.dedup();
+            bufs.placed_iv.sort_unstable();
 
-            for &c in &candidates {
+            // Candidate offsets: 0 plus tops of placed conflicting tensors.
+            bufs.candidates.clear();
+            bufs.candidates.push(0);
+            bufs.candidates
+                .extend(bufs.placed_iv.iter().map(|&(_, e)| e));
+            bufs.candidates.sort_unstable();
+            bufs.candidates.dedup();
+
+            for ci in 0..bufs.candidates.len() {
+                let c = bufs.candidates[ci];
                 if c + t.size >= self.best.peak {
-                    continue; // bound
+                    break; // ascending candidates: every later one fails too
                 }
-                if !self.feasible_at(i, c) {
+                if !feasible_sorted(&bufs.placed_iv, c, t.size) {
                     continue;
                 }
                 self.offsets[i] = c;
@@ -132,11 +241,38 @@ impl<'a> Searcher<'a> {
                 self.dfs(n_placed + 1, current_peak.max(c + t.size));
                 self.placed[i] = false;
                 if self.exhausted || self.best.peak <= self.lower_bound {
+                    self.depth_bufs[n_placed] = bufs;
                     return;
                 }
             }
         }
+        self.depth_bufs[n_placed] = bufs;
     }
+}
+
+/// Indices of the tensors live at the point of maximum liveness (their
+/// sizes sum to `inst.lower_bound()`). Liveness peaks at some tensor's
+/// birth, so scanning births suffices.
+fn max_liveness_clique(inst: &DsaInstance, lower_bound: u64) -> Vec<usize> {
+    let mut best: Vec<usize> = Vec::new();
+    let mut best_bytes = 0u64;
+    for t in &inst.tensors {
+        let at = t.birth;
+        let mut members: Vec<usize> = Vec::new();
+        let mut bytes = 0u64;
+        for (j, u) in inst.tensors.iter().enumerate() {
+            if u.birth <= at && at < u.death {
+                members.push(j);
+                bytes += u.size;
+            }
+        }
+        if bytes > best_bytes {
+            best_bytes = bytes;
+            best = members;
+        }
+    }
+    debug_assert_eq!(best_bytes, lower_bound);
+    best
 }
 
 /// Solve the instance. Exact within the node budget and size cap; otherwise
@@ -165,9 +301,55 @@ pub fn solve(inst: &DsaInstance, opts: BnbOptions) -> Solution {
 
     let n = inst.tensors.len();
     let conflicts: Vec<Vec<usize>> = (0..n).map(|i| inst.conflicts_of(i)).collect();
+
+    // Symmetry classes: tensors sharing (size, birth, death) are
+    // interchangeable; give each distinct key one class id.
+    let mut keys: Vec<(u64, usize, usize)> = inst
+        .tensors
+        .iter()
+        .map(|t| (t.size, t.birth, t.death))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let class_of: Vec<usize> = inst
+        .tensors
+        .iter()
+        .map(|t| {
+            keys.binary_search(&(t.size, t.birth, t.death))
+                .expect("key set covers every tensor")
+        })
+        .collect();
+
+    // Incumbent-aware expansion order: tensors the heuristic packs lowest
+    // go first (big ones ahead on ties), steering the DFS toward the
+    // incumbent's neighbourhood where improvements live.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| {
+        (
+            incumbent.offsets[i],
+            std::cmp::Reverse(inst.tensors[i].size),
+            i,
+        )
+    });
+
+    let clique = max_liveness_clique(inst, lower_bound);
+    let depth_bufs = (0..=n)
+        .map(|_| DepthBuf {
+            candidates: Vec::with_capacity(n + 1),
+            placed_iv: Vec::with_capacity(n),
+            class_seen: vec![0; keys.len()],
+        })
+        .collect();
+
     let mut s = Searcher {
         inst,
         conflicts,
+        class_of,
+        order,
+        clique,
+        clique_iv: Vec::with_capacity(n),
+        depth_bufs,
+        stamp: 0,
         best: incumbent,
         nodes: 0,
         node_limit: opts.node_limit,
@@ -177,6 +359,7 @@ pub fn solve(inst: &DsaInstance, opts: BnbOptions) -> Solution {
         lower_bound,
     };
     s.dfs(0, 0);
+    TOTAL_NODES.fetch_add(s.nodes, Ordering::Relaxed);
     let optimal = !s.exhausted || s.best.peak == lower_bound;
     debug_assert!(s.best.validate(inst).is_ok());
     Solution {
@@ -291,6 +474,61 @@ mod tests {
                 sol.assignment.peak
             );
         }
+    }
+
+    #[test]
+    fn harder_instances_stay_optimal_and_node_counts_do_not_regress() {
+        // The seed-7 corpus exercises real search pressure (the seed-3
+        // corpus above closes at 0 nodes). The totals below were measured
+        // with the pre-overhaul searcher (per-node allocations, O(n²)
+        // symmetry scan, liveness-only bound): 15_514 nodes over the 12
+        // rounds, with round 8 alone at 15_448. The reworked searcher must
+        // still be exact AND expand no more nodes than that baseline.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        const BASELINE_TOTAL_NODES: u64 = 15_514;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total = 0u64;
+        for round in 0..12 {
+            let n = rng.gen_range(8..18);
+            let tensors = (0..n)
+                .map(|i| {
+                    let birth = rng.gen_range(0..20usize);
+                    t(
+                        i as u64,
+                        rng.gen_range(1..60),
+                        birth,
+                        birth + rng.gen_range(1..12),
+                    )
+                })
+                .collect();
+            let inst = DsaInstance { tensors };
+            let sol = solve(&inst, BnbOptions::default());
+            assert!(sol.optimal, "round {round}: search not exhausted");
+            sol.assignment.validate(&inst).unwrap();
+            assert!(
+                sol.assignment.peak >= sol.lower_bound,
+                "round {round}: peak below the liveness bound"
+            );
+            total += sol.nodes;
+        }
+        assert!(
+            total <= BASELINE_TOTAL_NODES,
+            "node count regressed: {total} > baseline {BASELINE_TOTAL_NODES}"
+        );
+    }
+
+    #[test]
+    fn global_node_counter_accumulates() {
+        let before = nodes_expanded_total();
+        let inst = DsaInstance {
+            tensors: vec![t(0, 4, 0, 3), t(1, 4, 4, 8), t(2, 6, 2, 6), t(3, 2, 1, 7)],
+        };
+        let sol = solve(&inst, BnbOptions::default());
+        assert_eq!(
+            nodes_expanded_total() - before,
+            sol.nodes,
+            "global counter must advance by exactly the solve's nodes"
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset this workspace's property tests use: numeric range
-//! strategies, tuples, `prop::collection::vec`, `prop_map`, the `proptest!`
+//! strategies, tuples, `prop::collection::vec`, `prop::sample::select`,
+//! `prop_map`, the `proptest!`
 //! macro with an optional `#![proptest_config(...)]` header, and the
 //! `prop_assert*` macros. Cases are drawn from a deterministic RNG seeded by
 //! the test name; failures panic immediately with the offending inputs via
@@ -116,6 +117,28 @@ impl Default for ProptestConfig {
 }
 
 pub mod prop {
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy drawing uniformly from a fixed list of values.
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                let i = (0..self.options.len()).sample(rng);
+                self.options[i].clone()
+            }
+        }
+    }
+
     pub mod collection {
         use crate::{Strategy, TestRng};
         use std::ops::Range;
@@ -173,7 +196,7 @@ macro_rules! proptest {
 macro_rules! __proptest_fns {
     ($cfg:expr; $(
         $(#[$meta:meta])*
-        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
     )*) => {$(
         $(#[$meta])*
         fn $name() {
