@@ -22,6 +22,7 @@
 
 use crate::{AllocError, DeviceAllocator};
 use memo_model::trace::TensorId;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 const ROUND: u64 = 512;
@@ -72,6 +73,39 @@ pub struct CachingStats {
     pub peak_reserved: u64,
 }
 
+/// What an [`AllocEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocEventKind {
+    /// A block was handed out (`bytes` = rounded request size).
+    Malloc,
+    /// A live block was returned (`bytes` = the freed block's size).
+    Free,
+    /// `cudaMalloc` created a segment (`bytes` = segment size).
+    SegmentCreate,
+    /// Reorganisation `cudaFree`'d a cached segment (`bytes` = its size).
+    SegmentRelease,
+    /// A reorganisation pass started (the expensive stall of §5.2).
+    Reorg,
+}
+
+/// One allocator event, stamped with the *post-event* allocated/reserved
+/// counters so the Figure 1(a) curves can be regenerated from a recorded
+/// run. Only populated when recording is enabled
+/// ([`CachingAllocator::record_events`]) — the default is a no-op `None`
+/// with zero overhead on the malloc/free hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocEvent {
+    pub kind: AllocEventKind,
+    /// The tensor involved (`None` for segment/reorg events).
+    pub tensor: Option<TensorId>,
+    /// Size the event concerns (see [`AllocEventKind`]; 0 for `Reorg`).
+    pub bytes: u64,
+    /// Allocated bytes immediately after the event.
+    pub allocated: u64,
+    /// Reserved bytes immediately after the event.
+    pub reserved: u64,
+}
+
 /// The caching allocator simulation. See module docs for the algorithm.
 ///
 /// ```
@@ -97,6 +131,9 @@ pub struct CachingAllocator {
     allocated: u64,
     reserved: u64,
     stats: CachingStats,
+    /// `Some` only while event recording is on (`record_events`); the
+    /// default `None` keeps the hot path allocation- and branch-cheap.
+    events: Option<Vec<AllocEvent>>,
 }
 
 impl CachingAllocator {
@@ -114,6 +151,39 @@ impl CachingAllocator {
             allocated: 0,
             reserved: 0,
             stats: CachingStats::default(),
+            events: None,
+        }
+    }
+
+    /// Enable or disable event recording. Enabling starts a fresh event
+    /// log; disabling discards it. Off by default (zero overhead).
+    pub fn record_events(&mut self, on: bool) {
+        self.events = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Events recorded since recording was (re-)enabled; empty when off.
+    pub fn events(&self) -> &[AllocEvent] {
+        self.events.as_deref().unwrap_or(&[])
+    }
+
+    /// Drain the recorded events, leaving recording enabled iff it was.
+    pub fn take_events(&mut self) -> Vec<AllocEvent> {
+        match self.events.as_mut() {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, kind: AllocEventKind, tensor: Option<TensorId>, bytes: u64) {
+        if let Some(events) = self.events.as_mut() {
+            events.push(AllocEvent {
+                kind,
+                tensor,
+                bytes,
+                allocated: self.allocated,
+                reserved: self.reserved,
+            });
         }
     }
 
@@ -126,9 +196,23 @@ impl CachingAllocator {
     }
 
     /// Reserved-but-unallocated bytes — the fragmentation overhead visible in
-    /// Figure 1(a) as the gap between the two curves.
+    /// Figure 1(a) as the gap between the two curves. Saturating: the two
+    /// counters are maintained so that `reserved ≥ allocated`, but a metric
+    /// getter must not be able to underflow-panic if that drifts.
     pub fn fragmentation_bytes(&self) -> u64 {
-        self.reserved - self.allocated
+        self.reserved.saturating_sub(self.allocated)
+    }
+
+    /// Total free bytes, summed over the free-block index. Unlike the
+    /// `reserved − allocated` counter difference this is exact by
+    /// construction: it counts precisely the cached blocks a `malloc` can
+    /// actually be served from, independent of how rounding slack inside
+    /// live blocks is attributed to the counters.
+    pub fn total_free_bytes(&self) -> u64 {
+        self.free_index
+            .values()
+            .flat_map(|set| set.iter().map(|&(size, _, _)| size))
+            .sum()
     }
 
     /// The largest single free block currently cached. A request above this
@@ -144,12 +228,21 @@ impl CachingAllocator {
 
     /// External fragmentation ratio: `1 − largest_free / total_free`
     /// (0 when the free space is one block or there is none).
+    ///
+    /// Both terms come from the free-block index, so `largest ≤ total` holds
+    /// structurally and the ratio is always within `[0, 1]`. The previous
+    /// implementation divided by `reserved − allocated` instead — a counter
+    /// difference that is only *incidentally* equal to the free bytes (it
+    /// depends on rounding slack inside unsplit live blocks being charged to
+    /// `allocated`) and that silently yields a bogus ratio the moment the
+    /// two bookkeeping schemes drift (see
+    /// `external_fragmentation_counters_vs_free_index`).
     pub fn external_fragmentation(&self) -> f64 {
-        let free = self.fragmentation_bytes();
+        let free = self.total_free_bytes();
         if free == 0 {
             return 0.0;
         }
-        1.0 - self.largest_free_block() as f64 / free as f64
+        (1.0 - self.largest_free_block() as f64 / free as f64).clamp(0.0, 1.0)
     }
 
     fn round_size(bytes: u64) -> u64 {
@@ -272,6 +365,7 @@ impl CachingAllocator {
         self.reserved += seg_size;
         self.stats.n_segments_created += 1;
         self.stats.peak_reserved = self.stats.peak_reserved.max(self.reserved);
+        self.emit(AllocEventKind::SegmentCreate, None, seg_size);
         Some(base)
     }
 
@@ -295,6 +389,7 @@ impl CachingAllocator {
             }
             self.reserved -= seg.size;
             self.stats.n_segments_released += 1;
+            self.emit(AllocEventKind::SegmentRelease, None, seg.size);
         }
         victims.len()
     }
@@ -362,6 +457,7 @@ impl DeviceAllocator for CachingAllocator {
             let addr = self.take_block(pool, base, off, rounded);
             self.live.insert(id, (base, addr - base));
             self.stats.peak_allocated = self.stats.peak_allocated.max(self.allocated);
+            self.emit(AllocEventKind::Malloc, Some(id), rounded);
             return Ok(addr);
         }
 
@@ -371,11 +467,13 @@ impl DeviceAllocator for CachingAllocator {
             let addr = self.take_block(pool, base, 0, rounded);
             self.live.insert(id, (base, addr - base));
             self.stats.peak_allocated = self.stats.peak_allocated.max(self.allocated);
+            self.emit(AllocEventKind::Malloc, Some(id), rounded);
             return Ok(addr);
         }
 
         // 3. reorganise and retry (the expensive path).
         self.stats.n_reorgs += 1;
+        self.emit(AllocEventKind::Reorg, None, 0);
         self.release_cached_segments();
         // After releasing, a cached block may also have become available in
         // another segment? No — released segments were fully free; remaining
@@ -384,6 +482,7 @@ impl DeviceAllocator for CachingAllocator {
             let addr = self.take_block(pool, base, 0, rounded);
             self.live.insert(id, (base, addr - base));
             self.stats.peak_allocated = self.stats.peak_allocated.max(self.allocated);
+            self.emit(AllocEventKind::Malloc, Some(id), rounded);
             return Ok(addr);
         }
 
@@ -404,10 +503,12 @@ impl DeviceAllocator for CachingAllocator {
         let block = seg.blocks.get_mut(&off).expect("block exists");
         debug_assert!(!block.free);
         block.free = true;
-        self.allocated -= block.size;
+        let freed = block.size;
+        self.allocated -= freed;
         seg.live_blocks -= 1;
         self.stats.n_frees += 1;
         self.coalesce(base, off);
+        self.emit(AllocEventKind::Free, Some(id), freed);
     }
 
     fn allocated_bytes(&self) -> u64 {
@@ -543,6 +644,134 @@ mod tests {
         assert_eq!(a.largest_free_block(), 30 * MIB);
         let ext = a.external_fragmentation();
         assert!((ext - 0.8).abs() < 1e-9, "1 - 30/150 = 0.8, got {ext}");
+    }
+
+    #[test]
+    fn external_fragmentation_counters_vs_free_index() {
+        // Regression pin for the old implementation, which divided
+        // `largest_free_block` by the counter difference
+        // `reserved − allocated` instead of the free-index total.
+        //
+        // A 19.5 MiB request lands in a 20 MiB segment whose 0.5 MiB
+        // remainder is below the large-pool split threshold: the whole
+        // segment is handed out as one live block with 0.5 MiB of rounding
+        // slack inside it. The free index is empty — there is *nothing* a
+        // malloc could be served from — so external fragmentation must be
+        // exactly 0. The counter difference, however, only agrees because
+        // `allocated` happens to charge the slack to the live block; under
+        // PyTorch's requested-bytes accounting (allocated = rounded
+        // request) the old formula degenerates to 1.0 — "totally
+        // fragmented" with zero free blocks — and an unclamped
+        // `1 − largest/(reserved − allocated)` is one counter drift away
+        // from escaping [0, 1] entirely.
+        let mut a = CachingAllocator::new(1 << 34);
+        let requested = 19 * MIB + MIB / 2; // rounded to itself (512 B multiple)
+        a.malloc(tid(0), requested).unwrap();
+        assert_eq!(a.reserved_bytes(), 20 * MIB);
+        assert_eq!(a.total_free_bytes(), 0, "no free blocks exist");
+        assert_eq!(a.largest_free_block(), 0);
+        assert_eq!(a.external_fragmentation(), 0.0, "index-based: exact");
+
+        // The old denominator under requested-bytes accounting: slack shows
+        // up as phantom "free" bytes and the old formula reports 1.0.
+        let slack_denominator = a.reserved_bytes() - requested;
+        assert_eq!(slack_denominator, MIB / 2, "slack inside the live block");
+        let old_formula = 1.0 - a.largest_free_block() as f64 / slack_denominator as f64;
+        assert_eq!(
+            old_formula, 1.0,
+            "old behaviour: total fragmentation with zero free blocks"
+        );
+
+        // With the block split (free remainder in the index), both the
+        // counter difference and the index agree again.
+        a.free(tid(0));
+        a.malloc(tid(1), 16 * MIB).unwrap();
+        assert_eq!(a.total_free_bytes(), 4 * MIB);
+        assert_eq!(a.total_free_bytes(), a.fragmentation_bytes());
+        assert_eq!(a.external_fragmentation(), 0.0, "one free block");
+    }
+
+    mod frag_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            // The acceptance bound: under arbitrary malloc/free sequences
+            // the ratio stays in [0, 1], and the free index agrees with
+            // the counter difference (the invariant the old formula
+            // silently depended on).
+            #[test]
+            fn external_fragmentation_within_unit_interval(
+                ops in prop::collection::vec((0u8..=1, 1u64..64 * MIB), 1..400),
+            ) {
+                let mut a = CachingAllocator::new(1 << 34);
+                let mut live: Vec<TensorId> = Vec::new();
+                let mut next = 0u64;
+                for (op, bytes) in ops {
+                    if op == 0 || live.is_empty() {
+                        let id = tid(next);
+                        next += 1;
+                        if a.malloc(id, bytes).is_ok() {
+                            live.push(id);
+                        }
+                    } else {
+                        let id = live.swap_remove((bytes % live.len() as u64) as usize);
+                        a.free(id);
+                    }
+                    let ext = a.external_fragmentation();
+                    prop_assert!((0.0..=1.0).contains(&ext), "ext {} out of [0,1]", ext);
+                    prop_assert!(a.largest_free_block() <= a.total_free_bytes());
+                    prop_assert_eq!(a.total_free_bytes(), a.fragmentation_bytes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_recording_is_opt_in_and_stamped() {
+        let mut a = CachingAllocator::new(200 * MIB);
+        a.malloc(tid(0), 4 * MIB).unwrap();
+        assert!(a.events().is_empty(), "recording is off by default");
+
+        a.record_events(true);
+        a.malloc(tid(1), 64 * MIB).unwrap();
+        a.free(tid(1));
+        // 150 MiB fits neither the cached 64 MiB segment nor fresh
+        // capacity next to it: the allocator must reorganise first.
+        a.malloc(tid(2), 150 * MIB).unwrap();
+        let kinds: Vec<AllocEventKind> = a.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AllocEventKind::SegmentCreate, // 64 MiB segment
+                AllocEventKind::Malloc,        // tid(1)
+                AllocEventKind::Free,          // tid(1)
+                AllocEventKind::Reorg,         // 90 MiB doesn't fit
+                AllocEventKind::SegmentRelease,
+                AllocEventKind::SegmentCreate,
+                AllocEventKind::Malloc, // tid(2)
+            ]
+        );
+        // Every event carries the post-event counters; the last one must
+        // match the live getters.
+        let last = *a.events().last().unwrap();
+        assert_eq!(last.tensor, Some(tid(2)));
+        assert_eq!(last.allocated, a.allocated_bytes());
+        assert_eq!(last.reserved, a.reserved_bytes());
+        for e in a.events() {
+            assert!(e.reserved >= e.allocated, "stamps keep the invariant");
+        }
+
+        let drained = a.take_events();
+        assert_eq!(drained.len(), 7);
+        assert!(a.events().is_empty(), "drained");
+        a.free(tid(2));
+        assert_eq!(a.events().len(), 1, "recording stays on after take");
+        a.record_events(false);
+        a.free(tid(0));
+        assert!(a.events().is_empty(), "disabled discards the log");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use memo_hal::time::SimTime;
 use memo_hal::timeline::render_ascii;
 use memo_model::config::ModelConfig;
 use memo_model::trace::RematPolicy;
+use memo_obs::chrome::TraceBuilder;
 use memo_parallel::strategy::ParallelConfig;
 use memo_swap::host::HostStaging;
 use memo_swap::schedule::{build_iteration_schedule, LayerCosts};
@@ -29,6 +30,7 @@ fn main() {
         p.alpha.alpha, p.alpha.binding
     );
 
+    let mut trace = TraceBuilder::new();
     for (label, alpha) in [
         ("with token-wise recomputation (α from LP)", p.alpha.alpha),
         ("w/o token-wise recomputation (α = 1, full swap)", 1.0),
@@ -49,5 +51,9 @@ fn main() {
             "makespan {}  compute idle {}\n",
             out.makespan, out.compute_idle
         );
+        trace.add_timeline(label, &out.timeline);
     }
+
+    std::fs::write("FIG11_trace.json", trace.to_string()).expect("write FIG11_trace.json");
+    println!("wrote FIG11_trace.json (open in chrome://tracing or Perfetto)");
 }

@@ -17,6 +17,7 @@ pub fn cell_text(out: &CellOutcome) -> String {
         CellOutcome::Oom { .. } => "X_oom".to_string(),
         CellOutcome::Oohm { .. } => "X_oohm".to_string(),
         CellOutcome::NoValidStrategy => "X_cfg".to_string(),
+        CellOutcome::Degenerate { .. } => "X_time".to_string(),
     }
 }
 

@@ -25,6 +25,7 @@ pub mod ablation;
 pub mod cache;
 pub mod executor;
 pub mod metrics;
+pub mod observer;
 pub mod outcome;
 pub mod pipeline;
 pub mod planner;
@@ -33,6 +34,7 @@ pub mod session;
 
 pub use cache::{CacheStats, ProfileCache};
 pub use metrics::Metrics;
+pub use observer::RunObserver;
 pub use outcome::CellOutcome;
 pub use pipeline::{ExecutionPipeline, ExecutionReport};
 pub use session::Workload;

@@ -30,6 +30,12 @@ pub struct Metrics {
 ///
 /// One iteration processes one batch of `batch` sequences of length `s`
 /// across `n_gpus` GPUs.
+///
+/// Returns `None` when `iter_secs` is degenerate (zero, negative, or
+/// non-finite): both ratios divide by it, so there is no meaningful
+/// answer. This used to be an `assert!` — a panic deep inside the metrics
+/// stage — but an observed pipeline reports the degenerate iteration as a
+/// [`crate::outcome::CellOutcome::Degenerate`] cell instead of aborting.
 pub fn compute_metrics(
     model: &ModelConfig,
     s: u64,
@@ -37,12 +43,14 @@ pub fn compute_metrics(
     n_gpus: usize,
     peak_flops: f64,
     iter_secs: f64,
-) -> (f64, f64) {
-    assert!(iter_secs > 0.0);
+) -> Option<(f64, f64)> {
+    if !iter_secs.is_finite() || iter_secs <= 0.0 {
+        return None;
+    }
     let model_flops = flops::model_flops_per_sample(model, s) * batch as f64;
     let mfu = model_flops / (iter_secs * n_gpus as f64 * peak_flops);
     let tgs = (s * batch) as f64 / (iter_secs * n_gpus as f64);
-    (mfu, tgs)
+    Some((mfu, tgs))
 }
 
 #[cfg(test)]
@@ -58,7 +66,7 @@ mod tests {
         let s = 64 * 1024;
         // iteration time implied by TGS:
         let iter = s as f64 / (8.0 * 1786.22);
-        let (mfu, tgs) = compute_metrics(&m, s as u64, 1, 8, 312e12, iter);
+        let (mfu, tgs) = compute_metrics(&m, s as u64, 1, 8, 312e12, iter).unwrap();
         assert!((tgs - 1786.22).abs() < 1.0);
         assert!(
             (mfu - 0.5234).abs() < 0.05,
@@ -70,8 +78,8 @@ mod tests {
     fn mfu_independent_of_gpu_count_at_fixed_tgs() {
         let m = ModelConfig::gpt_7b();
         let s = 1 << 17;
-        let (mfu8, _) = compute_metrics(&m, s, 1, 8, 312e12, 4.0);
-        let (mfu16, _) = compute_metrics(&m, s, 1, 16, 312e12, 2.0);
+        let (mfu8, _) = compute_metrics(&m, s, 1, 8, 312e12, 4.0).unwrap();
+        let (mfu16, _) = compute_metrics(&m, s, 1, 16, 312e12, 2.0).unwrap();
         assert!((mfu8 - mfu16).abs() < 1e-12);
     }
 
@@ -79,7 +87,7 @@ mod tests {
     fn tgs_times_seconds_equals_tokens() {
         let m = ModelConfig::gpt_13b();
         let s = 1 << 18;
-        let (_, tgs) = compute_metrics(&m, s, 1, 16, 312e12, 7.5);
+        let (_, tgs) = compute_metrics(&m, s, 1, 16, 312e12, 7.5).unwrap();
         let tokens = tgs * 7.5 * 16.0;
         assert!((tokens - s as f64).abs() < 1e-6);
     }
@@ -88,9 +96,22 @@ mod tests {
     fn batch_scales_both() {
         let m = ModelConfig::gpt_7b();
         let s = 1 << 16;
-        let (mfu1, tgs1) = compute_metrics(&m, s, 1, 8, 312e12, 2.0);
-        let (mfu2, tgs2) = compute_metrics(&m, s, 2, 8, 312e12, 4.0);
+        let (mfu1, tgs1) = compute_metrics(&m, s, 1, 8, 312e12, 2.0).unwrap();
+        let (mfu2, tgs2) = compute_metrics(&m, s, 2, 8, 312e12, 4.0).unwrap();
         assert!((mfu1 - mfu2).abs() < 1e-12);
         assert!((tgs1 - tgs2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_iteration_times_yield_none() {
+        // Regression: these used to be an `assert!(iter_secs > 0.0)` abort.
+        let m = ModelConfig::gpt_7b();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                compute_metrics(&m, 1 << 16, 1, 8, 312e12, bad).is_none(),
+                "iter_secs {bad} must be rejected"
+            );
+        }
+        assert!(compute_metrics(&m, 1 << 16, 1, 8, 312e12, 1.0).is_some());
     }
 }

@@ -21,6 +21,12 @@ pub enum CellOutcome {
     /// The strategy search space was empty: no parallel configuration is
     /// valid for the workload (e.g. attention heads not divisible).
     NoValidStrategy,
+    /// The simulated iteration time came out zero, negative, or non-finite,
+    /// so MFU/TGS are undefined. Carried as a reported failure (`X_time`)
+    /// instead of the process abort it used to be.
+    Degenerate {
+        iter_secs: f64,
+    },
 }
 
 impl CellOutcome {
@@ -46,6 +52,7 @@ impl CellOutcome {
             CellOutcome::Oom { .. } => "X_oom".into(),
             CellOutcome::Oohm { .. } => "X_oohm".into(),
             CellOutcome::NoValidStrategy => "X_cfg".into(),
+            CellOutcome::Degenerate { .. } => "X_time".into(),
         }
     }
 }
@@ -63,5 +70,8 @@ mod tests {
         assert_eq!(oom.cell(), "X_oom");
         assert!(!oom.is_ok());
         assert!(oom.mfu().is_none());
+        let degenerate = CellOutcome::Degenerate { iter_secs: 0.0 };
+        assert_eq!(degenerate.cell(), "X_time");
+        assert!(!degenerate.is_ok());
     }
 }

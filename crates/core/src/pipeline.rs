@@ -21,18 +21,21 @@
 
 use crate::cache::ProfileCache;
 use crate::metrics::{compute_metrics, Metrics};
+use crate::observer::RunObserver;
 use crate::outcome::CellOutcome;
 use crate::profiler::ProfileReport;
 use crate::session::Workload;
 use memo_alloc::caching::CachingAllocator;
 use memo_alloc::snapshot::{replay, SnapshotSeries};
 use memo_alloc::AllocError;
+use memo_hal::engine::Timeline;
 use memo_hal::time::SimTime;
 use memo_model::trace::RematPolicy;
 use memo_parallel::comm;
 use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 use memo_swap::host::HostStaging;
 use memo_swap::schedule::LayerCosts;
+use std::time::Instant;
 
 /// Stage 2: how activations survive from forward to backward.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -271,11 +274,30 @@ impl ExecutionPipeline {
         cfg: &ParallelConfig,
         use_cache: bool,
     ) -> ExecutionReport {
+        self.execute_observed(w, cfg, use_cache, None)
+    }
+
+    /// [`Self::execute_cached`] with an optional [`RunObserver`] threaded
+    /// through every stage. With `None` the pipeline takes the exact
+    /// unobserved path — no clock reads, no allocator event recording, no
+    /// timeline capture — so observation can never perturb golden-parity
+    /// outputs (the observer only *reads* what the stages already
+    /// computed, and the one genuinely new artifact, the recompute-family
+    /// timeline, is synthesized outside the metric path).
+    pub fn execute_observed(
+        &self,
+        w: &Workload,
+        cfg: &ParallelConfig,
+        use_cache: bool,
+        mut obs: Option<&mut RunObserver>,
+    ) -> ExecutionReport {
         debug_assert!(cfg
             .validate(&w.model, w.n_gpus, w.calib.gpus_per_node.min(w.n_gpus))
             .is_ok());
 
         // ---- stage 1: profile ---------------------------------------------
+        let cache_before = obs.as_ref().map(|_| ProfileCache::global().stats());
+        let t0 = obs.as_ref().map(|_| Instant::now());
         let p = ProfileCache::global().profile(
             w,
             cfg,
@@ -283,6 +305,9 @@ impl ExecutionPipeline {
             self.stages.materialize_logits,
             use_cache,
         );
+        if let Some(o) = obs.as_deref_mut() {
+            o.stage_secs.profile = t0.unwrap().elapsed().as_secs_f64();
+        }
         // `x * 1.0` is bit-exact for finite x, so the unconditional multiply
         // reproduces the old in-place `if head_scale != 1.0` mutation.
         let head_secs = p.head_secs * self.stages.head_scale;
@@ -296,51 +321,77 @@ impl ExecutionPipeline {
         };
 
         // ---- stage 2: activation policy -----------------------------------
-        let plan = match decide_activation(&self.stages.policy, w, &p) {
+        let t0 = obs.as_ref().map(|_| Instant::now());
+        let plan = decide_activation(&self.stages.policy, w, &p);
+        if let Some(o) = obs.as_deref_mut() {
+            o.stage_secs.policy = t0.unwrap().elapsed().as_secs_f64();
+        }
+        let plan = match plan {
             Ok(plan) => plan,
             Err(out) => {
+                finish_cache_delta(obs, cache_before);
                 return fail(
                     ByteBreakdown {
                         model_states: p.model_states.total(),
                         ..ByteBreakdown::default()
                     },
                     out,
-                )
+                );
             }
         };
 
         // ---- stage 3: memory backend --------------------------------------
-        let mem = match account_memory(&self.stages, w, cfg, &p, &plan, use_cache) {
+        let t0 = obs.as_ref().map(|_| Instant::now());
+        let mem = account_memory(
+            &self.stages,
+            w,
+            cfg,
+            &p,
+            &plan,
+            use_cache,
+            obs.as_deref_mut(),
+        );
+        if let Some(o) = obs.as_deref_mut() {
+            o.stage_secs.memory = t0.unwrap().elapsed().as_secs_f64();
+        }
+        let mem = match mem {
             Ok(mem) => mem,
             Err(out) => {
+                finish_cache_delta(obs, cache_before);
                 return fail(
                     ByteBreakdown {
                         model_states: p.model_states.total(),
                         ..ByteBreakdown::default()
                     },
                     out,
-                )
+                );
             }
         };
 
         // ---- stages 4+5: schedule and metrics -----------------------------
-        match build_schedule(w, cfg, &p, head_secs, &plan, &mem, self.stages.derate) {
+        let t0 = obs.as_ref().map(|_| Instant::now());
+        let sched = build_schedule(
+            w,
+            cfg,
+            &p,
+            head_secs,
+            &plan,
+            &mem,
+            self.stages.derate,
+            obs.as_deref_mut(),
+        );
+        let report = match sched {
             Ok((iter_secs, time, host_peak)) => {
                 let samples = w.batch * cfg.dp as u64;
-                let (mfu, tgs) = compute_metrics(
+                let outcome = match compute_metrics(
                     &w.model,
                     w.seq_len,
                     samples,
                     w.n_gpus,
                     w.calib.peak_flops,
                     iter_secs,
-                );
-                ExecutionReport {
-                    spec: self.spec,
-                    strategy: *cfg,
-                    bytes: mem.bytes,
-                    time,
-                    outcome: CellOutcome::Ok(Metrics {
+                ) {
+                    Some((mfu, tgs)) => CellOutcome::Ok(Metrics {
                         iter_secs,
                         mfu,
                         tgs,
@@ -350,10 +401,36 @@ impl ExecutionPipeline {
                         alpha: plan.reported_alpha(),
                         strategy: cfg.describe(),
                     }),
+                    // A zero/negative/non-finite makespan is a simulator
+                    // bug surfaced as a cell, not a process abort.
+                    None => CellOutcome::Degenerate { iter_secs },
+                };
+                ExecutionReport {
+                    spec: self.spec,
+                    strategy: *cfg,
+                    bytes: mem.bytes,
+                    time,
+                    outcome,
                 }
             }
             Err(out) => fail(mem.bytes, out),
+        };
+        if let Some(o) = obs.as_deref_mut() {
+            o.stage_secs.schedule = t0.unwrap().elapsed().as_secs_f64();
         }
+        finish_cache_delta(obs, cache_before);
+        report
+    }
+}
+
+/// Fold the global [`ProfileCache`] hit/miss delta since `before` into the
+/// observer. Global counters move under concurrent searches, so the delta
+/// is saturating — attribution is best-effort telemetry, not accounting.
+fn finish_cache_delta(obs: Option<&mut RunObserver>, before: Option<crate::cache::CacheStats>) {
+    if let (Some(o), Some(before)) = (obs, before) {
+        let after = ProfileCache::global().stats();
+        o.cache_hits += after.hits.saturating_sub(before.hits);
+        o.cache_misses += after.misses.saturating_sub(before.misses);
     }
 }
 
@@ -541,6 +618,7 @@ fn account_memory(
     p: &ProfileReport,
     plan: &ActivationPlan,
     use_cache: bool,
+    obs: Option<&mut RunObserver>,
 ) -> Result<MemoryAccounting, CellOutcome> {
     let usable = w.calib.usable_gpu_memory();
     match stages.backend {
@@ -586,7 +664,7 @@ fn account_memory(
             } else {
                 0
             };
-            let series = caching_replay_pass(w, cfg, p, extra_static)?;
+            let series = caching_replay_pass(w, cfg, p, extra_static, obs)?;
             Ok(MemoryAccounting {
                 bytes: ByteBreakdown {
                     model_states: memo_parallel::memory::params_bytes(&w.model, cfg) + extra_static,
@@ -610,6 +688,7 @@ fn caching_replay_pass(
     cfg: &ParallelConfig,
     p: &ProfileReport,
     extra_static: u64,
+    obs: Option<&mut RunObserver>,
 ) -> Result<SnapshotSeries, CellOutcome> {
     use memo_alloc::DeviceAllocator as _;
     use memo_model::trace::TensorId;
@@ -623,6 +702,10 @@ fn caching_replay_pass(
         });
     }
     let mut alloc = CachingAllocator::new(usable - static_bytes);
+    // Record the *steady-state* iteration only — that is the one whose
+    // fragmentation behaviour training pays every step (Figure 1a). The
+    // recorder stays off through warm-up and the optimizer's lazy
+    // allocations; it is enabled just before the steady replay below.
 
     // Iteration 1 (warm-up).
     let warmup = replay(&mut alloc, &p.trace);
@@ -651,13 +734,53 @@ fn caching_replay_pass(
     let reorgs_before_steady = alloc.reorg_count();
 
     // Steady-state iteration.
+    alloc.record_events(obs.is_some());
     let series = replay(&mut alloc, &p.trace);
+    if let Some(o) = obs {
+        o.alloc_events = alloc.take_events();
+    }
     if let Some(err) = &series.oom {
         return Err(replay_oom(err, static_bytes, usable));
     }
     let mut series = series;
     series.reorgs = alloc.reorg_count() - reorgs_before_steady;
     Ok(series)
+}
+
+/// A single-stream timeline for the recompute family, mirroring the
+/// closed-form iteration: forward sweep, head, backward sweep (with the
+/// re-forward before each layer's backward under full recomputation),
+/// reorganisation stalls, optimizer, gradient sync. All durations carry
+/// the same derate as the closed-form seconds, so the rendered makespan
+/// matches the reported iteration time up to the pipeline bubble (which
+/// is a factor on the total, not a span).
+fn synthesize_recompute_timeline(
+    p: &ProfileReport,
+    head_secs: f64,
+    refwd: bool,
+    stalls: f64,
+    derate: f64,
+) -> Timeline {
+    let lt = &p.layer_time;
+    let secs = |s: f64| SimTime::from_secs_f64(s / derate);
+    let mut tl = Timeline::new();
+    let c = tl.add_stream("compute");
+    for i in 0..p.layers_local {
+        tl.enqueue(c, secs(lt.fwd()), format!("fwd L{i}"));
+    }
+    tl.enqueue(c, secs(head_secs), "head");
+    for i in (0..p.layers_local).rev() {
+        if refwd {
+            tl.enqueue(c, secs(lt.fwd()), format!("refwd L{i}"));
+        }
+        tl.enqueue(c, secs(lt.bwd), format!("bwd L{i}"));
+    }
+    if stalls > 0.0 {
+        tl.enqueue(c, secs(stalls), "reorg stalls");
+    }
+    tl.enqueue(c, secs(p.optimizer_secs), "optimizer");
+    tl.enqueue(c, secs(p.grad_sync_secs), "grad sync");
+    tl
 }
 
 /// A replay OOM with the static bytes folded into the shortfall. Plan
@@ -683,6 +806,7 @@ fn replay_oom(err: &AllocError, static_bytes: u64, usable: u64) -> CellOutcome {
 /// Stage 4: the iteration seconds, their decomposition, and the host peak.
 /// `head_secs` is the stage-scaled head time (the cached [`ProfileReport`]
 /// stays pristine so it can be shared across modes).
+#[allow(clippy::too_many_arguments)] // internal stage fn; args mirror the stage inputs
 fn build_schedule(
     w: &Workload,
     cfg: &ParallelConfig,
@@ -691,6 +815,7 @@ fn build_schedule(
     plan: &ActivationPlan,
     mem: &MemoryAccounting,
     derate: bool,
+    obs: Option<&mut RunObserver>,
 ) -> Result<(f64, TimeBreakdown, u64), CellOutcome> {
     let bubble_factor = comm::pipeline_bubble_factor(cfg.pp, w.batch as usize);
     let lt = &p.layer_time;
@@ -713,7 +838,7 @@ fn build_schedule(
                 nvme_bandwidth,
             };
             let mut host = HostStaging::new(w.calib.host_capacity_per_gpu().max(1));
-            let sched = match memo_swap::schedule::build_iteration_schedule_with_slots(
+            let mut sched = match memo_swap::schedule::build_iteration_schedule_with_slots(
                 p.layers_local,
                 costs,
                 SimTime::from_secs_f64(head_secs),
@@ -734,6 +859,11 @@ fn build_schedule(
             // Only layers `i + slots < n` swap, and only those recompute.
             let swapped_layers = p.layers_local.saturating_sub(slots) as f64;
             let recompute = swapped_layers * t_recompute;
+            if let Some(o) = obs {
+                // The three-stream schedule already *is* a timeline; hand
+                // it over instead of letting the pipeline drop it.
+                o.timeline = Some(std::mem::take(&mut sched.timeline));
+            }
             Ok((
                 iter_secs,
                 TimeBreakdown {
@@ -766,6 +896,15 @@ fn build_schedule(
             let iter_secs = raw / derate;
             let useful = layers * (lt.fwd() + lt.bwd) + head_secs;
             let refwd_secs = if refwd { layers * lt.fwd() } else { 0.0 };
+            if let Some(o) = obs {
+                // No timeline exists for the closed-form path; synthesize
+                // one from the same layer costs so the recompute family is
+                // traceable too. Built only when observed — the metric
+                // path above never touches it.
+                o.timeline = Some(synthesize_recompute_timeline(
+                    p, head_secs, refwd, stalls, derate,
+                ));
+            }
             Ok((
                 iter_secs,
                 TimeBreakdown {

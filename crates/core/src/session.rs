@@ -92,6 +92,18 @@ impl Workload {
         ExecutionPipeline::new(system).execute(self, cfg)
     }
 
+    /// [`Self::run_report`] with a [`RunObserver`] collecting per-stage
+    /// wall timing, cache statistics, the stream timeline, and the
+    /// allocator event log (see `memo-obs` for the exporters).
+    pub fn run_report_observed(
+        &self,
+        system: SystemSpec,
+        cfg: &ParallelConfig,
+        obs: &mut crate::observer::RunObserver,
+    ) -> ExecutionReport {
+        ExecutionPipeline::new(system).execute_observed(self, cfg, true, Some(obs))
+    }
+
     /// Run an ablation variant (Table 4) with an explicit configuration.
     pub fn run_variant(&self, variant: Variant, cfg: &ParallelConfig) -> CellOutcome {
         crate::ablation::run_variant(self, variant, cfg)
@@ -197,6 +209,10 @@ fn failure_rank(out: &CellOutcome) -> u128 {
         CellOutcome::Oom { needed, capacity } => {
             kind_penalty + needed.saturating_sub(*capacity) as u128
         }
+        // A degenerate iteration time is a simulator-level anomaly, worse
+        // than any concrete memory shortfall but still more informative
+        // than an empty search space.
+        CellOutcome::Degenerate { .. } => u128::MAX - 1,
         CellOutcome::NoValidStrategy => u128::MAX,
     }
 }
@@ -276,6 +292,62 @@ mod tests {
         let (_, ds) = w.run_best_or_failure(SystemSpec::DeepSpeed);
         assert!(!mega.is_ok(), "Megatron should not reach 1M on 8 GPUs");
         assert!(!ds.is_ok(), "DeepSpeed should not reach 1M on 8 GPUs");
+    }
+
+    #[test]
+    fn observed_run_collects_artifacts() {
+        use crate::observer::RunObserver;
+        use memo_hal::time::SimTime;
+        let w = w7(8, 64);
+        // Swap family: the three-stream schedule timeline is captured; the
+        // static plan performs no dynamic allocation.
+        let mut obs = RunObserver::new();
+        let rep = w.run_report_observed(
+            SystemSpec::Memo,
+            &ParallelConfig::megatron(4, 2, 1, 1),
+            &mut obs,
+        );
+        assert!(rep.outcome.is_ok());
+        let tl = obs.timeline.expect("swap family captures the timeline");
+        assert!(tl.n_streams() >= 3, "compute/offload/prefetch streams");
+        tl.check_causality().expect("captured timeline is causal");
+        assert!(obs.alloc_events.is_empty(), "static plan: no replay events");
+        assert!(obs.cache_hits + obs.cache_misses > 0, "profile was counted");
+
+        // Recompute family: a synthetic single-stream timeline plus the
+        // steady-state allocator event log.
+        let mut obs = RunObserver::new();
+        let rep = w.run_report_observed(
+            SystemSpec::MegatronLM,
+            &ParallelConfig::megatron(4, 2, 1, 1),
+            &mut obs,
+        );
+        assert!(rep.outcome.is_ok());
+        let tl = obs.timeline.expect("recompute family synthesizes one");
+        assert_eq!(tl.n_streams(), 1);
+        assert!(tl.makespan() > SimTime::ZERO);
+        tl.check_causality().expect("synthetic timeline is causal");
+        assert!(
+            !obs.alloc_events.is_empty(),
+            "caching replay records events"
+        );
+    }
+
+    #[test]
+    fn observed_and_unobserved_reports_agree() {
+        // The observer only reads what the stages computed; every mode's
+        // report must be bit-identical with and without it.
+        use crate::observer::RunObserver;
+        let w = w7(8, 64);
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        for spec in SystemSpec::ALL_MODES {
+            let plain = w.run_report(spec, &cfg);
+            let mut obs = RunObserver::new();
+            let observed = w.run_report_observed(spec, &cfg, &mut obs);
+            assert_eq!(plain.outcome, observed.outcome, "{spec:?}");
+            assert_eq!(plain.bytes, observed.bytes, "{spec:?}");
+            assert_eq!(plain.time, observed.time, "{spec:?}");
+        }
     }
 
     #[test]

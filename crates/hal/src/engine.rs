@@ -34,6 +34,29 @@ pub struct Span {
     pub label: String,
 }
 
+/// What an instantaneous [`Mark`] on a stream denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MarkKind {
+    /// An event was recorded on the stream ([`Timeline::record_event`]).
+    Record(EventId),
+    /// The stream was told to wait on an event ([`Timeline::wait_event`]).
+    Wait(EventId),
+    /// The stream was stalled to an absolute time ([`Timeline::wait_until`]).
+    WaitUntil,
+}
+
+/// An instantaneous occurrence on a stream — event records and waits —
+/// kept alongside [`Span`]s so exporters (e.g. the Chrome-trace writer in
+/// `memo-obs`) can show the cross-stream dependency points of Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mark {
+    pub stream: StreamId,
+    /// For `Record`, the event's completion time; for `Wait`/`WaitUntil`,
+    /// the time the stream will stall to.
+    pub time: SimTime,
+    pub kind: MarkKind,
+}
+
 #[derive(Debug, Clone)]
 struct Stream {
     name: String,
@@ -63,6 +86,7 @@ pub struct Timeline {
     streams: Vec<Stream>,
     events: Vec<SimTime>,
     spans: Vec<Span>,
+    marks: Vec<Mark>,
 }
 
 impl Timeline {
@@ -82,6 +106,11 @@ impl Timeline {
 
     pub fn stream_name(&self, id: StreamId) -> &str {
         &self.streams[id.0].name
+    }
+
+    /// Number of streams created so far (including span-less ones).
+    pub fn n_streams(&self) -> usize {
+        self.streams.len()
     }
 
     /// Current completion time of all work enqueued on `stream`.
@@ -138,7 +167,13 @@ impl Timeline {
             t
         };
         self.events.push(t);
-        EventId(self.events.len() - 1)
+        let id = EventId(self.events.len() - 1);
+        self.marks.push(Mark {
+            stream,
+            time: t,
+            kind: MarkKind::Record(id),
+        });
+        id
     }
 
     /// Completion time of a recorded event.
@@ -150,16 +185,31 @@ impl Timeline {
     pub fn wait_event(&mut self, stream: StreamId, event: EventId) {
         let t = self.events[event.0];
         self.streams[stream.0].pending_waits.push(t);
+        self.marks.push(Mark {
+            stream,
+            time: t,
+            kind: MarkKind::Wait(event),
+        });
     }
 
     /// Stall `stream` until an absolute time (used for host-side waits).
     pub fn wait_until(&mut self, stream: StreamId, time: SimTime) {
         self.streams[stream.0].pending_waits.push(time);
+        self.marks.push(Mark {
+            stream,
+            time,
+            kind: MarkKind::WaitUntil,
+        });
     }
 
     /// All recorded spans, in enqueue order.
     pub fn spans(&self) -> &[Span] {
         &self.spans
+    }
+
+    /// All instantaneous marks (event records and waits), in call order.
+    pub fn marks(&self) -> &[Mark] {
+        &self.marks
     }
 
     /// Total busy time of one stream (sum of op durations).
@@ -302,6 +352,38 @@ mod tests {
         tl.wait_event(b, ev);
         let ev_b = tl.record_event(b); // b did nothing, but waits propagate
         assert_eq!(tl.event_time(ev_b), ms(7));
+    }
+
+    #[test]
+    fn marks_capture_records_and_waits() {
+        let mut tl = Timeline::new();
+        let a = tl.add_stream("a");
+        let b = tl.add_stream("b");
+        tl.enqueue(a, ms(10), "x");
+        let ev = tl.record_event(a);
+        tl.wait_event(b, ev);
+        tl.wait_until(b, ms(30));
+        assert_eq!(tl.n_streams(), 2);
+        assert_eq!(
+            tl.marks(),
+            &[
+                Mark {
+                    stream: a,
+                    time: ms(10),
+                    kind: MarkKind::Record(ev),
+                },
+                Mark {
+                    stream: b,
+                    time: ms(10),
+                    kind: MarkKind::Wait(ev),
+                },
+                Mark {
+                    stream: b,
+                    time: ms(30),
+                    kind: MarkKind::WaitUntil,
+                },
+            ]
+        );
     }
 
     #[test]

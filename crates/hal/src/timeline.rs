@@ -8,7 +8,9 @@ use std::fmt::Write as _;
 
 /// Render the timeline as fixed-width lanes, one per stream.
 ///
-/// `width` is the number of character cells the makespan is mapped onto.
+/// `width` is the number of character cells the makespan is mapped onto;
+/// degenerate widths (0 or 1) are clamped to a single cell rather than
+/// underflowing the cell arithmetic below.
 /// Each span is drawn as `[label---]` truncated to its cell width; spans
 /// shorter than one cell render as a single `#`.
 pub fn render_ascii(tl: &Timeline, width: usize) -> String {
@@ -16,6 +18,9 @@ pub fn render_ascii(tl: &Timeline, width: usize) -> String {
     if makespan == SimTime::ZERO {
         return String::from("(empty timeline)\n");
     }
+    // `width == 0` would underflow `.min(width - 1)` and panic; one cell is
+    // the narrowest lane that can still show occupancy.
+    let width = width.max(1);
     let n_streams = tl.spans().iter().map(|s| s.stream.0 + 1).max().unwrap_or(0);
     let scale = width as f64 / makespan.as_secs_f64();
     let name_w = (0..n_streams)
@@ -112,6 +117,25 @@ mod tests {
     fn empty_timeline() {
         let tl = Timeline::new();
         assert_eq!(render_ascii(&tl, 40), "(empty timeline)\n");
+    }
+
+    #[test]
+    fn degenerate_widths_do_not_panic() {
+        // Regression: `width == 0` used to underflow `.min(width - 1)`.
+        let mut tl = Timeline::new();
+        let c = tl.add_stream("compute");
+        let o = tl.add_stream("offload");
+        tl.enqueue(c, SimTime::from_millis(10), "L0");
+        let ev = tl.record_event(c);
+        tl.wait_event(o, ev);
+        tl.enqueue(o, SimTime::from_millis(5), "off0");
+        for width in [0, 1] {
+            let art = render_ascii(&tl, width);
+            assert!(art.contains("compute"), "width {width}");
+            assert!(art.contains("offload"), "width {width}");
+            // Both lanes collapse to a single occupied cell.
+            assert!(art.contains('#'), "width {width}");
+        }
     }
 
     #[test]

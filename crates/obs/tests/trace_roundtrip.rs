@@ -1,0 +1,107 @@
+//! Property test: Chrome-trace export round-trips for timelines built from
+//! random enqueue/record/wait sequences, and every such timeline passes
+//! `Timeline::check_causality`.
+
+use memo_hal::engine::{EventId, StreamId, Timeline};
+use memo_hal::time::SimTime;
+use memo_obs::chrome::TraceBuilder;
+use memo_obs::json::{parse, Json};
+use proptest::prelude::*;
+
+/// Build a timeline from an op list: `(op, stream, value)` where op 0
+/// enqueues a `value`-microsecond span, 1 records an event, 2 waits on a
+/// previously recorded event (`value` picks which), 3 waits until an
+/// absolute time.
+fn build(n_streams: usize, ops: &[(u8, usize, u64)]) -> Timeline {
+    let mut tl = Timeline::new();
+    let streams: Vec<StreamId> = (0..n_streams)
+        .map(|i| tl.add_stream(format!("stream{i}")))
+        .collect();
+    let mut recorded: Vec<EventId> = Vec::new();
+    for (k, &(op, s, v)) in ops.iter().enumerate() {
+        let s = streams[s % streams.len()];
+        match op % 4 {
+            0 => {
+                tl.enqueue(s, SimTime::from_micros(v.max(1)), format!("op{k}"));
+            }
+            1 => recorded.push(tl.record_event(s)),
+            2 => {
+                if !recorded.is_empty() {
+                    let ev = recorded[v as usize % recorded.len()];
+                    tl.wait_event(s, ev);
+                }
+            }
+            _ => tl.wait_until(s, SimTime::from_micros(v)),
+        }
+    }
+    tl
+}
+
+fn ph(e: &Json) -> Option<&str> {
+    e.get("ph").and_then(Json::as_str)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_timelines_export_and_round_trip(
+        n_streams in 1usize..5,
+        ops in prop::collection::vec((0u8..4, 0usize..5, 0u64..5000), 1..80),
+    ) {
+        let tl = build(n_streams, &ops);
+
+        // The engine's own invariant must hold for any op sequence.
+        tl.check_causality().expect("random timeline must be causal");
+
+        let mut b = TraceBuilder::new();
+        b.add_timeline("random", &tl);
+        let text = b.to_string();
+        let doc = parse(&text).expect("exported trace must be valid JSON");
+        let events = doc.as_arr().expect("chrome trace is a JSON array");
+
+        // One thread lane (metadata) per stream, plus the process lane.
+        let thread_lanes = events
+            .iter()
+            .filter(|e| {
+                ph(e) == Some("M")
+                    && e.get("name").and_then(Json::as_str) == Some("thread_name")
+            })
+            .count();
+        prop_assert_eq!(thread_lanes, tl.n_streams());
+
+        // Every span exported exactly once, with marks alongside.
+        let spans: Vec<&Json> = events.iter().filter(|e| ph(e) == Some("X")).collect();
+        prop_assert_eq!(spans.len(), tl.spans().len());
+        let marks = events.iter().filter(|e| ph(e) == Some("i")).count();
+        prop_assert_eq!(marks, tl.marks().len());
+
+        // Spans are globally sorted by ts...
+        let ts: Vec<f64> = spans
+            .iter()
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]), "unsorted: {:?}", ts);
+
+        // ...and per thread they never overlap: each span starts at or
+        // after the previous span's end on the same tid.
+        for tid in 0..tl.n_streams() as u64 {
+            let mut cursor = 0.0f64;
+            for e in &spans {
+                if e.get("tid").unwrap().as_u64() != Some(tid) {
+                    continue;
+                }
+                let start = e.get("ts").unwrap().as_f64().unwrap();
+                let dur = e.get("dur").unwrap().as_f64().unwrap();
+                prop_assert!(
+                    start >= cursor - 1e-9,
+                    "tid {} span at {} overlaps previous end {}",
+                    tid,
+                    start,
+                    cursor
+                );
+                cursor = start + dur;
+            }
+        }
+    }
+}

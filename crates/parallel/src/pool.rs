@@ -28,8 +28,49 @@
 //!   (see `memo-core::session` and DESIGN.md).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// Cumulative process-wide pool telemetry (advisory; `Relaxed` counters).
+///
+/// All [`Pool`] instances share one set of counters: the pool itself is a
+/// throwaway value, but the observability layer wants "how parallel was
+/// this search" as a single process-level answer. Read with [`stats`],
+/// zero with [`reset_stats`] at the start of the region of interest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `run` invocations (batches of jobs).
+    pub batches: u64,
+    /// Total jobs executed across all batches.
+    pub jobs: u64,
+    /// Helper threads spawned beyond the calling threads.
+    pub helpers_spawned: u64,
+    /// Successful steals from another worker's deque.
+    pub steals: u64,
+}
+
+static BATCHES: AtomicU64 = AtomicU64::new(0);
+static JOBS: AtomicU64 = AtomicU64::new(0);
+static HELPERS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+static STEALS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the cumulative [`PoolStats`].
+pub fn stats() -> PoolStats {
+    PoolStats {
+        batches: BATCHES.load(Ordering::Relaxed),
+        jobs: JOBS.load(Ordering::Relaxed),
+        helpers_spawned: HELPERS_SPAWNED.load(Ordering::Relaxed),
+        steals: STEALS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the cumulative counters (start of an observed region).
+pub fn reset_stats() {
+    BATCHES.store(0, Ordering::Relaxed);
+    JOBS.store(0, Ordering::Relaxed);
+    HELPERS_SPAWNED.store(0, Ordering::Relaxed);
+    STEALS.store(0, Ordering::Relaxed);
+}
 
 /// Number of workers the host supports (`available_parallelism`, min 1).
 pub fn available_workers() -> usize {
@@ -106,11 +147,14 @@ impl Pool {
         if n == 0 {
             return Vec::new();
         }
+        BATCHES.fetch_add(1, Ordering::Relaxed);
+        JOBS.fetch_add(n as u64, Ordering::Relaxed);
         let helpers = if self.width <= 1 || n <= 1 {
             0
         } else {
             acquire_helpers((self.width - 1).min(n - 1))
         };
+        HELPERS_SPAWNED.fetch_add(helpers as u64, Ordering::Relaxed);
         if helpers == 0 {
             // Serial fast path: submission order *is* execution order.
             return jobs.into_iter().map(|f| f()).collect();
@@ -206,6 +250,7 @@ fn steal(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
     victims.sort_unstable_by(|a, b| b.cmp(a));
     for (_, w) in victims {
         if let Some(idx) = queues[w].lock().expect("queue mutex poisoned").pop_back() {
+            STEALS.fetch_add(1, Ordering::Relaxed);
             return Some(idx);
         }
     }
@@ -294,6 +339,20 @@ mod tests {
         let none: Vec<fn() -> u32> = Vec::new();
         assert!(Pool::machine().run(none).is_empty());
         assert_eq!(Pool::machine().run(vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    fn stats_count_batches_and_jobs() {
+        // Counters are process-global and other tests run concurrently, so
+        // assert on deltas with ≥.
+        let before = stats();
+        let out = Pool::machine().run((0..32).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(out.len(), 32);
+        let after = stats();
+        assert!(after.batches > before.batches);
+        assert!(after.jobs >= before.jobs + 32);
+        assert!(after.helpers_spawned >= before.helpers_spawned);
+        assert!(after.steals >= before.steals);
     }
 
     #[test]

@@ -6,8 +6,14 @@
 //! memo-sim --model 7b --gpus 8 --seq 256k --all
 //! ```
 
+use memo::core::observer::RunObserver;
 use memo::core::session::Workload;
 use memo::model::config::ModelConfig;
+use memo::obs::alloc_trace::chrome_memory_counters;
+use memo::obs::chrome::TraceBuilder;
+use memo::obs::json::Json;
+use memo::obs::report::{observed_json, report_json};
+use memo::parallel::pool::{self, PoolStats};
 use memo::parallel::strategy::{ParallelConfig, SystemSpec};
 use std::process::ExitCode;
 
@@ -30,6 +36,12 @@ OPTIONS:
     --pcie-gbps <N>                      nominal PCIe bandwidth override (GB/s)
     --gpu-mem-gib <N>                    per-GPU memory override (GiB)
     --host-mem-gib <N>                   per-node host DRAM override (GiB)
+    --trace <PATH>                       write a Chrome-trace JSON (open in
+                                         chrome://tracing or Perfetto): one
+                                         process per run, one thread per stream,
+                                         plus allocator memory counters
+    --report-json <PATH>                 write run reports (outcome + byte/time
+                                         breakdowns + observer stats) as JSON
     -h, --help                           this help
 ";
 
@@ -94,8 +106,65 @@ fn parse_strategy(s: &str, system: SystemSpec) -> Option<ParallelConfig> {
     })
 }
 
+/// Observation sink shared across all (sequence × system) runs: one Chrome
+/// trace with a process per run, and one JSON array of report entries.
+#[derive(Default)]
+struct ObsSink {
+    trace: TraceBuilder,
+    reports: Vec<Json>,
+}
+
+impl ObsSink {
+    /// Re-run `system` under `cfg` observed and record the artifacts. The
+    /// observed run is bit-identical to the unobserved one (the observer
+    /// only reads pipeline state), and the profile cache makes it cheap.
+    fn record_run(
+        &mut self,
+        workload: &Workload,
+        system: SystemSpec,
+        cfg: &ParallelConfig,
+        pool_delta: Option<PoolStats>,
+    ) {
+        let mut obs = RunObserver::new();
+        let rep = workload.run_report_observed(system, cfg, &mut obs);
+        obs.pool = pool_delta;
+        let label = format!(
+            "{} {} seq={}",
+            system.name(),
+            cfg.describe(),
+            workload.seq_len
+        );
+        if let Some(tl) = &obs.timeline {
+            let pid = self.trace.add_timeline(&label, tl);
+            self.trace
+                .add_events(chrome_memory_counters(pid, &obs.alloc_events));
+        }
+        self.reports.push(Json::Obj(vec![
+            ("seq".into(), Json::int(workload.seq_len)),
+            ("system".into(), Json::str(system.name())),
+            ("report".into(), report_json(&rep)),
+            ("observed".into(), observed_json(&obs)),
+        ]));
+    }
+
+    /// Record a cell where no strategy was valid (nothing to re-run).
+    fn record_failure(&mut self, workload: &Workload, system: SystemSpec, outcome_cell: String) {
+        self.reports.push(Json::Obj(vec![
+            ("seq".into(), Json::int(workload.seq_len)),
+            ("system".into(), Json::str(system.name())),
+            ("outcome".into(), Json::str(outcome_cell)),
+        ]));
+    }
+}
+
 /// Returns false when the strategy was invalid (so main can exit nonzero).
-fn report(workload: &Workload, system: SystemSpec, cfg: Option<ParallelConfig>) -> bool {
+fn report(
+    workload: &Workload,
+    system: SystemSpec,
+    cfg: Option<ParallelConfig>,
+    sink: Option<&mut ObsSink>,
+) -> bool {
+    let pool_before = sink.as_ref().map(|_| pool::stats());
     let (cfg, outcome) = match cfg {
         Some(cfg) => {
             if let Err(e) = cfg.validate(
@@ -124,6 +193,21 @@ fn report(workload: &Workload, system: SystemSpec, cfg: Option<ParallelConfig>) 
         ),
         None => println!("{:<12} {}", system.name(), outcome.cell()),
     }
+    if let Some(sink) = sink {
+        let pool_delta = pool_before.map(|before| {
+            let after = pool::stats();
+            PoolStats {
+                batches: after.batches.saturating_sub(before.batches),
+                jobs: after.jobs.saturating_sub(before.jobs),
+                helpers_spawned: after.helpers_spawned.saturating_sub(before.helpers_spawned),
+                steals: after.steals.saturating_sub(before.steals),
+            }
+        });
+        match cfg {
+            Some(cfg) => sink.record_run(workload, system, &cfg, pool_delta),
+            None => sink.record_failure(workload, system, outcome.cell()),
+        }
+    }
     true
 }
 
@@ -140,6 +224,8 @@ fn main() -> ExitCode {
     let mut pcie_gbps: Option<f64> = None;
     let mut gpu_mem_gib: Option<u64> = None;
     let mut host_mem_gib: Option<u64> = None;
+    let mut trace_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -195,6 +281,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            "--trace" => match take() {
+                Some(v) => trace_path = Some(v),
+                None => {
+                    eprintln!("--trace requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--report-json" => match take() {
+                Some(v) => report_path = Some(v),
+                None => {
+                    eprintln!("--report-json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--pcie-gbps" => pcie_gbps = take().and_then(|v| v.parse().ok()),
             "--gpu-mem-gib" => gpu_mem_gib = take().and_then(|v| v.parse().ok()),
             "--host-mem-gib" => host_mem_gib = take().and_then(|v| v.parse().ok()),
@@ -234,6 +334,7 @@ fn main() -> ExitCode {
         vec![system]
     };
     let mut all_ok = true;
+    let mut sink = (trace_path.is_some() || report_path.is_some()).then(ObsSink::default);
     for s in seqs {
         let mut workload = Workload::new(model.clone(), gpus, s);
         workload.batch = batch;
@@ -261,9 +362,26 @@ fn main() -> ExitCode {
                 },
                 None => None,
             };
-            all_ok &= report(&workload, sys, cfg);
+            all_ok &= report(&workload, sys, cfg, sink.as_mut());
         }
         println!();
+    }
+    if let Some(sink) = sink {
+        if let Some(path) = trace_path {
+            if let Err(e) = std::fs::write(&path, sink.trace.to_string()) {
+                eprintln!("failed to write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote Chrome trace to {path}");
+        }
+        if let Some(path) = report_path {
+            let doc = Json::Arr(sink.reports).to_string();
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("failed to write report {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote run reports to {path}");
+        }
     }
     if all_ok {
         ExitCode::SUCCESS

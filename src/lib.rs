@@ -13,6 +13,8 @@
 //! * [`parallel`] — TP/SP/CP/PP/DP/ZeRO/Ulysses cost & memory models,
 //! * [`core`] — the MEMO framework (profiler → planner → executor) and the
 //!   Megatron-LM / DeepSpeed baselines,
+//! * [`obs`] — observability exporters (Chrome traces, allocator event
+//!   logs, run reports),
 //! * [`dist`] — whole-cluster simulation (per-GPU timelines, collectives,
 //!   straggler studies),
 //! * [`tensor`] — a from-scratch CPU autograd library used for the
@@ -23,6 +25,7 @@ pub use memo_core as core;
 pub use memo_dist as dist;
 pub use memo_hal as hal;
 pub use memo_model as model;
+pub use memo_obs as obs;
 pub use memo_parallel as parallel;
 pub use memo_plan as plan;
 pub use memo_swap as swap;

@@ -1,0 +1,109 @@
+//! End-to-end test of the observability artifacts: run the real `memo-sim`
+//! binary with `--trace` / `--report-json`, then load both files back
+//! through `memo::obs` and check they are well-formed — the trace is valid
+//! Chrome-trace JSON with at least one thread lane per stream, and every
+//! report entry deserializes back into an [`ExecutionReport`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::Command;
+
+use memo::obs::json::{parse, Json};
+use memo::obs::parse_report;
+
+fn ph(e: &Json) -> Option<&str> {
+    e.get("ph").and_then(Json::as_str)
+}
+
+#[test]
+fn memo_sim_trace_and_report_artifacts_round_trip() {
+    let dir = std::env::temp_dir().join(format!("memo-obs-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("out.json");
+    let report_path = dir.join("report.json");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_memo-sim"))
+        .args(["--model", "7b", "--gpus", "8", "--seq", "64k", "--all"])
+        .arg("--trace")
+        .arg(&trace_path)
+        .arg("--report-json")
+        .arg(&report_path)
+        .status()
+        .expect("memo-sim must launch");
+    assert!(status.success(), "memo-sim --all with trace flags failed");
+
+    // --- Chrome trace: valid JSON array, one process per mode, and at
+    // least one thread lane per stream that carries events.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = parse(&text).expect("trace must be valid JSON");
+    let events = doc.as_arr().expect("chrome trace is a JSON array");
+    assert!(!events.is_empty());
+
+    // pid -> set of tids declared via thread_name metadata.
+    let mut lanes: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    let mut processes = 0usize;
+    for e in events {
+        if ph(e) != Some("M") {
+            continue;
+        }
+        let pid = e.get("pid").and_then(Json::as_u64).unwrap();
+        match e.get("name").and_then(Json::as_str) {
+            Some("process_name") => processes += 1,
+            Some("thread_name") => {
+                lanes
+                    .entry(pid)
+                    .or_default()
+                    .insert(e.get("tid").and_then(Json::as_u64).unwrap());
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(processes, 6, "one trace process per execution mode");
+    for (pid, tids) in &lanes {
+        assert!(!tids.is_empty(), "pid {pid} has no thread lanes");
+    }
+
+    // Every duration/instant event lands on a declared lane of its process
+    // (counter tracks are allowed their own tid-less lane).
+    for e in events {
+        if !matches!(ph(e), Some("X") | Some("i")) {
+            continue;
+        }
+        let pid = e.get("pid").and_then(Json::as_u64).unwrap();
+        let tid = e.get("tid").and_then(Json::as_u64).unwrap();
+        assert!(
+            lanes.get(&pid).is_some_and(|t| t.contains(&tid)),
+            "event on undeclared lane pid={pid} tid={tid}"
+        );
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+    }
+    assert!(
+        events.iter().any(|e| ph(e) == Some("X")),
+        "trace has no spans"
+    );
+
+    // --- Run reports: every entry deserializes back into ExecutionReport.
+    let text = std::fs::read_to_string(&report_path).unwrap();
+    let doc = parse(&text).expect("report must be valid JSON");
+    let entries = doc.as_arr().expect("report file is a JSON array");
+    assert_eq!(entries.len(), 6, "one report entry per execution mode");
+    for entry in entries {
+        let system = entry.get("system").and_then(Json::as_str).unwrap();
+        let report = entry
+            .get("report")
+            .unwrap_or_else(|| panic!("{system}: entry has no report"));
+        let back = parse_report(report)
+            .unwrap_or_else(|e| panic!("{system}: report does not deserialize: {e}"));
+        // Re-serializing the parsed report must reproduce the file bytes:
+        // nothing was lost or rounded on the way through.
+        assert_eq!(
+            memo::obs::report_json(&back).to_string(),
+            report.to_string(),
+            "{system}: report round-trip not bit-exact"
+        );
+        let observed = entry.get("observed").unwrap();
+        assert!(observed.get("stage_secs").is_some(), "{system}");
+        assert!(observed.get("cache").is_some(), "{system}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
