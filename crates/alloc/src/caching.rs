@@ -19,11 +19,28 @@
 //! Segment base addresses come from a monotonically increasing virtual
 //! cursor: real `cudaMalloc` never relocates live segments, which is exactly
 //! why fragmentation is irrecoverable without frees.
+//!
+//! ## The replay fast path (DESIGN.md §2d)
+//!
+//! The free-block index is **size-class segregated**: each pool keeps 64
+//! power-of-two classes over the 512 B-rounded sizes (class *k* holds sizes
+//! in `[512·2^k, 512·2^(k+1))`) with a `u64` occupancy bitmap for
+//! first-nonempty-class lookup and an in-class best-fit scan. Block
+//! metadata lives in per-segment offset-sorted vectors, so coalescing finds
+//! both neighbours in O(1) after one binary search. This replaces the
+//! original global `BTreeSet<(size, base, offset)>` probes on every
+//! `malloc`/`free` — the pre-optimization implementation survives verbatim
+//! as [`crate::reference::ReferenceCachingAllocator`], and the two are kept
+//! **bit-exact** (identical addresses, stats, reorganisation counts and
+//! event streams) by a randomized differential test; `best_fit` reproduces
+//! the BTree's `(size, base, offset)` tuple order exactly, including
+//! tie-breaks.
 
 use crate::{AllocError, DeviceAllocator};
 use memo_model::trace::TensorId;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const ROUND: u64 = 512;
 const SMALL_LIMIT: u64 = 1 << 20; // requests below this go to the small pool
@@ -32,6 +49,57 @@ const LARGE_SEGMENT_MIN: u64 = 20 << 20;
 const LARGE_DIRECT_LIMIT: u64 = 10 << 20;
 const SEGMENT_ROUND: u64 = 2 << 20;
 const LARGE_SPLIT_REMAINDER: u64 = 1 << 20;
+
+/// Number of power-of-two size classes per pool. Sizes are ≥512 B and fit
+/// in a `u64`, so `log2(size/512) < 55 < 64` always indexes in range and
+/// the occupancy bitmap fits one word.
+const N_CLASSES: usize = 64;
+
+/// Minimal FxHash-style integer hasher for the hot-path maps (tensor id →
+/// block location, segment base → vec index). Not DoS-hardened — every key
+/// is an internal trace id or a virtual address we generated ourselves.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Pool {
@@ -45,19 +113,142 @@ struct Block {
     free: bool,
 }
 
+/// One cached free block: the `(size, base, off)` triple the old BTree
+/// index stored, kept in a size-class bucket instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FreeEntry {
+    size: u64,
+    base: u64,
+    off: u64,
+}
+
+impl FreeEntry {
+    /// The old index's sort key — best-fit order is min over this tuple.
+    #[inline]
+    fn key(&self) -> (u64, u64, u64) {
+        (self.size, self.base, self.off)
+    }
+}
+
+/// `floor(log2(size / 512))`: the power-of-two class of a rounded size.
+#[inline]
+fn class_of(size: u64) -> usize {
+    debug_assert!(size >= ROUND);
+    (size / ROUND).ilog2() as usize
+}
+
+/// One pool's segregated free lists: 64 power-of-two classes over the
+/// 512 B-rounded block sizes, a one-word occupancy bitmap, and a running
+/// byte total (kept exact so `total_free_bytes` matches the BTree sum).
+#[derive(Debug)]
+struct SegregatedLists {
+    classes: Vec<Vec<FreeEntry>>,
+    occupancy: u64,
+    total_free: u64,
+}
+
+impl SegregatedLists {
+    fn new() -> Self {
+        SegregatedLists {
+            classes: (0..N_CLASSES).map(|_| Vec::new()).collect(),
+            occupancy: 0,
+            total_free: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, e: FreeEntry) {
+        let k = class_of(e.size);
+        self.classes[k].push(e);
+        self.occupancy |= 1 << k;
+        self.total_free += e.size;
+    }
+
+    #[inline]
+    fn remove(&mut self, size: u64, base: u64, off: u64) {
+        let k = class_of(size);
+        let class = &mut self.classes[k];
+        let i = class
+            .iter()
+            .position(|e| e.off == off && e.base == base && e.size == size)
+            .expect("free entry exists");
+        class.swap_remove(i);
+        if class.is_empty() {
+            self.occupancy &= !(1 << k);
+        }
+        self.total_free -= size;
+    }
+
+    /// Best-fit lookup, bit-exact with the BTree's
+    /// `range((rounded, 0, 0)..).next()`: the minimum `(size, base, off)`
+    /// tuple among entries with `size ≥ rounded`. The request's own class
+    /// is scanned for fitting entries; every entry in a higher class is
+    /// strictly larger than every entry here, so on a miss the occupancy
+    /// bitmap jumps straight to the first nonempty higher class and the
+    /// scan there only resolves `(base, off)` ties on equal sizes.
+    fn best_fit(&self, rounded: u64) -> Option<FreeEntry> {
+        let k = class_of(rounded);
+        if self.occupancy & (1 << k) != 0 {
+            let mut best: Option<FreeEntry> = None;
+            for e in &self.classes[k] {
+                if e.size >= rounded && best.is_none_or(|b| e.key() < b.key()) {
+                    best = Some(*e);
+                }
+            }
+            if best.is_some() {
+                return best;
+            }
+        }
+        let higher = if k + 1 >= N_CLASSES {
+            0
+        } else {
+            self.occupancy & (u64::MAX << (k + 1))
+        };
+        if higher == 0 {
+            return None;
+        }
+        let j = higher.trailing_zeros() as usize;
+        let mut best: Option<FreeEntry> = None;
+        for e in &self.classes[j] {
+            if best.is_none_or(|b| e.key() < b.key()) {
+                best = Some(*e);
+            }
+        }
+        best
+    }
+
+    /// The largest cached size: the max entry of the highest nonempty class.
+    fn largest(&self) -> u64 {
+        if self.occupancy == 0 {
+            return 0;
+        }
+        let j = 63 - self.occupancy.leading_zeros() as usize;
+        self.classes[j].iter().map(|e| e.size).max().unwrap_or(0)
+    }
+}
+
+/// A `cudaMalloc`'d segment. Blocks are an offset-sorted vector, so both
+/// coalescing neighbours sit at adjacent indices after one binary search.
 #[derive(Debug)]
 struct Segment {
     base: u64,
     size: u64,
     pool: Pool,
-    /// offset within segment -> block
-    blocks: BTreeMap<u64, Block>,
+    /// (offset within segment, block), sorted by offset.
+    blocks: Vec<(u64, Block)>,
     live_blocks: usize,
 }
 
 impl Segment {
     fn is_fully_free(&self) -> bool {
         self.live_blocks == 0
+    }
+
+    #[inline]
+    fn idx_of(&self, off: u64) -> usize {
+        self.blocks
+            .binary_search_by_key(&off, |&(o, _)| o)
+            .expect("block exists")
     }
 }
 
@@ -124,10 +315,14 @@ pub struct AllocEvent {
 pub struct CachingAllocator {
     capacity: u64,
     va_cursor: u64,
-    segments: HashMap<u64, Segment>, // keyed by base address
-    /// (size, segment_base, offset) — best-fit index per pool.
-    free_index: HashMap<Pool, BTreeSet<(u64, u64, u64)>>,
-    live: HashMap<TensorId, (u64, u64)>, // id -> (segment base, offset)
+    /// Segments in creation order — ascending base, because the cursor only
+    /// grows, and the reorganisation compaction preserves relative order.
+    segments: Vec<Segment>,
+    /// base address → index into `segments`.
+    seg_index: FxMap<u64, u32>,
+    free_small: SegregatedLists,
+    free_large: SegregatedLists,
+    live: FxMap<TensorId, (u64, u64)>, // id -> (segment base, offset)
     allocated: u64,
     reserved: u64,
     stats: CachingStats,
@@ -139,15 +334,14 @@ pub struct CachingAllocator {
 impl CachingAllocator {
     /// A fresh allocator managing `capacity` bytes of device memory.
     pub fn new(capacity: u64) -> Self {
-        let mut free_index = HashMap::new();
-        free_index.insert(Pool::Small, BTreeSet::new());
-        free_index.insert(Pool::Large, BTreeSet::new());
         CachingAllocator {
             capacity,
             va_cursor: 0,
-            segments: HashMap::new(),
-            free_index,
-            live: HashMap::new(),
+            segments: Vec::new(),
+            seg_index: FxMap::default(),
+            free_small: SegregatedLists::new(),
+            free_large: SegregatedLists::new(),
+            live: FxMap::default(),
             allocated: 0,
             reserved: 0,
             stats: CachingStats::default(),
@@ -209,21 +403,14 @@ impl CachingAllocator {
     /// actually be served from, independent of how rounding slack inside
     /// live blocks is attributed to the counters.
     pub fn total_free_bytes(&self) -> u64 {
-        self.free_index
-            .values()
-            .flat_map(|set| set.iter().map(|&(size, _, _)| size))
-            .sum()
+        self.free_small.total_free + self.free_large.total_free
     }
 
     /// The largest single free block currently cached. A request above this
     /// cannot be served from cache even though `fragmentation_bytes` may be
     /// huge — the essence of external fragmentation.
     pub fn largest_free_block(&self) -> u64 {
-        self.free_index
-            .values()
-            .filter_map(|set| set.iter().next_back().map(|&(size, _, _)| size))
-            .max()
-            .unwrap_or(0)
+        self.free_small.largest().max(self.free_large.largest())
     }
 
     /// External fragmentation ratio: `1 − largest_free / total_free`
@@ -277,53 +464,61 @@ impl CachingAllocator {
         }
     }
 
-    /// Best-fit search in the pool's free index.
+    #[inline]
+    fn lists(&mut self, pool: Pool) -> &mut SegregatedLists {
+        match pool {
+            Pool::Small => &mut self.free_small,
+            Pool::Large => &mut self.free_large,
+        }
+    }
+
+    /// Best-fit search in the pool's segregated free lists.
+    #[inline]
     fn find_free_block(&self, pool: Pool, rounded: u64) -> Option<(u64, u64)> {
-        self.free_index[&pool]
-            .range((rounded, 0, 0)..)
-            .next()
-            .map(|&(_, base, off)| (base, off))
+        let lists = match pool {
+            Pool::Small => &self.free_small,
+            Pool::Large => &self.free_large,
+        };
+        lists.best_fit(rounded).map(|e| (e.base, e.off))
     }
 
     fn take_block(&mut self, pool: Pool, base: u64, off: u64, rounded: u64) -> u64 {
-        let seg = self.segments.get_mut(&base).expect("segment exists");
-        let block = *seg.blocks.get(&off).expect("block exists");
+        let si = *self.seg_index.get(&base).expect("segment exists") as usize;
+        let seg = &mut self.segments[si];
+        let bi = seg.idx_of(off);
+        let block = seg.blocks[bi].1;
         debug_assert!(block.free && block.size >= rounded);
-        self.free_index
-            .get_mut(&pool)
-            .unwrap()
-            .remove(&(block.size, base, off));
+        let lists = match pool {
+            Pool::Small => &mut self.free_small,
+            Pool::Large => &mut self.free_large,
+        };
+        lists.remove(block.size, base, off);
 
         let remainder = block.size - rounded;
         if remainder >= Self::min_split_remainder(pool) {
+            seg.blocks[bi].1 = Block {
+                size: rounded,
+                free: false,
+            };
             seg.blocks.insert(
-                off,
-                Block {
-                    size: rounded,
-                    free: false,
-                },
+                bi + 1,
+                (
+                    off + rounded,
+                    Block {
+                        size: remainder,
+                        free: true,
+                    },
+                ),
             );
-            seg.blocks.insert(
-                off + rounded,
-                Block {
-                    size: remainder,
-                    free: true,
-                },
-            );
-            self.free_index
-                .get_mut(&pool)
-                .unwrap()
-                .insert((remainder, base, off + rounded));
+            lists.insert(FreeEntry {
+                size: remainder,
+                base,
+                off: off + rounded,
+            });
             seg.live_blocks += 1;
             self.allocated += rounded;
         } else {
-            seg.blocks.insert(
-                off,
-                Block {
-                    size: block.size,
-                    free: false,
-                },
-            );
+            seg.blocks[bi].1.free = false;
             seg.live_blocks += 1;
             // The whole (possibly over-sized) block is handed out; the slack
             // is internal fragmentation counted as allocated, like PyTorch's
@@ -340,28 +535,25 @@ impl CachingAllocator {
         }
         let base = self.va_cursor;
         self.va_cursor += seg_size + SEGMENT_ROUND; // guard gap between segments
-        let mut blocks = BTreeMap::new();
-        blocks.insert(
-            0,
-            Block {
-                size: seg_size,
-                free: true,
-            },
-        );
-        self.segments.insert(
+        self.seg_index.insert(base, self.segments.len() as u32);
+        self.segments.push(Segment {
             base,
-            Segment {
-                base,
-                size: seg_size,
-                pool,
-                blocks,
-                live_blocks: 0,
-            },
-        );
-        self.free_index
-            .get_mut(&pool)
-            .unwrap()
-            .insert((seg_size, base, 0));
+            size: seg_size,
+            pool,
+            blocks: vec![(
+                0,
+                Block {
+                    size: seg_size,
+                    free: true,
+                },
+            )],
+            live_blocks: 0,
+        });
+        self.lists(pool).insert(FreeEntry {
+            size: seg_size,
+            base,
+            off: 0,
+        });
         self.reserved += seg_size;
         self.stats.n_segments_created += 1;
         self.stats.peak_reserved = self.stats.peak_reserved.max(self.reserved);
@@ -369,75 +561,82 @@ impl CachingAllocator {
         Some(base)
     }
 
-    /// The reorganisation path: `cudaFree` every fully-free segment.
+    /// The reorganisation path: `cudaFree` every fully-free segment, in
+    /// ascending-base order (the canonical order, see module docs), via one
+    /// in-place compaction pass — no temporary victim list.
     /// Returns the number of segments released.
     fn release_cached_segments(&mut self) -> usize {
-        let victims: Vec<u64> = self
-            .segments
-            .values()
-            .filter(|s| s.is_fully_free())
-            .map(|s| s.base)
-            .collect();
-        for base in &victims {
-            let seg = self.segments.remove(base).expect("victim exists");
-            for (off, b) in &seg.blocks {
-                debug_assert!(b.free);
-                self.free_index
-                    .get_mut(&seg.pool)
-                    .unwrap()
-                    .remove(&(b.size, seg.base, *off));
+        let n = self.segments.len();
+        let mut kept = 0usize;
+        for i in 0..n {
+            if self.segments[i].is_fully_free() {
+                let blocks = std::mem::take(&mut self.segments[i].blocks);
+                let (base, size, pool) = {
+                    let s = &self.segments[i];
+                    (s.base, s.size, s.pool)
+                };
+                let lists = match pool {
+                    Pool::Small => &mut self.free_small,
+                    Pool::Large => &mut self.free_large,
+                };
+                for &(off, b) in &blocks {
+                    debug_assert!(b.free);
+                    lists.remove(b.size, base, off);
+                }
+                self.seg_index.remove(&base);
+                self.reserved -= size;
+                self.stats.n_segments_released += 1;
+                self.emit(AllocEventKind::SegmentRelease, None, size);
+            } else {
+                if kept != i {
+                    self.segments.swap(kept, i);
+                    let moved_base = self.segments[kept].base;
+                    self.seg_index.insert(moved_base, kept as u32);
+                }
+                kept += 1;
             }
-            self.reserved -= seg.size;
-            self.stats.n_segments_released += 1;
-            self.emit(AllocEventKind::SegmentRelease, None, seg.size);
         }
-        victims.len()
+        self.segments.truncate(kept);
+        n - kept
     }
 
     fn coalesce(&mut self, base: u64, off: u64) {
-        let seg = self.segments.get_mut(&base).expect("segment exists");
-        let pool = seg.pool;
+        let si = *self.seg_index.get(&base).expect("segment exists") as usize;
+        let seg = &mut self.segments[si];
+        let lists = match seg.pool {
+            Pool::Small => &mut self.free_small,
+            Pool::Large => &mut self.free_large,
+        };
+        let bi = seg.idx_of(off);
+        let mut start_i = bi;
         let mut start = off;
-        let mut size = seg.blocks[&off].size;
+        let mut size = seg.blocks[bi].1.size;
 
-        // Inspect neighbours first (copies), then mutate.
-        let prev = seg
-            .blocks
-            .range(..off)
-            .next_back()
-            .map(|(&poff, pb)| (poff, *pb))
-            .filter(|(poff, pb)| pb.free && poff + pb.size == off);
-        let next = seg
-            .blocks
-            .range(off + 1..)
-            .next()
-            .map(|(&noff, nb)| (noff, *nb))
-            .filter(|(noff, nb)| nb.free && off + size == *noff && nb.size > 0);
-
-        if let Some((poff, pb)) = prev {
-            seg.blocks.remove(&off);
-            start = poff;
-            size += pb.size;
-            self.free_index
-                .get_mut(&pool)
-                .unwrap()
-                .remove(&(pb.size, base, poff));
+        // Next neighbour first (its index is unaffected by a prev merge).
+        if bi + 1 < seg.blocks.len() {
+            let (noff, nb) = seg.blocks[bi + 1];
+            if nb.free && off + size == noff {
+                size += nb.size;
+                lists.remove(nb.size, base, noff);
+                seg.blocks.remove(bi + 1);
+            }
         }
-        let seg = self.segments.get_mut(&base).unwrap();
-        if let Some((noff, nb)) = next {
-            seg.blocks.remove(&noff);
-            size += nb.size;
-            self.free_index
-                .get_mut(&pool)
-                .unwrap()
-                .remove(&(nb.size, base, noff));
+        if bi > 0 {
+            let (poff, pb) = seg.blocks[bi - 1];
+            if pb.free && poff + pb.size == off {
+                start = poff;
+                size += pb.size;
+                lists.remove(pb.size, base, poff);
+                seg.blocks.remove(bi);
+                start_i = bi - 1;
+            }
         }
-        let seg = self.segments.get_mut(&base).unwrap();
-        seg.blocks.insert(start, Block { size, free: true });
-        self.free_index
-            .get_mut(&pool)
-            .unwrap()
-            .insert((size, base, start));
+        seg.blocks[start_i] = (start, Block { size, free: true });
+        lists.insert(FreeEntry {
+            size,
+            base,
+            off: start,
+        });
     }
 }
 
@@ -499,8 +698,10 @@ impl DeviceAllocator for CachingAllocator {
             .live
             .remove(&id)
             .unwrap_or_else(|| panic!("freeing unknown tensor {}", id.0));
-        let seg = self.segments.get_mut(&base).expect("segment exists");
-        let block = seg.blocks.get_mut(&off).expect("block exists");
+        let si = *self.seg_index.get(&base).expect("segment exists") as usize;
+        let seg = &mut self.segments[si];
+        let bi = seg.idx_of(off);
+        let block = &mut seg.blocks[bi].1;
         debug_assert!(!block.free);
         block.free = true;
         let freed = block.size;
@@ -580,6 +781,29 @@ mod tests {
     }
 
     #[test]
+    fn best_fit_scans_within_a_shared_size_class() {
+        // 24 MiB and 30 MiB share class floor(log2(size/512)): the in-class
+        // scan, not the bitmap, must pick the smaller fitting block —
+        // and on a same-class miss the search must fall through to the
+        // first higher class.
+        let mut a = CachingAllocator::new(1 << 34);
+        a.malloc(tid(0), 30 * MIB).unwrap();
+        a.malloc(tid(1), 24 * MIB).unwrap();
+        a.malloc(tid(2), 64 * MIB).unwrap();
+        a.free(tid(0));
+        a.free(tid(1));
+        a.free(tid(2));
+        assert_eq!(class_of(24 * MIB), class_of(30 * MIB));
+        // 20 MiB fits both same-class blocks; best-fit takes 24 MiB.
+        a.malloc(tid(3), 20 * MIB).unwrap();
+        // 28 MiB misses the 24 MiB slot (taken) but fits 30 MiB in-class.
+        a.malloc(tid(4), 28 * MIB).unwrap();
+        // 40 MiB fits nothing in that class; the bitmap jumps to 64 MiB.
+        a.malloc(tid(5), 40 * MIB).unwrap();
+        assert_eq!(a.stats().n_segments_created, 3, "all served from cache");
+    }
+
+    #[test]
     fn splitting_leaves_usable_remainder() {
         let mut a = CachingAllocator::new(1 << 34);
         a.malloc(tid(0), 64 * MIB).unwrap();
@@ -628,6 +852,35 @@ mod tests {
             other => panic!("unexpected error {other:?}"),
         }
         assert_eq!(a.reorg_count(), 1);
+    }
+
+    #[test]
+    fn multi_victim_reorg_releases_in_ascending_base_order() {
+        // Three cached segments of different sizes; a request none of them
+        // (nor fresh capacity) can serve forces a reorganisation that must
+        // release all three, in creation (ascending-base) order.
+        let mut a = CachingAllocator::new(200 * MIB);
+        a.malloc(tid(0), 64 * MIB).unwrap();
+        a.malloc(tid(1), 48 * MIB).unwrap();
+        a.malloc(tid(2), 32 * MIB).unwrap();
+        a.free(tid(0));
+        a.free(tid(1));
+        a.free(tid(2));
+        a.record_events(true);
+        a.malloc(tid(3), 150 * MIB).unwrap();
+        let released: Vec<u64> = a
+            .events()
+            .iter()
+            .filter(|e| e.kind == AllocEventKind::SegmentRelease)
+            .map(|e| e.bytes)
+            .collect();
+        assert_eq!(
+            released,
+            vec![64 * MIB, 48 * MIB, 32 * MIB],
+            "segments release in creation order, not size order"
+        );
+        assert_eq!(a.stats().n_segments_released, 3);
+        assert_eq!(a.reserved_bytes(), 150 * MIB);
     }
 
     #[test]
@@ -689,6 +942,17 @@ mod tests {
         assert_eq!(a.total_free_bytes(), 4 * MIB);
         assert_eq!(a.total_free_bytes(), a.fragmentation_bytes());
         assert_eq!(a.external_fragmentation(), 0.0, "one free block");
+    }
+
+    #[test]
+    fn size_class_boundaries() {
+        assert_eq!(class_of(512), 0);
+        assert_eq!(class_of(1023), 0, "rounded sizes only, but floor holds");
+        assert_eq!(class_of(1024), 1);
+        assert_eq!(class_of(2047), 1);
+        assert_eq!(class_of(2048), 2);
+        assert_eq!(class_of(SMALL_SEGMENT), 12);
+        assert_eq!(class_of(u64::MAX / 2), 53);
     }
 
     mod frag_props {

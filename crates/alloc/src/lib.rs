@@ -18,12 +18,16 @@
 //! * [`expandable::ExpandableAllocator`] simulates VMM-backed expandable
 //!   segments (PyTorch `expandable_segments`, GMLake) — the related-work
 //!   alternative to MEMO's static planning.
+//! * [`reference::ReferenceCachingAllocator`] is the original BTree-indexed
+//!   caching allocator, kept verbatim as the bit-exactness oracle for the
+//!   segregated-free-list fast path in [`caching`] (see DESIGN.md §2d).
 //!
 //! All implement [`DeviceAllocator`] so executors can swap them freely.
 
 pub mod caching;
 pub mod expandable;
 pub mod plan;
+pub mod reference;
 pub mod snapshot;
 pub mod unified;
 

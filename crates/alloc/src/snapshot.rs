@@ -154,6 +154,57 @@ mod tests {
     }
 
     #[test]
+    fn replay_empty_trace_is_well_formed() {
+        use memo_model::trace::TraceStrings;
+        let trace = IterationTrace {
+            segments: Vec::new(),
+            strings: TraceStrings::new(),
+        };
+        let mut alloc = CachingAllocator::new(1 << 30);
+        let series = replay(&mut alloc, &trace);
+        assert!(series.samples.is_empty());
+        assert!(series.oom.is_none());
+        assert_eq!(series.reorgs, 0);
+        // No samples: every aggregate is a well-defined zero, no underflow.
+        assert_eq!(series.peak_allocated(), 0);
+        assert_eq!(series.peak_reserved(), 0);
+        assert_eq!(series.peak_fragmentation(), 0);
+        assert!(series.downsample(10).is_empty());
+        let art = series.render_ascii(40, 8);
+        assert!(art.contains("reorgs 0"));
+    }
+
+    #[test]
+    fn replay_single_request_trace_is_well_formed() {
+        use memo_model::trace::{MemOp, Request, SegmentKind, Sym, TraceSegment, TraceStrings};
+        // A lone malloc with no matching free — invalid as a full iteration
+        // trace, but replay must still produce a coherent one-sample series.
+        let trace = IterationTrace {
+            segments: vec![TraceSegment {
+                kind: SegmentKind::EmbeddingFwd,
+                requests: vec![Request {
+                    op: MemOp::Malloc,
+                    tensor: memo_model::trace::TensorId(0),
+                    bytes: 4096,
+                    label: Sym::EMPTY,
+                }],
+            }],
+            strings: TraceStrings::new(),
+        };
+        let mut alloc = CachingAllocator::new(1 << 30);
+        let series = replay(&mut alloc, &trace);
+        assert_eq!(series.samples.len(), 1);
+        assert!(series.oom.is_none());
+        let s = series.samples[0];
+        assert_eq!(s.request_index, 0);
+        assert_eq!(s.allocated, 4096);
+        assert!(s.reserved >= s.allocated);
+        assert_eq!(series.peak_allocated(), 4096);
+        assert_eq!(series.peak_fragmentation(), s.reserved - s.allocated);
+        assert_eq!(series.downsample(5).len(), 1);
+    }
+
+    #[test]
     fn downsample_bounds_points() {
         let trace = small_trace();
         let mut alloc = CachingAllocator::new(1 << 40);

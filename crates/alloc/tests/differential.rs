@@ -1,0 +1,212 @@
+//! Differential test: the segregated-free-list [`CachingAllocator`] must be
+//! **bit-exact** with the original BTree-indexed implementation, preserved
+//! verbatim as [`ReferenceCachingAllocator`].
+//!
+//! Every scenario replays the identical request sequence through both
+//! allocators and asserts identical addresses, [`CachingStats`], counters,
+//! free-index aggregates and [`AllocEvent`] streams — after *every* request,
+//! not just at the end, so a divergence points at the first offending op.
+
+use memo_alloc::caching::CachingAllocator;
+use memo_alloc::reference::ReferenceCachingAllocator;
+use memo_alloc::{snapshot, DeviceAllocator};
+use memo_model::activations::LayerDims;
+use memo_model::config::{DType, ModelConfig};
+use memo_model::trace::{generate, RematPolicy, TensorId, TraceParams};
+
+const MIB: u64 = 1 << 20;
+
+fn tid(n: u64) -> TensorId {
+    TensorId(n)
+}
+
+/// The two implementations under lockstep execution.
+struct Lockstep {
+    new: CachingAllocator,
+    old: ReferenceCachingAllocator,
+}
+
+impl Lockstep {
+    fn new(capacity: u64) -> Self {
+        let mut new = CachingAllocator::new(capacity);
+        let mut old = ReferenceCachingAllocator::new(capacity);
+        new.record_events(true);
+        old.record_events(true);
+        Lockstep { new, old }
+    }
+
+    /// Returns whether the (identical) malloc succeeded.
+    fn malloc(&mut self, id: TensorId, bytes: u64) -> bool {
+        let a = self.new.malloc(id, bytes);
+        let b = self.old.malloc(id, bytes);
+        assert_eq!(a, b, "malloc(tensor {}, {} B) diverged", id.0, bytes);
+        self.check_counters();
+        a.is_ok()
+    }
+
+    fn free(&mut self, id: TensorId) {
+        self.new.free(id);
+        self.old.free(id);
+        self.check_counters();
+    }
+
+    fn check_counters(&self) {
+        assert_eq!(self.new.allocated_bytes(), self.old.allocated_bytes());
+        assert_eq!(self.new.reserved_bytes(), self.old.reserved_bytes());
+        assert_eq!(self.new.reorg_count(), self.old.reorg_count());
+        assert_eq!(self.new.stats(), self.old.stats());
+        assert_eq!(self.new.total_free_bytes(), self.old.total_free_bytes());
+        assert_eq!(self.new.largest_free_block(), self.old.largest_free_block());
+        assert_eq!(
+            self.new.fragmentation_bytes(),
+            self.old.fragmentation_bytes()
+        );
+        assert_eq!(
+            self.new.external_fragmentation(),
+            self.old.external_fragmentation()
+        );
+    }
+
+    fn finish(mut self) {
+        let a = self.new.take_events();
+        let b = self.old.take_events();
+        assert_eq!(a.len(), b.len(), "event counts diverged");
+        for (i, (ea, eb)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(ea, eb, "event {i} diverged");
+        }
+    }
+}
+
+/// Drive a lockstep pair from an `(op, magnitude)` script, the same shape
+/// the in-crate proptest uses: op 0 → malloc of `magnitude` bytes, op 1 →
+/// free of a pseudo-randomly chosen live tensor.
+fn drive(capacity: u64, script: &[(u8, u64)]) {
+    let mut pair = Lockstep::new(capacity);
+    let mut live: Vec<TensorId> = Vec::new();
+    let mut next = 0u64;
+    for &(op, magnitude) in script {
+        if op == 0 || live.is_empty() {
+            let id = tid(next);
+            next += 1;
+            if pair.malloc(id, magnitude) {
+                live.push(id);
+            }
+        } else {
+            let id = live.swap_remove((magnitude % live.len() as u64) as usize);
+            pair.free(id);
+        }
+    }
+    // Drain the survivors too — exercises coalescing into full segments.
+    for id in live {
+        pair.free(id);
+    }
+    pair.finish();
+}
+
+#[test]
+fn identical_on_mixed_pool_churn() {
+    // Deterministic interleaving that crosses the small/large pool boundary
+    // (1 MiB) and the split thresholds repeatedly.
+    let script: Vec<(u8, u64)> = (0..600)
+        .map(|i: u64| {
+            let op = ((i * 7 + 3) % 5 < 3) as u8 ^ 1; // mallocs ~60% of steps
+            let bytes = match i % 7 {
+                0 => 700,                 // small pool
+                1 => 512 * 1024,          // small pool, large block
+                2 => MIB - 512,           // just under the pool boundary
+                3 => MIB,                 // exactly the boundary (large pool)
+                4 => 3 * MIB + 1,         // rounds up
+                5 => 11 * MIB,            // above LARGE_DIRECT_LIMIT
+                _ => 30 * MIB + i * 1024, // varying large sizes
+            };
+            (op, bytes)
+        })
+        .collect();
+    drive(1 << 34, &script);
+}
+
+#[test]
+fn identical_under_reorg_pressure() {
+    // A device barely larger than the working set: frees leave cached
+    // segments that must be reorganised away, repeatedly, including
+    // multi-victim releases whose event order the ascending-base rule pins.
+    let script: Vec<(u8, u64)> = (0..400)
+        .map(|i: u64| {
+            let op = (i % 3 == 2) as u8;
+            let bytes = [24 * MIB, 40 * MIB, 64 * MIB, 96 * MIB][(i % 4) as usize] + i * 512;
+            (op, bytes)
+        })
+        .collect();
+    drive(300 * MIB, &script);
+    let mut pair = Lockstep::new(200 * MIB);
+    // Three cached segments, then one request that forces releasing all
+    // three — the exact multi-victim scenario where HashMap iteration order
+    // used to leak into the event stream.
+    assert!(pair.malloc(tid(0), 64 * MIB));
+    assert!(pair.malloc(tid(1), 48 * MIB));
+    assert!(pair.malloc(tid(2), 32 * MIB));
+    pair.free(tid(0));
+    pair.free(tid(1));
+    pair.free(tid(2));
+    assert!(pair.malloc(tid(3), 150 * MIB));
+    pair.free(tid(3));
+    pair.finish();
+}
+
+#[test]
+fn identical_through_oom() {
+    // Both must fail at the same request with the same error payload, and
+    // agree on every counter afterwards.
+    let mut pair = Lockstep::new(100 * MIB);
+    assert!(pair.malloc(tid(0), 64 * MIB));
+    assert!(!pair.malloc(tid(1), 96 * MIB), "OOM expected on both");
+    pair.free(tid(0));
+    assert!(pair.malloc(tid(2), 96 * MIB));
+    pair.free(tid(2));
+    pair.finish();
+}
+
+#[test]
+fn identical_on_generated_traces() {
+    // Real traces from the model layer, replayed through `snapshot::replay`
+    // on both implementations: the Figure 1(a) series must match sample for
+    // sample, for both remat policies, on roomy and on reorg-forcing
+    // devices.
+    let m = ModelConfig::tiny(4, 64, 4, 256);
+    let dims = LayerDims::new(512, &m, DType::BF16);
+    for policy in [RematPolicy::FullRecompute, RematPolicy::MemoTokenWise] {
+        let trace = generate(&TraceParams::new(&m, dims, policy));
+        for capacity in [1u64 << 40, 24 * MIB] {
+            let mut new = CachingAllocator::new(capacity);
+            let mut old = ReferenceCachingAllocator::new(capacity);
+            new.record_events(true);
+            old.record_events(true);
+            let series_new = snapshot::replay(&mut new, &trace);
+            let series_old = snapshot::replay(&mut old, &trace);
+            assert_eq!(series_new, series_old, "series diverged ({policy:?})");
+            assert_eq!(new.stats(), old.stats());
+            assert_eq!(new.take_events(), old.take_events());
+        }
+    }
+}
+
+mod random_scripts {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        // The satellite's acceptance bar: arbitrary malloc/free sequences,
+        // identical addresses, stats and event streams on both a roomy and
+        // a reorg-prone device.
+        #[test]
+        fn lockstep_equivalence(
+            script in prop::collection::vec((0u8..=1, 1u64..96 * MIB), 1..250),
+            roomy in 0u8..=1,
+        ) {
+            let capacity = if roomy == 1 { 1 << 36 } else { 256 * MIB };
+            drive(capacity, &script);
+        }
+    }
+}

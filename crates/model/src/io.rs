@@ -10,7 +10,9 @@
 //! free <tensor_id> <bytes> <label>
 //! ```
 
-use crate::trace::{IterationTrace, MemOp, Request, SegmentKind, TensorId, TraceSegment};
+use crate::trace::{
+    IterationTrace, MemOp, Request, SegmentKind, TensorId, TraceSegment, TraceStrings,
+};
 use std::io::{self, BufRead, BufWriter, Write};
 
 const HEADER: &str = "# memo-trace v1";
@@ -51,7 +53,13 @@ pub fn write_trace<W: Write>(trace: &IterationTrace, w: W) -> io::Result<()> {
                 MemOp::Free => "free",
             };
             // Labels are identifier-like (no whitespace) by construction.
-            writeln!(w, "{op} {} {} {}", r.tensor.0, r.bytes, r.label)?;
+            writeln!(
+                w,
+                "{op} {} {} {}",
+                r.tensor.0,
+                r.bytes,
+                trace.strings.resolve(r.label)
+            )?;
         }
     }
     w.flush()
@@ -83,6 +91,7 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<IterationTrace, ParseError> {
         message: message.to_string(),
     };
     let mut segments: Vec<TraceSegment> = Vec::new();
+    let mut strings = TraceStrings::new();
     for (i, line) in r.lines().enumerate() {
         let line = line.map_err(|e| err(i + 1, &e.to_string()))?;
         let line = line.trim();
@@ -124,7 +133,7 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<IterationTrace, ParseError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err(i + 1, "bad byte count"))?;
-                let label = parts.next().unwrap_or("").to_string();
+                let label = strings.intern(parts.next().unwrap_or(""));
                 seg.requests.push(Request {
                     op: if op == "malloc" {
                         MemOp::Malloc
@@ -139,7 +148,7 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<IterationTrace, ParseError> {
             _ => return Err(err(i + 1, "unrecognised directive")),
         }
     }
-    Ok(IterationTrace { segments })
+    Ok(IterationTrace { segments, strings })
 }
 
 #[cfg(test)]

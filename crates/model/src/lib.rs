@@ -22,4 +22,7 @@ pub mod trace;
 
 pub use activations::{LayerDims, SkeletalKind, SkeletalTensor};
 pub use config::{DType, ModelConfig};
-pub use trace::{IterationTrace, MemOp, RematPolicy, Request, SegmentKind, TraceSegment};
+pub use trace::{
+    IterationTrace, MemOp, RematPolicy, Request, SegmentKind, Sym, TraceCheck, TraceSegment,
+    TraceStrings,
+};

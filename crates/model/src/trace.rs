@@ -38,13 +38,82 @@ pub enum MemOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TensorId(pub u64);
 
-/// One `malloc`/`free` request (one row of Figure 4).
+/// Interned label symbol: an index into the owning trace's
+/// [`TraceStrings`] table. Requests carry a 4-byte `Sym` instead of a
+/// heap-allocated `String`, so generating and replaying a 1M-token trace
+/// allocates each distinct label once instead of once per request.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The empty label — index 0 of every [`TraceStrings`] table.
+    pub const EMPTY: Sym = Sym(0);
+}
+
+/// Deduplicated label table of one trace. Index 0 is always the empty
+/// string, so [`Sym::EMPTY`] (and `Sym::default()`) resolve in any table.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStrings {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Default for TraceStrings {
+    fn default() -> Self {
+        let mut t = TraceStrings {
+            strings: Vec::new(),
+            index: HashMap::new(),
+        };
+        t.intern("");
+        t
+    }
+}
+
+impl TraceStrings {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `label`, allocating only on first sight.
+    pub fn intern(&mut self, label: &str) -> Sym {
+        if let Some(&i) = self.index.get(label) {
+            return Sym(i);
+        }
+        let i = u32::try_from(self.strings.len()).expect("label table overflow");
+        self.strings.push(label.to_string());
+        self.index.insert(label.to_string(), i);
+        Sym(i)
+    }
+
+    /// The string behind `sym` (empty string for out-of-table symbols, so a
+    /// default-constructed `Sym` is always printable).
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.strings
+            .get(sym.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Number of distinct labels (including the empty string at index 0).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// One `malloc`/`free` request (one row of Figure 4). `Copy`: 24 bytes,
+/// no heap — the label is an interned [`Sym`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Request {
     pub op: MemOp,
     pub tensor: TensorId,
     pub bytes: u64,
-    pub label: String,
+    pub label: Sym,
 }
 
 /// Which phase of the iteration a segment belongs to.
@@ -121,10 +190,24 @@ impl TraceParams {
     }
 }
 
+/// Successful [`IterationTrace::validate`] summary — everything the single
+/// validation pass learns about the trace, so callers that need both the
+/// tensor count and the liveness peak scan the request sequence once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Number of distinct tensors (malloc/free pairs).
+    pub tensors: usize,
+    /// Peak of the sum of live tensor bytes over the request sequence — a
+    /// lower bound for any address assignment.
+    pub peak_live_bytes: u64,
+}
+
 /// A full training-iteration trace, segmented by phase.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IterationTrace {
     pub segments: Vec<TraceSegment>,
+    /// Interned label table; every request's `label` indexes into it.
+    pub strings: TraceStrings,
 }
 
 impl IterationTrace {
@@ -141,8 +224,16 @@ impl IterationTrace {
         self.len() == 0
     }
 
+    /// The label string of a request (resolved through the trace's table).
+    pub fn label_of(&self, r: &Request) -> &str {
+        self.strings.resolve(r.label)
+    }
+
     /// Peak of the sum of live tensor bytes over the request sequence — a
     /// lower bound for any address assignment.
+    ///
+    /// Callers that also validate should use the peak returned by
+    /// [`validate`](Self::validate) instead of paying a second scan.
     pub fn peak_live_bytes(&self) -> u64 {
         let mut live = 0u64;
         let mut peak = 0u64;
@@ -159,31 +250,40 @@ impl IterationTrace {
     }
 
     /// Check that every malloc has exactly one later free with the same size,
-    /// and vice versa. Returns the number of tensors on success.
-    pub fn validate(&self) -> Result<usize, TraceError> {
-        let mut live: HashMap<TensorId, u64> = HashMap::new();
+    /// and vice versa. The same pass accumulates the liveness peak, so a
+    /// successful validation also yields [`TraceCheck::peak_live_bytes`]
+    /// without a second walk over the trace.
+    pub fn validate(&self) -> Result<TraceCheck, TraceError> {
+        let mut open: HashMap<TensorId, u64> = HashMap::new();
         let mut count = 0usize;
+        let mut live = 0u64;
+        let mut peak = 0u64;
         for r in self.flatten() {
             match r.op {
                 MemOp::Malloc => {
-                    if live.insert(r.tensor, r.bytes).is_some() {
+                    if open.insert(r.tensor, r.bytes).is_some() {
                         return Err(TraceError::DoubleMalloc(r.tensor));
                     }
                     count += 1;
+                    live += r.bytes;
+                    peak = peak.max(live);
                 }
-                MemOp::Free => match live.remove(&r.tensor) {
+                MemOp::Free => match open.remove(&r.tensor) {
                     None => return Err(TraceError::FreeWithoutMalloc(r.tensor)),
                     Some(b) if b != r.bytes => {
                         return Err(TraceError::SizeMismatch(r.tensor));
                     }
-                    Some(_) => {}
+                    Some(_) => live = live.saturating_sub(r.bytes),
                 },
             }
         }
-        if let Some(&t) = live.keys().next() {
+        if let Some(&t) = open.keys().next() {
             return Err(TraceError::Leaked(t));
         }
-        Ok(count)
+        Ok(TraceCheck {
+            tensors: count,
+            peak_live_bytes: peak,
+        })
     }
 
     /// True if all `LayerFwd` segments have identical (size, op) sequences,
@@ -239,7 +339,7 @@ impl IterationTrace {
                         },
                         r.tensor.0,
                         human_bytes(r.bytes),
-                        r.label
+                        self.strings.resolve(r.label)
                     );
                 }
                 idx += 1;
@@ -301,13 +401,14 @@ impl std::error::Error for TraceError {}
 // Generation
 // ---------------------------------------------------------------------------
 
-/// Builder holding the id counter and open tensors.
+/// Builder holding the id counter, open tensors and the label table.
 struct TraceBuilder {
     next_id: u64,
     segments: Vec<TraceSegment>,
     current: Vec<Request>,
     current_kind: Option<SegmentKind>,
     open: HashMap<TensorId, u64>,
+    strings: TraceStrings,
 }
 
 impl TraceBuilder {
@@ -318,6 +419,7 @@ impl TraceBuilder {
             current: Vec::new(),
             current_kind: None,
             open: HashMap::new(),
+            strings: TraceStrings::new(),
         }
     }
 
@@ -334,29 +436,31 @@ impl TraceBuilder {
         });
     }
 
-    fn malloc(&mut self, bytes: u64, label: impl Into<String>) -> TensorId {
+    fn malloc(&mut self, bytes: u64, label: &str) -> TensorId {
         let id = TensorId(self.next_id);
         self.next_id += 1;
         self.open.insert(id, bytes);
+        let label = self.strings.intern(label);
         self.current.push(Request {
             op: MemOp::Malloc,
             tensor: id,
             bytes,
-            label: label.into(),
+            label,
         });
         id
     }
 
-    fn free(&mut self, id: TensorId, label: impl Into<String>) {
+    fn free(&mut self, id: TensorId, label: &str) {
         let bytes = self
             .open
             .remove(&id)
             .unwrap_or_else(|| panic!("freeing unknown tensor {}", id.0));
+        let label = self.strings.intern(label);
         self.current.push(Request {
             op: MemOp::Free,
             tensor: id,
             bytes,
-            label: label.into(),
+            label,
         });
     }
 
@@ -365,6 +469,7 @@ impl TraceBuilder {
         assert!(self.open.is_empty(), "tensors leaked at trace end");
         IterationTrace {
             segments: self.segments,
+            strings: self.strings,
         }
     }
 }
@@ -720,10 +825,10 @@ fn classifier_chunks(b: &mut TraceBuilder, p: &TraceParams, what: &str) {
     // preserving the peak (all chunks are identical in size).
     let reps = n_chunks.min(2);
     for i in 0..reps {
-        let logits = b.malloc(chunk * p.vocab_local * 4, format!("{what}_chunk{i}"));
-        let softmax_ws = b.malloc(chunk * 8, format!("{what}_softmax_ws{i}"));
-        b.free(softmax_ws, format!("{what}_softmax_ws{i}"));
-        b.free(logits, format!("{what}_chunk{i}"));
+        let logits = b.malloc(chunk * p.vocab_local * 4, &format!("{what}_chunk{i}"));
+        let softmax_ws = b.malloc(chunk * 8, &format!("{what}_softmax_ws{i}"));
+        b.free(softmax_ws, &format!("{what}_softmax_ws{i}"));
+        b.free(logits, &format!("{what}_chunk{i}"));
     }
 }
 
@@ -750,8 +855,14 @@ mod tests {
             RematPolicy::MemoTokenWise,
         ] {
             let t = generate(&params(policy));
-            let n = t.validate().unwrap();
+            let chk = t.validate().unwrap();
+            let n = chk.tensors;
             assert!(n > 20, "{policy:?}: only {n} tensors");
+            assert_eq!(
+                chk.peak_live_bytes,
+                t.peak_live_bytes(),
+                "{policy:?}: validate's single-pass peak diverges"
+            );
         }
     }
 
@@ -850,6 +961,41 @@ mod tests {
             t.peak_live_bytes()
                 >= base.peak_live_bytes() + 2 * p.dims.tokens_local * p.vocab_local * 4
         );
+    }
+
+    #[test]
+    fn labels_are_interned() {
+        let t = generate(&params(RematPolicy::FullRecompute));
+        // Requests are Copy and carry a 4-byte symbol, not a String.
+        let first = *t.flatten().next().unwrap();
+        assert_eq!(t.label_of(&first), "embedding_out");
+        // The table is tiny compared to the request count: every repeated
+        // label (one per layer per iteration) resolves to the same symbol.
+        assert!(
+            t.strings.len() < 64,
+            "table has {} entries",
+            t.strings.len()
+        );
+        assert!(t.len() > 4 * t.strings.len());
+        assert_eq!(t.strings.resolve(Sym::EMPTY), "");
+        let syms: Vec<Sym> = t
+            .flatten()
+            .filter(|r| t.label_of(r) == "qkv_packed")
+            .map(|r| r.label)
+            .collect();
+        assert!(syms.len() > 1);
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn default_strings_table_resolves_empty() {
+        let t = TraceStrings::default();
+        assert_eq!(t.resolve(Sym::EMPTY), "");
+        assert_eq!(t.resolve(Sym(999)), "", "out-of-table symbols print empty");
+        let mut t = TraceStrings::new();
+        assert_eq!(t.intern(""), Sym::EMPTY);
+        let a = t.intern("x");
+        assert_eq!(t.intern("x"), a, "interning is idempotent");
     }
 
     #[test]

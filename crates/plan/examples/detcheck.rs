@@ -1,6 +1,8 @@
 // End-to-end: this fixed, valid workload (single EmbeddingFwd segment) is
 // planned by plan_iteration; compare plans across process runs.
-use memo_model::trace::{IterationTrace, MemOp, Request, SegmentKind, TensorId, TraceSegment};
+use memo_model::trace::{
+    IterationTrace, MemOp, Request, SegmentKind, Sym, TensorId, TraceSegment, TraceStrings,
+};
 use memo_plan::bilevel::{plan_iteration, PlanOptions};
 
 const T: [(u64, u64, usize, usize); 56] = [
@@ -75,7 +77,7 @@ fn main() {
             op: if m { MemOp::Malloc } else { MemOp::Free },
             tensor: TensorId(id),
             bytes,
-            label: String::new(),
+            label: Sym::EMPTY,
         })
         .collect();
     let trace = IterationTrace {
@@ -83,6 +85,7 @@ fn main() {
             kind: SegmentKind::EmbeddingFwd,
             requests,
         }],
+        strings: TraceStrings::new(),
     };
     trace.validate().expect("valid trace");
     let report = plan_iteration(&trace, &PlanOptions::default());

@@ -68,7 +68,7 @@ impl DsaInstance {
     /// Build from a whole iteration trace (the "flat" formulation the paper
     /// deems computationally intractable for real models).
     pub fn from_trace(trace: &IterationTrace) -> DsaInstance {
-        let requests: Vec<Request> = trace.flatten().cloned().collect();
+        let requests: Vec<Request> = trace.flatten().copied().collect();
         Self::from_requests(&requests, 0).expect("validated traces have no open tensors")
     }
 
@@ -246,12 +246,12 @@ mod tests {
 
     #[test]
     fn from_requests_rejects_cross_boundary() {
-        use memo_model::trace::Request;
+        use memo_model::trace::{Request, Sym};
         let reqs = vec![Request {
             op: MemOp::Malloc,
             tensor: TensorId(0),
             bytes: 8,
-            label: "x".into(),
+            label: Sym::EMPTY,
         }];
         assert!(DsaInstance::from_requests(&reqs, 0).is_none());
     }
