@@ -28,7 +28,7 @@ use crate::session::Workload;
 use memo_alloc::caching::CachingAllocator;
 use memo_alloc::snapshot::{replay, SnapshotSeries};
 use memo_alloc::AllocError;
-use memo_hal::engine::Timeline;
+use memo_hal::engine::{RecordLevel, Timeline};
 use memo_hal::time::SimTime;
 use memo_model::trace::RematPolicy;
 use memo_parallel::comm;
@@ -764,16 +764,18 @@ fn synthesize_recompute_timeline(
     let lt = &p.layer_time;
     let secs = |s: f64| SimTime::from_secs_f64(s / derate);
     let mut tl = Timeline::new();
+    let ops = p.layers_local * if refwd { 3 } else { 2 } + 4;
+    tl.reserve_ops(ops, 0, 0);
     let c = tl.add_stream("compute");
     for i in 0..p.layers_local {
-        tl.enqueue(c, secs(lt.fwd()), format!("fwd L{i}"));
+        tl.enqueue_fmt(c, secs(lt.fwd()), format_args!("fwd L{i}"));
     }
     tl.enqueue(c, secs(head_secs), "head");
     for i in (0..p.layers_local).rev() {
         if refwd {
-            tl.enqueue(c, secs(lt.fwd()), format!("refwd L{i}"));
+            tl.enqueue_fmt(c, secs(lt.fwd()), format_args!("refwd L{i}"));
         }
-        tl.enqueue(c, secs(lt.bwd), format!("bwd L{i}"));
+        tl.enqueue_fmt(c, secs(lt.bwd), format_args!("bwd L{i}"));
     }
     if stalls > 0.0 {
         tl.enqueue(c, secs(stalls), "reorg stalls");
@@ -838,13 +840,24 @@ fn build_schedule(
                 nvme_bandwidth,
             };
             let mut host = HostStaging::new(w.calib.host_capacity_per_gpu().max(1));
-            let mut sched = match memo_swap::schedule::build_iteration_schedule_with_slots(
+            // Unobserved runs — the strategy search's inner loop — take the
+            // cursor-only fast path (steady-state layer splicing, no spans);
+            // observed runs keep the fully recorded Figure-11 timeline. The
+            // two are bit-identical on every metric (swap's differential
+            // suite), so the choice is invisible to the outcome.
+            let level = if obs.is_some() {
+                RecordLevel::Full
+            } else {
+                RecordLevel::CursorOnly
+            };
+            let mut sched = match memo_swap::schedule::build_iteration_schedule_recorded(
                 p.layers_local,
                 costs,
                 SimTime::from_secs_f64(head_secs),
                 &mut host,
                 p.split.total(),
                 slots,
+                level,
             ) {
                 Ok(s) => s,
                 Err(e) => {

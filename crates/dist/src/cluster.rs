@@ -1,7 +1,8 @@
 //! Per-rank timelines with collective synchronisation.
 
-use memo_hal::engine::{EventId, StreamId, Timeline};
+use memo_hal::engine::{EventId, RecordLevel, StreamId, Timeline};
 use memo_hal::time::SimTime;
+use std::fmt;
 
 /// One timeline per rank, each with compute/offload/prefetch streams, plus
 /// collectives that couple them.
@@ -15,12 +16,18 @@ pub struct ClusterTimeline {
 
 impl ClusterTimeline {
     pub fn new(world: usize) -> Self {
+        Self::with_recording(world, RecordLevel::Full)
+    }
+
+    /// A cluster whose per-rank timelines record at `level`
+    /// ([`RecordLevel::CursorOnly`] for makespan-only sweeps).
+    pub fn with_recording(world: usize, level: RecordLevel) -> Self {
         let mut timelines = Vec::with_capacity(world);
         let mut compute = Vec::with_capacity(world);
         let mut offload = Vec::with_capacity(world);
         let mut prefetch = Vec::with_capacity(world);
         for _ in 0..world {
-            let mut tl = Timeline::new();
+            let mut tl = Timeline::with_recording(level);
             compute.push(tl.add_stream("compute"));
             offload.push(tl.add_stream("offload"));
             prefetch.push(tl.add_stream("prefetch"));
@@ -43,15 +50,24 @@ impl ClusterTimeline {
         self.timelines[rank].enqueue(self.compute[rank], dur, label)
     }
 
+    /// [`Self::compute`] with a lazily formatted label (never formatted at
+    /// cursor-only recording).
+    pub fn compute_fmt(&mut self, rank: usize, dur: SimTime, label: fmt::Arguments<'_>) -> SimTime {
+        self.timelines[rank].enqueue_fmt(self.compute[rank], dur, label)
+    }
+
     /// Enqueue an offload transfer on one rank; returns its completion event.
     pub fn offload(&mut self, rank: usize, dur: SimTime, label: &str) -> EventId {
-        {
-            let tl = &mut self.timelines[rank];
-            let compute_done = tl.record_event(self.compute[rank]);
-            tl.wait_event(self.offload[rank], compute_done);
-            tl.enqueue(self.offload[rank], dur, label);
-            tl.record_event(self.offload[rank])
-        }
+        self.offload_fmt(rank, dur, format_args!("{label}"))
+    }
+
+    /// [`Self::offload`] with a lazily formatted label.
+    pub fn offload_fmt(&mut self, rank: usize, dur: SimTime, label: fmt::Arguments<'_>) -> EventId {
+        let tl = &mut self.timelines[rank];
+        let compute_done = tl.record_event(self.compute[rank]);
+        tl.wait_event(self.offload[rank], compute_done);
+        tl.enqueue_fmt(self.offload[rank], dur, label);
+        tl.record_event(self.offload[rank])
     }
 
     /// Make a rank's compute stream wait on one of its own events.
@@ -63,6 +79,11 @@ impl ClusterTimeline {
     /// member's compute stream arrives, then occupies every member for
     /// `dur`. This barrier coupling is what amplifies stragglers.
     pub fn collective(&mut self, ranks: &[usize], dur: SimTime, label: &str) {
+        self.collective_fmt(ranks, dur, format_args!("{label}"));
+    }
+
+    /// [`Self::collective`] with a lazily formatted label.
+    pub fn collective_fmt(&mut self, ranks: &[usize], dur: SimTime, label: fmt::Arguments<'_>) {
         let start = ranks
             .iter()
             .map(|&r| self.timelines[r].stream_cursor(self.compute[r]))
@@ -70,7 +91,7 @@ impl ClusterTimeline {
             .unwrap_or(SimTime::ZERO);
         for &r in ranks {
             self.timelines[r].wait_until(self.compute[r], start);
-            self.timelines[r].enqueue(self.compute[r], dur, label);
+            self.timelines[r].enqueue_fmt(self.compute[r], dur, label);
         }
     }
 

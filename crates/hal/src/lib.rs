@@ -22,11 +22,12 @@
 
 pub mod calib;
 pub mod engine;
+pub mod reference;
 pub mod time;
 pub mod timeline;
 pub mod topology;
 
 pub use calib::Calibration;
-pub use engine::{EventId, StreamId, Timeline};
+pub use engine::{EventId, RecordLevel, StreamId, Sym, Timeline};
 pub use time::SimTime;
 pub use topology::{ClusterSpec, GpuSpec, HostSpec, LinkKind};

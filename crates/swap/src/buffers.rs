@@ -320,4 +320,66 @@ mod tests {
         let mut rb = RoundingBuffers::new(64);
         rb.offload_enqueued(0, e);
     }
+
+    #[test]
+    fn forward_ring_wraps_across_many_cycles() {
+        // Nine layers through a three-slot ring: on every revolution the
+        // wrap boundary must hand back exactly the previous occupant's
+        // offload event. With no `offload_complete` in between (the
+        // schedule builders never await offloads mid-forward), the wait is
+        // unconditional for every layer past the first revolution — the
+        // invariant the schedule fast path's splice relies on.
+        let mut tl = Timeline::new();
+        let mut rb = RoundingBuffers::with_slots(3, 64);
+        let mut off = Vec::new();
+        for layer in 0..9 {
+            let expect = if layer >= 3 {
+                Some(off[layer - 3])
+            } else {
+                None
+            };
+            assert_eq!(rb.acquire_for_forward(layer), expect, "layer {layer}");
+            let e = event(&mut tl);
+            rb.offload_enqueued(layer, e);
+            off.push(e);
+        }
+    }
+
+    #[test]
+    fn backward_ring_wraps_through_prefetches() {
+        // Seven layers, two slots — the full forward/backward interleave of
+        // the schedule builders. Each prefetch must land in the same slot
+        // its layer's forward used ((i − slots) % slots == i % slots), and
+        // complete with the event recorded at enqueue, across every wrap.
+        let n = 7;
+        let slots = 2;
+        let swaps = |layer: usize| layer + slots < n;
+        let mut tl = Timeline::new();
+        let mut rb = RoundingBuffers::with_slots(slots, 64);
+        for layer in 0..n {
+            rb.acquire_for_forward(layer);
+            if swaps(layer) {
+                let e = event(&mut tl);
+                rb.offload_enqueued(layer, e);
+            } else {
+                rb.retain_for_backward(layer);
+            }
+        }
+        let mut pf = vec![None; n];
+        for layer in (0..n).rev() {
+            if swaps(layer) {
+                assert_eq!(
+                    Some(rb.prefetch_complete(layer)),
+                    pf[layer],
+                    "layer {layer}"
+                );
+            }
+            rb.release_after_backward(layer);
+            if layer >= slots && swaps(layer - slots) {
+                let e = event(&mut tl);
+                rb.prefetch_enqueued(layer - slots, e);
+                pf[layer - slots] = Some(e);
+            }
+        }
+    }
 }

@@ -57,10 +57,42 @@ impl HostStaging {
         Ok(())
     }
 
+    /// Stage `count` reservations of `bytes` each, with semantics identical
+    /// to `count` sequential [`Self::reserve`] calls — the splice primitive
+    /// of the schedule fast path. On overflow, the reservations that fit
+    /// are committed (exactly as the sequential loop would leave them) and
+    /// the error reports the state at the first failing reservation.
+    pub fn reserve_many(&mut self, bytes: u64, count: u64) -> Result<(), OutOfHostMemory> {
+        if bytes == 0 || count == 0 {
+            return Ok(());
+        }
+        let fit = (self.capacity - self.used.min(self.capacity)) / bytes;
+        if fit < count {
+            self.used += fit * bytes;
+            self.peak = self.peak.max(self.used);
+            return Err(OutOfHostMemory {
+                requested: bytes,
+                used: self.used,
+                capacity: self.capacity,
+            });
+        }
+        self.used += count * bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(())
+    }
+
     /// Release `bytes` (activations consumed by the backward pass).
     pub fn release(&mut self, bytes: u64) {
         assert!(bytes <= self.used, "releasing more than staged");
         self.used -= bytes;
+    }
+
+    /// Release `count` reservations of `bytes` each ([`Self::release`]
+    /// batched for the schedule fast path).
+    pub fn release_many(&mut self, bytes: u64, count: u64) {
+        let total = bytes * count;
+        assert!(total <= self.used, "releasing more than staged");
+        self.used -= total;
     }
 
     pub fn used(&self) -> u64 {
@@ -108,5 +140,78 @@ mod tests {
         let mut h = HostStaging::new(100);
         h.reserve(10).unwrap();
         h.release(20);
+    }
+
+    #[test]
+    fn zero_capacity_host() {
+        let mut h = HostStaging::new(0);
+        assert_eq!(h.capacity(), 0);
+        // Zero-byte staging is a no-op even with no capacity at all.
+        h.reserve(0).unwrap();
+        h.reserve_many(0, 10).unwrap();
+        h.reserve_many(7, 0).unwrap();
+        assert_eq!((h.used(), h.peak()), (0, 0));
+        let err = h.reserve(1).unwrap_err();
+        assert_eq!(
+            err,
+            OutOfHostMemory {
+                requested: 1,
+                used: 0,
+                capacity: 0
+            }
+        );
+        let err = h.reserve_many(4, 3).unwrap_err();
+        assert_eq!(
+            err,
+            OutOfHostMemory {
+                requested: 4,
+                used: 0,
+                capacity: 0
+            }
+        );
+        assert_eq!((h.used(), h.peak()), (0, 0));
+    }
+
+    #[test]
+    fn reserve_many_matches_sequential_loop() {
+        // The batched splice primitive must leave the tracker in exactly
+        // the state `count` sequential reserves would — pass and fail alike.
+        for capacity in [0u64, 1, 10, 35, 36, 100] {
+            for bytes in [1u64, 7, 12] {
+                for count in [1u64, 3, 5] {
+                    let mut batched = HostStaging::new(capacity);
+                    let mut serial = HostStaging::new(capacity);
+                    let b = batched.reserve_many(bytes, count);
+                    let mut s = Ok(());
+                    for _ in 0..count {
+                        s = serial.reserve(bytes);
+                        if s.is_err() {
+                            break;
+                        }
+                    }
+                    assert_eq!(b, s, "cap={capacity} bytes={bytes} count={count}");
+                    assert_eq!(
+                        batched, serial,
+                        "cap={capacity} bytes={bytes} count={count}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn release_many_matches_sequential_loop() {
+        let mut batched = HostStaging::new(100);
+        let mut serial = HostStaging::new(100);
+        for h in [&mut batched, &mut serial] {
+            h.reserve_many(10, 6).unwrap();
+        }
+        batched.release_many(10, 4);
+        for _ in 0..4 {
+            serial.release(10);
+        }
+        assert_eq!(batched, serial);
+        assert_eq!(batched.used(), 20);
+        assert_eq!(batched.peak(), 60);
     }
 }

@@ -19,9 +19,12 @@
 pub mod alpha;
 pub mod buffers;
 pub mod host;
+pub mod reference;
 pub mod schedule;
 
 pub use alpha::{solve_alpha, AlphaInputs, AlphaSolution, BindingConstraint};
 pub use buffers::RoundingBuffers;
 pub use host::HostStaging;
-pub use schedule::{build_iteration_schedule, LayerCosts, ScheduleOutcome};
+pub use schedule::{
+    build_iteration_schedule, build_iteration_schedule_recorded, LayerCosts, ScheduleOutcome,
+};

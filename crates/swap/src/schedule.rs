@@ -15,7 +15,7 @@
 
 use crate::buffers::RoundingBuffers;
 use crate::host::{HostStaging, OutOfHostMemory};
-use memo_hal::engine::{StreamId, Timeline};
+use memo_hal::engine::{RecordLevel, StreamId, Timeline};
 use memo_hal::time::SimTime;
 
 /// Per-layer costs feeding the schedule.
@@ -58,7 +58,8 @@ impl LayerCosts {
         }
     }
 
-    fn t_transfer(&self) -> SimTime {
+    /// Per-layer staging transfer time across both tiers (host + NVMe).
+    pub fn t_transfer(&self) -> SimTime {
         let host = if self.offload_bytes == 0 {
             0.0
         } else {
@@ -129,8 +130,71 @@ pub fn build_iteration_schedule_with_slots(
     buffer_bytes: u64,
     slots: usize,
 ) -> Result<ScheduleOutcome, OutOfHostMemory> {
+    build_iteration_schedule_recorded(
+        n_layers,
+        costs,
+        t_head,
+        host,
+        buffer_bytes,
+        slots,
+        RecordLevel::Full,
+    )
+}
+
+/// [`build_iteration_schedule_with_slots`] with an explicit recording level.
+///
+/// * [`RecordLevel::Full`] runs the event-machinery simulation and returns a
+///   timeline with every span and mark — the `--trace`/Figure-11 path.
+/// * [`RecordLevel::CursorOnly`] runs the steady-state fast path: the layer
+///   recurrence is evaluated in scalar u64 arithmetic, and once the
+///   homogeneous mid-layer region settles into a constant per-layer delta,
+///   the remaining layers are spliced in closed form. Makespan, per-stream
+///   cursors, busy times, host peak and OOHM errors are bit-identical to the
+///   `Full` run (asserted by `tests/differential.rs`); the returned timeline
+///   carries cursors and busy totals but no spans.
+pub fn build_iteration_schedule_recorded(
+    n_layers: usize,
+    costs: LayerCosts,
+    t_head: SimTime,
+    host: &mut HostStaging,
+    buffer_bytes: u64,
+    slots: usize,
+    level: RecordLevel,
+) -> Result<ScheduleOutcome, OutOfHostMemory> {
     assert!(n_layers >= 1);
+    match level {
+        RecordLevel::Full => build_event_loop(n_layers, costs, t_head, host, buffer_bytes, slots),
+        RecordLevel::CursorOnly => build_fast(n_layers, costs, t_head, host, slots),
+    }
+}
+
+/// The full event-machinery simulation (every op a span, every dependency a
+/// recorded event), with arenas pre-sized from the exact op counts.
+fn build_event_loop(
+    n_layers: usize,
+    costs: LayerCosts,
+    t_head: SimTime,
+    host: &mut HostStaging,
+    buffer_bytes: u64,
+    slots: usize,
+) -> Result<ScheduleOutcome, OutOfHostMemory> {
     let mut tl = Timeline::new();
+    // Exact op counts: `swapped` layers offload in the forward pass and
+    // prefetch + (optionally) recompute in the backward pass.
+    let n = n_layers;
+    let swapped = n.saturating_sub(slots);
+    let n_spans = 2 * n
+        + 2 * swapped
+        + usize::from(t_head > SimTime::ZERO)
+        + if costs.t_recompute > SimTime::ZERO {
+            swapped
+        } else {
+            0
+        };
+    let n_events = 2 * n + 2 * swapped;
+    // Marks: one per recorded event, plus the four wait sites (forward
+    // compute, offload, backward compute, prefetch) — `swapped` each.
+    tl.reserve_ops(n_spans, n_events + 4 * swapped, n_events);
     let s = Streams {
         compute: tl.add_stream("compute"),
         offload: tl.add_stream("offload"),
@@ -146,12 +210,12 @@ pub fn build_iteration_schedule_with_slots(
         if let Some(ev) = buffers.acquire_for_forward(layer) {
             tl.wait_event(s.compute, ev);
         }
-        tl.enqueue(s.compute, costs.t_fwd, format!("fwd L{layer}"));
+        tl.enqueue_fmt(s.compute, costs.t_fwd, format_args!("fwd L{layer}"));
         let fwd_done = tl.record_event(s.compute);
         if swaps(layer) {
             host.reserve(costs.offload_bytes)?;
             tl.wait_event(s.offload, fwd_done);
-            tl.enqueue(s.offload, t_transfer, format!("off L{layer}"));
+            tl.enqueue_fmt(s.offload, t_transfer, format_args!("off L{layer}"));
             let off_done = tl.record_event(s.offload);
             buffers.offload_enqueued(layer, off_done);
         } else {
@@ -172,10 +236,10 @@ pub fn build_iteration_schedule_with_slots(
             let pf_done = buffers.prefetch_complete(layer);
             tl.wait_event(s.compute, pf_done);
             if costs.t_recompute > SimTime::ZERO {
-                tl.enqueue(s.compute, costs.t_recompute, format!("remat L{layer}"));
+                tl.enqueue_fmt(s.compute, costs.t_recompute, format_args!("remat L{layer}"));
             }
         }
-        tl.enqueue(s.compute, costs.t_bwd, format!("bwd L{layer}"));
+        tl.enqueue_fmt(s.compute, costs.t_bwd, format_args!("bwd L{layer}"));
         let bwd_done = tl.record_event(s.compute);
         buffers.release_after_backward(layer);
         if swaps(layer) {
@@ -184,7 +248,11 @@ pub fn build_iteration_schedule_with_slots(
         // Kick the prefetch of the slot's next occupant now that it's free.
         if layer >= slots && swaps(layer - slots) {
             tl.wait_event(s.prefetch, bwd_done);
-            tl.enqueue(s.prefetch, t_transfer, format!("pf L{}", layer - slots));
+            tl.enqueue_fmt(
+                s.prefetch,
+                t_transfer,
+                format_args!("pf L{}", layer - slots),
+            );
             let pf_done = tl.record_event(s.prefetch);
             buffers.prefetch_enqueued(layer - slots, pf_done);
         }
@@ -193,6 +261,219 @@ pub fn build_iteration_schedule_with_slots(
     tl.check_causality().expect("schedule must be causal");
     let makespan = tl.makespan();
     let compute_busy = tl.busy_time(s.compute);
+    Ok(ScheduleOutcome {
+        forward_end,
+        makespan,
+        compute_busy,
+        compute_idle: makespan.saturating_sub(compute_busy),
+        host_peak: host.peak(),
+        timeline: tl,
+    })
+}
+
+/// `t × k` in integer nanoseconds — exact, and identical to `k` repeated
+/// additions (which is what the splice replaces).
+fn scale(t: SimTime, k: u64) -> SimTime {
+    SimTime(t.as_nanos() * k)
+}
+
+/// `base + rel` for a signed relative offset captured by the steady-state
+/// detector. The result is always a valid (non-negative) time: offsets are
+/// differences of event times within one iteration.
+fn offset(base: SimTime, rel: i128) -> SimTime {
+    let t = base.as_nanos() as i128 + rel;
+    debug_assert!(t >= 0, "relative offset escaped the clock");
+    SimTime(t as u64)
+}
+
+/// Detects the steady state of the homogeneous mid-layer region.
+///
+/// After each mid-region layer the recurrence is summarised *relative to
+/// the compute cursor*: the IO-stream cursor offset and the ring of
+/// in-flight transfer completion offsets, in next-read order. The next
+/// layer's transition is a pure function of this relative state, so two
+/// consecutive layers with equal state imply every remaining mid layer
+/// repeats the same transition — each advancing all clocks by the same
+/// `delta` — and can be spliced in closed form. Heterogeneous regions
+/// (state never repeats) simply never trigger the splice and fall through
+/// to per-layer simulation.
+struct SteadyDetector {
+    slots: usize,
+    prev_c: SimTime,
+    /// `[rel_io, rel_ring[0..slots]]` of the previous layer.
+    prev: Vec<i128>,
+    prev_valid: bool,
+    cur: Vec<i128>,
+}
+
+impl SteadyDetector {
+    fn new(slots: usize) -> Self {
+        SteadyDetector {
+            slots,
+            prev_c: SimTime::ZERO,
+            prev: Vec::with_capacity(slots + 1),
+            prev_valid: false,
+            cur: Vec::with_capacity(slots + 1),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.prev_valid = false;
+        self.prev.clear();
+    }
+
+    /// Feed the state after one mid-region layer (`ring(j)` = the j-th
+    /// in-flight completion time in next-read order). Returns the steady
+    /// per-layer advance once two consecutive layers match.
+    fn push(
+        &mut self,
+        c: SimTime,
+        io: SimTime,
+        ring: impl Fn(usize) -> SimTime,
+    ) -> Option<SimTime> {
+        let rel = |t: SimTime| t.as_nanos() as i128 - c.as_nanos() as i128;
+        self.cur.clear();
+        self.cur.push(rel(io));
+        for j in 0..self.slots {
+            self.cur.push(rel(ring(j)));
+        }
+        let steady = self.prev_valid && self.cur == self.prev;
+        let delta = c.saturating_sub(self.prev_c);
+        std::mem::swap(&mut self.prev, &mut self.cur);
+        self.prev_valid = true;
+        self.prev_c = c;
+        if steady {
+            Some(delta)
+        } else {
+            None
+        }
+    }
+
+    /// The relative state of the layer last pushed: `(rel_io, rel_ring)`.
+    fn state(&self) -> (i128, &[i128]) {
+        (self.prev[0], &self.prev[1..])
+    }
+}
+
+/// The cursor-only fast path: the same recurrence as [`build_event_loop`],
+/// evaluated in scalar u64 arithmetic with the steady mid-layer region
+/// spliced analytically. See DESIGN.md §2e for the bit-exactness argument.
+fn build_fast(
+    n_layers: usize,
+    costs: LayerCosts,
+    t_head: SimTime,
+    host: &mut HostStaging,
+    slots: usize,
+) -> Result<ScheduleOutcome, OutOfHostMemory> {
+    let n = n_layers;
+    let tf = costs.t_fwd;
+    let tb = costs.t_bwd;
+    let tr = costs.t_recompute;
+    let tt = costs.t_transfer();
+    let bytes = costs.offload_bytes;
+    let swapped = n.saturating_sub(slots) as u64;
+    // Layers in [slots, mid_end) both wait on their slot and swap — the
+    // homogeneous region the splice targets.
+    let mid_end = n.saturating_sub(slots);
+    let mut detect = SteadyDetector::new(slots);
+
+    // ---- forward ------------------------------------------------------------
+    // c/o: compute and offload stream cursors; off_end[i % slots]: completion
+    // time of the in-flight offload occupying slot i % slots.
+    let mut c = SimTime::ZERO;
+    let mut o = SimTime::ZERO;
+    let mut off_end = vec![SimTime::ZERO; slots];
+    let mut i = 0usize;
+    while i < n {
+        if i >= slots {
+            // The slot's previous occupant (layer i − slots) is offloading.
+            c = c.max(off_end[i % slots]);
+        }
+        c += tf;
+        if i + slots < n {
+            host.reserve(bytes)?;
+            o = o.max(c) + tt;
+            off_end[i % slots] = o;
+        }
+        if i >= slots && i + 1 < mid_end {
+            if let Some(delta) = detect.push(c, o, |j| off_end[(i + 1 + j) % slots]) {
+                // Steady: splice layers i+1 ..= mid_end−1 in one step.
+                let m = mid_end - 1;
+                let k = (m - i) as u64;
+                host.reserve_many(bytes, k)?;
+                c += scale(delta, k);
+                let (rel_io, rel_ring) = detect.state();
+                o = offset(c, rel_io);
+                for (j, &r) in rel_ring.iter().enumerate() {
+                    off_end[(m + 1 + j) % slots] = offset(c, r);
+                }
+                i = m;
+            }
+        }
+        i += 1;
+    }
+    let forward_end = c;
+
+    // ---- head (adding a zero-length head is a no-op, as in the event loop) --
+    c += t_head;
+
+    // ---- backward -----------------------------------------------------------
+    detect.reset();
+    let mut p = SimTime::ZERO;
+    let mut pf_end = vec![SimTime::ZERO; slots];
+    let mut i = n;
+    while i > 0 {
+        let layer = i - 1;
+        let swaps_l = layer + slots < n;
+        if swaps_l {
+            // Wait for the prefetch kicked by layer layer+slots's backward,
+            // then recompute the non-swapped token slice.
+            c = c.max(pf_end[layer % slots]) + tr;
+        }
+        c += tb;
+        if swaps_l {
+            host.release(bytes);
+        }
+        if layer >= slots {
+            // Layer layer−slots always swaps here; its prefetch starts when
+            // this backward frees the shared slot (layer % slots).
+            p = p.max(c) + tt;
+            pf_end[layer % slots] = p;
+        }
+        if layer > slots && layer < mid_end {
+            if let Some(delta) = detect.push(c, p, |j| pf_end[(layer - 1 - j) % slots]) {
+                // Steady: splice layers layer−1 ..= slots in one step.
+                let k = (layer - slots) as u64;
+                host.release_many(bytes, k);
+                c += scale(delta, k);
+                let (rel_io, rel_ring) = detect.state();
+                p = offset(c, rel_io);
+                for (j, &r) in rel_ring.iter().enumerate() {
+                    pf_end[(slots - 1 - j) % slots] = offset(c, r);
+                }
+                i = slots + 1;
+            }
+        }
+        i -= 1;
+    }
+
+    // Busy times as the event loop accumulates them (commutative u64 sums
+    // of the same durations, so bit-identical).
+    let compute_busy = scale(tf, n as u64) + t_head + scale(tr, swapped) + scale(tb, n as u64);
+    let io_busy = scale(tt, swapped);
+    let makespan = c.max(o).max(p);
+
+    let mut tl = Timeline::with_recording(RecordLevel::CursorOnly);
+    let compute = tl.add_stream("compute");
+    let offload = tl.add_stream("offload");
+    let prefetch = tl.add_stream("prefetch");
+    tl.advance_cursor(compute, c);
+    tl.add_busy(compute, compute_busy);
+    tl.advance_cursor(offload, o);
+    tl.add_busy(offload, io_busy);
+    tl.advance_cursor(prefetch, p);
+    tl.add_busy(prefetch, io_busy);
+
     Ok(ScheduleOutcome {
         forward_end,
         makespan,

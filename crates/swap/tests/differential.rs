@@ -1,0 +1,273 @@
+//! Differential suite: the schedule fast path (`RecordLevel::CursorOnly`,
+//! steady-state splicing) vs the full event-machinery simulation vs the
+//! verbatim pre-fast-path builder on `memo_hal::reference`.
+//!
+//! Every cell asserts bit-identical makespans, forward ends, per-stream
+//! cursors, busy times, host peaks and post-run host usage across all three
+//! builders — and identical span/mark streams (after symbol resolution)
+//! between the full-recording run and the reference. OOHM failures must
+//! produce identical error values and leave the host tracker in the same
+//! state.
+
+use memo_hal::engine::{MarkKind, RecordLevel, StreamId};
+use memo_hal::time::SimTime;
+use memo_swap::host::HostStaging;
+use memo_swap::reference as ref_sched;
+use memo_swap::schedule::{build_iteration_schedule_recorded, LayerCosts};
+
+/// A schedule scenario: one cell of the differential grid.
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    n_layers: usize,
+    slots: usize,
+    costs: LayerCosts,
+    t_head: SimTime,
+    host_capacity: u64,
+}
+
+fn ms(n: u64) -> SimTime {
+    SimTime::from_millis(n)
+}
+
+/// `transfer_ratio` × t_fwd of per-layer transfer time.
+fn costs(t_fwd_ms: u64, transfer_ratio: f64, t_remat_ms: u64, bytes: u64) -> LayerCosts {
+    let t_fwd = ms(t_fwd_ms);
+    LayerCosts::without_nvme(
+        t_fwd,
+        ms(2 * t_fwd_ms),
+        ms(t_remat_ms),
+        bytes,
+        bytes as f64 / (t_fwd.as_secs_f64() * transfer_ratio).max(1e-12),
+    )
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let b = 1_000_000u64;
+    let roomy = u64::MAX / 2;
+    let mut out = Vec::new();
+    // Layer-count sweep at the three transfer regimes (hiding, balanced,
+    // bandwidth-bound), with and without token-wise recompute.
+    for n_layers in [1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 32, 48, 96] {
+        for &(ratio, remat) in &[(0.5, 0), (1.0, 3), (2.0, 4)] {
+            out.push(Scenario {
+                n_layers,
+                slots: 2,
+                costs: costs(10, ratio, remat, b),
+                t_head: ms(5),
+                host_capacity: roomy,
+            });
+        }
+    }
+    // Slot-count ablation (3 and 4 rotating buffers).
+    for slots in [3, 4] {
+        for n_layers in [slots, slots + 1, 2 * slots, 2 * slots + 1, 24, 95] {
+            out.push(Scenario {
+                n_layers,
+                slots,
+                costs: costs(10, 1.5, 2, b),
+                t_head: ms(5),
+                host_capacity: roomy,
+            });
+        }
+    }
+    // Zero head block, zero offload bytes, NVMe tier in play.
+    out.push(Scenario {
+        n_layers: 24,
+        slots: 2,
+        costs: costs(10, 1.2, 2, b),
+        t_head: SimTime::ZERO,
+        host_capacity: roomy,
+    });
+    out.push(Scenario {
+        n_layers: 24,
+        slots: 2,
+        costs: LayerCosts {
+            offload_bytes: 0,
+            ..costs(10, 1.0, 0, b)
+        },
+        t_head: ms(5),
+        host_capacity: roomy,
+    });
+    let mut nvme = costs(10, 0.7, 1, b);
+    nvme.nvme_bytes = b / 2;
+    nvme.nvme_bandwidth = nvme.bandwidth / 3.0;
+    out.push(Scenario {
+        n_layers: 40,
+        slots: 2,
+        costs: nvme,
+        t_head: ms(5),
+        host_capacity: roomy,
+    });
+    // OOHM cells: capacity for 0, 1, 3, 10 layers (failures before, inside
+    // and after the point where the splice kicks in), plus an exact fit.
+    for layers_fit in [0u64, 1, 3, 10] {
+        out.push(Scenario {
+            n_layers: 24,
+            slots: 2,
+            costs: costs(10, 1.0, 2, b),
+            t_head: ms(5),
+            host_capacity: layers_fit * b + b / 2,
+        });
+    }
+    out.push(Scenario {
+        n_layers: 24,
+        slots: 2,
+        costs: costs(10, 1.0, 2, b),
+        t_head: ms(5),
+        host_capacity: 22 * b, // exactly the swapped footprint
+    });
+    out
+}
+
+fn streams() -> [StreamId; 3] {
+    [StreamId(0), StreamId(1), StreamId(2)]
+}
+
+fn run_cell(sc: Scenario) {
+    let mut host_ref = HostStaging::new(sc.host_capacity);
+    let mut host_full = HostStaging::new(sc.host_capacity);
+    let mut host_fast = HostStaging::new(sc.host_capacity);
+
+    let reference = ref_sched::build_iteration_schedule_with_slots(
+        sc.n_layers,
+        sc.costs,
+        sc.t_head,
+        &mut host_ref,
+        0,
+        sc.slots,
+    );
+    let full = build_iteration_schedule_recorded(
+        sc.n_layers,
+        sc.costs,
+        sc.t_head,
+        &mut host_full,
+        0,
+        sc.slots,
+        RecordLevel::Full,
+    );
+    let fast = build_iteration_schedule_recorded(
+        sc.n_layers,
+        sc.costs,
+        sc.t_head,
+        &mut host_fast,
+        0,
+        sc.slots,
+        RecordLevel::CursorOnly,
+    );
+
+    // The host tracker must end in the same state in all three runs, pass
+    // or fail.
+    assert_eq!(host_ref, host_full, "{sc:?}: full host state diverged");
+    assert_eq!(host_ref, host_fast, "{sc:?}: fast host state diverged");
+
+    match (reference, full, fast) {
+        (Err(e_ref), Err(e_full), Err(e_fast)) => {
+            assert_eq!(e_ref, e_full, "{sc:?}: full OOHM diverged");
+            assert_eq!(e_ref, e_fast, "{sc:?}: fast OOHM diverged");
+        }
+        (Ok(r), Ok(f), Ok(q)) => {
+            for out in [&f, &q] {
+                assert_eq!(r.makespan, out.makespan, "{sc:?}: makespan");
+                assert_eq!(r.forward_end, out.forward_end, "{sc:?}: forward_end");
+                assert_eq!(r.compute_busy, out.compute_busy, "{sc:?}: compute_busy");
+                assert_eq!(r.compute_idle, out.compute_idle, "{sc:?}: compute_idle");
+                assert_eq!(r.host_peak, out.host_peak, "{sc:?}: host_peak");
+                for s in streams() {
+                    assert_eq!(
+                        r.timeline.stream_cursor(s),
+                        out.timeline.stream_cursor(s),
+                        "{sc:?}: cursor of stream {s:?}"
+                    );
+                    assert_eq!(
+                        r.timeline.busy_time(s),
+                        out.timeline.busy_time(s),
+                        "{sc:?}: busy time of stream {s:?}"
+                    );
+                }
+            }
+            // Full recording must reproduce the reference span/mark streams
+            // exactly (labels via symbol resolution).
+            let ref_spans: Vec<(StreamId, SimTime, SimTime, &str)> = r
+                .timeline
+                .spans()
+                .iter()
+                .map(|sp| (sp.stream, sp.start, sp.end, sp.label.as_str()))
+                .collect();
+            let new_spans: Vec<(StreamId, SimTime, SimTime, &str)> = f
+                .timeline
+                .spans()
+                .iter()
+                .map(|sp| (sp.stream, sp.start, sp.end, f.timeline.span_label(sp)))
+                .collect();
+            assert_eq!(ref_spans, new_spans, "{sc:?}: span stream diverged");
+            let ref_marks: Vec<(StreamId, SimTime, MarkKind)> = r
+                .timeline
+                .marks()
+                .iter()
+                .map(|m| (m.stream, m.time, m.kind))
+                .collect();
+            let new_marks: Vec<(StreamId, SimTime, MarkKind)> = f
+                .timeline
+                .marks()
+                .iter()
+                .map(|m| (m.stream, m.time, m.kind))
+                .collect();
+            assert_eq!(ref_marks, new_marks, "{sc:?}: mark stream diverged");
+            // The fast path records no spans at all — that is its contract.
+            assert!(
+                q.timeline.spans().is_empty(),
+                "{sc:?}: fast path kept spans"
+            );
+        }
+        (r, f, q) => panic!(
+            "{sc:?}: builders disagree on success: reference {:?} full {:?} fast {:?}",
+            r.is_ok(),
+            f.is_ok(),
+            q.is_ok()
+        ),
+    }
+}
+
+#[test]
+fn all_scenarios_bit_identical() {
+    for sc in scenarios() {
+        run_cell(sc);
+    }
+}
+
+/// A dense layer-count × slot sweep: every boundary between the warm-up,
+/// steady and tail regions, for several transfer regimes. This is the
+/// guard against off-by-one errors in the splice window.
+#[test]
+fn exhaustive_small_grid() {
+    for slots in 2..=4usize {
+        for n_layers in 1..=3 * slots + 6 {
+            for &(ratio, remat, head) in
+                &[(0.5, 0u64, 0u64), (1.0, 2, 5), (2.0, 3, 5), (10.0, 0, 1)]
+            {
+                run_cell(Scenario {
+                    n_layers,
+                    slots,
+                    costs: costs(7, ratio, remat, 999_983),
+                    t_head: ms(head),
+                    host_capacity: u64::MAX / 2,
+                });
+            }
+        }
+    }
+}
+
+/// Degenerate durations: zero-cost layers and transfers must not break the
+/// recurrence (SimTime clamps degenerate floats to zero).
+#[test]
+fn zero_duration_edges() {
+    for (f, b, r) in [(0u64, 0u64, 0u64), (0, 5, 0), (5, 0, 3)] {
+        run_cell(Scenario {
+            n_layers: 16,
+            slots: 2,
+            costs: LayerCosts::without_nvme(ms(f), ms(b), ms(r), 1_000, 1e9),
+            t_head: SimTime::ZERO,
+            host_capacity: u64::MAX / 2,
+        });
+    }
+}

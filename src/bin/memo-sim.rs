@@ -23,7 +23,8 @@ memo-sim — simulate long-context LLM training (MEMO, SIGMOD 2025 reproduction)
 USAGE:
     memo-sim --model <7b|13b|30b|65b> --gpus <N> --seq <LEN> [OPTIONS]
 
-LEN accepts k/m suffixes (e.g. 512k, 1m).
+LEN accepts k/m suffixes (e.g. 512k, 1m) and comma-separated lists
+(e.g. --seq 64k,256k,1m runs one cell per length).
 
 OPTIONS:
     --system <SYS>                       system to simulate (default: memo); one of
@@ -44,6 +45,11 @@ OPTIONS:
                                          breakdowns + observer stats) as JSON
     -h, --help                           this help
 ";
+
+/// One or more sequence lengths, comma-separated (`64k,256k,1m`).
+fn parse_seq_list(s: &str) -> Option<Vec<u64>> {
+    s.split(',').map(|part| parse_seq(part.trim())).collect()
+}
 
 fn parse_seq(s: &str) -> Option<u64> {
     let s = s.to_ascii_lowercase();
@@ -215,7 +221,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut model = None;
     let mut gpus = None;
-    let mut seq = None;
+    let mut seq: Option<Vec<u64>> = None;
     let mut system = SystemSpec::Memo;
     let mut all = false;
     let mut strategy: Option<String> = None;
@@ -246,10 +252,10 @@ fn main() -> ExitCode {
             },
             "--gpus" => gpus = take().and_then(|v| v.parse::<usize>().ok()),
             "--seq" => match take() {
-                Some(v) => match parse_seq(&v) {
-                    Some(s) => seq = Some(s),
-                    None => {
-                        eprintln!("bad sequence length '{v}' (examples: 512k, 1m, 65536)");
+                Some(v) => match parse_seq_list(&v) {
+                    Some(s) if !s.is_empty() => seq = Some(s),
+                    _ => {
+                        eprintln!("bad sequence length '{v}' (examples: 512k, 1m, 64k,256k,1m)");
                         return ExitCode::FAILURE;
                     }
                 },
@@ -321,7 +327,7 @@ fn main() -> ExitCode {
                 .take_while(|&s| s <= end)
                 .collect()
         }
-        (None, Some(s)) => vec![s],
+        (None, Some(list)) => list,
         (None, None) => {
             eprintln!("--seq or --sweep is required\n\n{USAGE}");
             return ExitCode::FAILURE;
