@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use memo_hal::time::SimTime;
 use memo_swap::alpha::{solve_alpha, AlphaInputs};
-use memo_swap::host::HostStaging;
 use memo_swap::schedule::{build_iteration_schedule, LayerCosts};
+use memo_swap::tiers::TierStaging;
 
 fn bench_alpha(c: &mut Criterion) {
     let inp = AlphaInputs {
@@ -21,14 +21,14 @@ fn bench_alpha(c: &mut Criterion) {
 
     c.bench_function("schedule_build_32_layers", |b| {
         b.iter(|| {
-            let costs = LayerCosts::without_nvme(
+            let costs = LayerCosts::single_tier(
                 SimTime::from_millis(350),
                 SimTime::from_millis(700),
                 SimTime::from_millis(40),
                 4 << 30,
                 12e9,
             );
-            let mut host = HostStaging::new(u64::MAX / 2);
+            let mut host = TierStaging::unbounded(1);
             build_iteration_schedule(32, costs, SimTime::from_millis(100), &mut host, 0).unwrap()
         })
     });

@@ -22,7 +22,7 @@ fn main() {
     );
     for gbps in [8.0f64, 16.0, 32.0, 64.0, 128.0] {
         let mut w = Workload::new(ModelConfig::gpt_7b(), 8, 128 * 1024);
-        w.calib.pcie_bandwidth = gbps * 1e9;
+        w.calib.set_pcie_bandwidth(gbps * 1e9);
 
         // crossover: first 32K multiple where offload hides under compute
         let mut crossover = None;

@@ -11,8 +11,8 @@ use memo_model::config::ModelConfig;
 use memo_model::trace::RematPolicy;
 use memo_obs::chrome::TraceBuilder;
 use memo_parallel::strategy::ParallelConfig;
-use memo_swap::host::HostStaging;
 use memo_swap::schedule::{build_iteration_schedule, LayerCosts};
+use memo_swap::tiers::TierStaging;
 
 fn main() {
     let w = Workload::new(ModelConfig::gpt_7b(), 8, 96 * 1024);
@@ -35,14 +35,14 @@ fn main() {
         ("with token-wise recomputation (α from LP)", p.alpha.alpha),
         ("w/o token-wise recomputation (α = 1, full swap)", 1.0),
     ] {
-        let costs = LayerCosts::without_nvme(
+        let costs = LayerCosts::single_tier(
             SimTime::from_secs_f64(lt.fwd()),
             SimTime::from_secs_f64(lt.bwd),
             SimTime::from_secs_f64((1.0 - alpha) * lt.fwd_without_attention()),
             p.split.swapped_bytes(alpha),
             w.calib.effective_pcie(),
         );
-        let mut host = HostStaging::new(u64::MAX / 2);
+        let mut host = TierStaging::unbounded(1);
         let out = build_iteration_schedule(n, costs, SimTime::ZERO, &mut host, 0)
             .expect("host unconstrained here");
         println!("--- {label}");

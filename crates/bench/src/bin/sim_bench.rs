@@ -25,8 +25,10 @@ use memo_hal::time::SimTime;
 use memo_model::config::ModelConfig;
 use memo_model::trace::RematPolicy;
 use memo_parallel::strategy::{ParallelConfig, SystemSpec};
-use memo_swap::host::HostStaging;
-use memo_swap::schedule::{build_iteration_schedule_recorded, LayerCosts, ScheduleOutcome};
+use memo_swap::schedule::{
+    build_iteration_schedule_recorded, LayerCosts, ScheduleOutcome, TierTraffic, TierTrafficList,
+};
+use memo_swap::tiers::TierStaging;
 use std::time::Instant;
 
 /// One benchmark cell's inputs: the schedule-builder arguments the
@@ -55,10 +57,15 @@ fn sim_inputs(w: &Workload, cfg: &ParallelConfig) -> SimInputs {
             t_recompute: SimTime::from_secs_f64(
                 recompute_fraction * p.layer_time.fwd_without_attention(),
             ),
-            offload_bytes,
-            bandwidth: w.calib.effective_pcie(),
-            nvme_bytes: 0,
-            nvme_bandwidth: 1.0,
+            traffic: {
+                let mut traffic = TierTrafficList::new();
+                traffic.push(TierTraffic {
+                    bytes: offload_bytes,
+                    bandwidth: w.calib.effective_pcie(),
+                    latency_secs: 0.0,
+                });
+                traffic
+            },
         },
         t_head: SimTime::from_secs_f64(p.head_secs),
         buffer_bytes: p.split.total(),
@@ -68,7 +75,7 @@ fn sim_inputs(w: &Workload, cfg: &ParallelConfig) -> SimInputs {
 }
 
 fn run_reference(si: &SimInputs) -> memo_swap::reference::ReferenceScheduleOutcome {
-    let mut host = HostStaging::new(si.host_capacity);
+    let mut host = TierStaging::single(si.host_capacity);
     memo_swap::reference::build_iteration_schedule_with_slots(
         si.n_layers,
         si.costs,
@@ -81,7 +88,7 @@ fn run_reference(si: &SimInputs) -> memo_swap::reference::ReferenceScheduleOutco
 }
 
 fn run_new(si: &SimInputs, level: RecordLevel) -> ScheduleOutcome {
-    let mut host = HostStaging::new(si.host_capacity);
+    let mut host = TierStaging::single(si.host_capacity);
     build_iteration_schedule_recorded(
         si.n_layers,
         si.costs,

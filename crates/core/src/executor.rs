@@ -51,6 +51,18 @@ pub fn run_memo_with_nvme(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
         .outcome
 }
 
+/// MEMO over the calibration's N-tier [`memo_hal::MemoryHierarchy`],
+/// truncated to the first `depth` offload tiers (`0` = the whole chain).
+/// The α program becomes the greedy per-tier waterfall
+/// (`memo_swap::alpha::solve_alpha_tiered`); on the paper's three-tier
+/// testbed chain `depth = 1` reproduces [`run_memo`] and `depth = 2`
+/// [`run_memo_with_nvme`] bit-exactly.
+pub fn run_memo_tiered(w: &Workload, cfg: &ParallelConfig, depth: u8) -> CellOutcome {
+    ExecutionPipeline::new(SystemSpec::MemoTiered(depth))
+        .execute(w, cfg)
+        .outcome
+}
+
 /// A Capuchin-style *tensor granularity* hybrid (related work, §6): decide
 /// swap-vs-recompute per whole tensor instead of per token row — greedily
 /// swap the largest recomputable tensors that still fit under the overlap
@@ -218,6 +230,67 @@ mod tests {
         assert!(
             nvme > base,
             "two-tier α {nvme} must exceed host-only α {base}"
+        );
+    }
+
+    #[test]
+    fn tiered_chain_reduces_to_legacy_modes() {
+        // On the default three-tier testbed chain, the N-tier waterfall
+        // truncated to one offload tier is MEMO and truncated to two (or
+        // run over the whole chain) is MEMO+NVMe — outcome, byte and time
+        // breakdowns all identical.
+        let mega = ParallelConfig::megatron(4, 2, 1, 1);
+        for s in [64u64, 256, 512, 768, 1024] {
+            let w = w7(8, s);
+            for (depth, legacy) in [
+                (1u8, SystemSpec::Memo),
+                (2, SystemSpec::MemoNvme),
+                (0, SystemSpec::MemoNvme),
+            ] {
+                let tiered =
+                    ExecutionPipeline::new(SystemSpec::MemoTiered(depth)).execute(&w, &mega);
+                let base = ExecutionPipeline::new(legacy).execute(&w, &mega);
+                assert_eq!(
+                    tiered.outcome, base.outcome,
+                    "{s}K depth {depth} vs {legacy:?}"
+                );
+                assert_eq!(tiered.bytes, base.bytes, "{s}K depth {depth} bytes");
+                assert_eq!(tiered.time, base.time, "{s}K depth {depth} time");
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_chain_extends_the_frontier_knob() {
+        // Adding a CXL-style tier between host and NVMe must never hurt:
+        // the waterfall's α is monotone in chain depth.
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        let mut w = w7(8, 768);
+        let nvme = w.calib.hierarchy.tiers.pop().unwrap();
+        w.calib.hierarchy.push(memo_hal::TierSpec {
+            name: "cxl".into(),
+            capacity_bytes: 512 << 30,
+            usable_fraction: 1.0,
+            write_bandwidth: 64e9,
+            read_bandwidth: 64e9,
+            utilization: 0.85,
+            sharing: memo_hal::TierSharing::Fixed(2.0),
+            latency_secs: 250e-9,
+        });
+        w.calib.hierarchy.push(nvme);
+        let two = run_memo_tiered(&w, &cfg, 2)
+            .metrics()
+            .unwrap()
+            .alpha
+            .unwrap();
+        let four = run_memo_tiered(&w, &cfg, 0)
+            .metrics()
+            .unwrap()
+            .alpha
+            .unwrap();
+        assert!(
+            four >= two,
+            "4-tier α {four} must not fall below host+CXL α {two}"
         );
     }
 

@@ -33,8 +33,8 @@ use memo_hal::time::SimTime;
 use memo_model::trace::RematPolicy;
 use memo_parallel::comm;
 use memo_parallel::strategy::{ParallelConfig, SystemSpec};
-use memo_swap::host::HostStaging;
-use memo_swap::schedule::LayerCosts;
+use memo_swap::schedule::{LayerCosts, TierTraffic, TierTrafficList};
+use memo_swap::tiers::TierStaging;
 use std::time::Instant;
 
 /// Stage 2: how activations survive from forward to backward.
@@ -53,6 +53,12 @@ pub enum ActivationPolicy {
     /// Two-tier α (extension): token rows the host cannot hold spill to
     /// NVMe at lower bandwidth.
     TwoTierNvme,
+    /// N-tier α waterfall over the calibration's [`memo_hal::MemoryHierarchy`]:
+    /// token rows cascade down the chain, each tier absorbing what the
+    /// nearer tiers cannot. `depth = 0` uses the whole chain; `depth = d`
+    /// truncates it to the first `d` offload tiers (so `d = 1` is the
+    /// host-only token-wise policy and `d = 2` the host+NVMe pair).
+    Tiered { depth: u8 },
     /// Re-forward every transformer layer during backward (Megatron-LM
     /// full recomputation, also DeepSpeed's configuration).
     FullRecompute,
@@ -117,6 +123,10 @@ impl PipelineStages {
             },
             SystemSpec::MemoNvme => PipelineStages {
                 policy: ActivationPolicy::TwoTierNvme,
+                ..token_wise(None, 2)
+            },
+            SystemSpec::MemoTiered(depth) => PipelineStages {
+                policy: ActivationPolicy::Tiered { depth },
                 ..token_wise(None, 2)
             },
             SystemSpec::MegatronLM => PipelineStages {
@@ -443,12 +453,9 @@ enum ActivationPlan {
         alpha: f64,
         /// Rounding-buffer slots.
         slots: usize,
-        /// Bytes offloaded to the host per swapped layer.
-        offload_bytes: u64,
-        /// Bytes spilled to NVMe per swapped layer (0 without the tier).
-        nvme_bytes: u64,
-        /// Effective NVMe bandwidth (ignored when `nvme_bytes == 0`).
-        nvme_bandwidth: f64,
+        /// Per-layer staged traffic across the offload chain, nearest tier
+        /// first (tier 0 = host over PCIe).
+        traffic: TierTrafficList,
         /// Token-wise recompute seconds before each swapped layer's backward.
         t_recompute: f64,
     },
@@ -485,6 +492,17 @@ fn host_feasibility(
     Ok(())
 }
 
+/// One tier's traffic entry, with the link parameters taken from the
+/// calibration's hierarchy (latency 0.0 when the chain has no such tier —
+/// idle tiers never charge their latency anyway).
+fn tier_traffic(w: &Workload, tier: usize, bytes: u64) -> TierTraffic {
+    TierTraffic {
+        bytes,
+        bandwidth: w.calib.effective_tier_bandwidth(tier),
+        latency_secs: w.calib.hierarchy.tier(tier).map_or(0.0, |t| t.latency_secs),
+    }
+}
+
 /// Token-wise swap of `swapped_others` bytes of the recomputable skeletal
 /// tensors per layer; the rest is recomputed before the layer's backward.
 fn token_wise_plan(
@@ -497,12 +515,12 @@ fn token_wise_plan(
     let offload_bytes = p.split.s_input + p.split.s_attn + swapped_others;
     host_feasibility(w, p, offload_bytes)?;
     let recompute_fraction = 1.0 - swapped_others as f64 / p.split.s_others.max(1) as f64;
+    let mut traffic = TierTrafficList::new();
+    traffic.push(tier_traffic(w, 0, offload_bytes));
     Ok(ActivationPlan::Swap {
         alpha: report_alpha,
         slots,
-        offload_bytes,
-        nvme_bytes: 0,
-        nvme_bandwidth: 1.0,
+        traffic,
         t_recompute: recompute_fraction * p.layer_time.fwd_without_attention(),
     })
 }
@@ -590,12 +608,89 @@ fn decide_activation(
                     + p.split.s_attn
                     + (two.alpha_host * p.split.s_others as f64).round() as u64
             };
+            let mut traffic = TierTrafficList::new();
+            traffic.push(tier_traffic(w, 0, host_bytes));
+            traffic.push(tier_traffic(w, 1, nvme_bytes));
             Ok(ActivationPlan::Swap {
                 alpha,
                 slots: 2,
-                offload_bytes: host_bytes,
-                nvme_bytes,
-                nvme_bandwidth: w.calib.effective_nvme_per_gpu(),
+                traffic,
+                t_recompute: (1.0 - alpha) * p.layer_time.fwd_without_attention(),
+            })
+        }
+        ActivationPolicy::Tiered { depth } => {
+            use memo_swap::alpha::{solve_alpha_tiered, AlphaInputs, TierLink};
+            let chain_len = w.calib.hierarchy.len().min(memo_swap::schedule::MAX_TIERS);
+            let n_tiers = if depth == 0 {
+                chain_len
+            } else {
+                (depth as usize).min(chain_len)
+            }
+            .max(1);
+            if n_tiers <= 1 {
+                // A one-tier chain is exactly the paper's token-wise policy.
+                let alpha = p.alpha.alpha;
+                return token_wise_plan(
+                    w,
+                    p,
+                    (alpha * p.split.s_others as f64).round() as u64,
+                    alpha,
+                    2,
+                );
+            }
+            // The greedy waterfall over the truncated chain; tier 0 (host)
+            // inputs are identical to the base α program's.
+            let links: Vec<TierLink> = (1..n_tiers)
+                .map(|k| TierLink {
+                    bandwidth: w.calib.effective_tier_bandwidth(k),
+                    capacity: w.calib.tier_capacity_per_gpu(k),
+                })
+                .collect();
+            let sol = solve_alpha_tiered(
+                &AlphaInputs {
+                    s_input: p.split.s_input,
+                    s_attn: p.split.s_attn,
+                    s_others: p.split.s_others,
+                    bandwidth: w.calib.effective_pcie(),
+                    t_layer_fwd: p.layer_time.fwd(),
+                    n_layers: p.layers_local,
+                    host_capacity: w.calib.host_capacity_per_gpu(),
+                },
+                &links,
+            );
+            // With deeper tiers, even the mandatory input+attn tensors can
+            // spill past the host, so the hard failures are the deeper
+            // tiers' own capacities.
+            let staged_layers = p.layers_local.saturating_sub(2) as u64;
+            let mut traffic = TierTrafficList::new();
+            let host_bytes = if sol.host_infeasible_at_zero {
+                0
+            } else {
+                p.split.s_input
+                    + p.split.s_attn
+                    + (sol.alpha(0) * p.split.s_others as f64).round() as u64
+            };
+            traffic.push(tier_traffic(w, 0, host_bytes));
+            for k in 1..n_tiers {
+                let bytes = (sol.alpha(k) * p.split.s_others as f64).round() as u64
+                    + if k == 1 && sol.host_infeasible_at_zero {
+                        p.split.s_input + p.split.s_attn
+                    } else {
+                        0
+                    };
+                if staged_layers * bytes > w.calib.tier_capacity_per_gpu(k) {
+                    return Err(CellOutcome::Oohm {
+                        needed: staged_layers * bytes,
+                        capacity: w.calib.tier_capacity_per_gpu(k),
+                    });
+                }
+                traffic.push(tier_traffic(w, k, bytes));
+            }
+            let alpha = sol.alpha_total().min(1.0);
+            Ok(ActivationPlan::Swap {
+                alpha,
+                slots: 2,
+                traffic,
                 t_recompute: (1.0 - alpha) * p.layer_time.fwd_without_attention(),
             })
         }
@@ -824,9 +919,7 @@ fn build_schedule(
     match *plan {
         ActivationPlan::Swap {
             slots,
-            offload_bytes,
-            nvme_bytes,
-            nvme_bandwidth,
+            traffic,
             t_recompute,
             ..
         } => {
@@ -834,12 +927,16 @@ fn build_schedule(
                 t_fwd: SimTime::from_secs_f64(lt.fwd()),
                 t_bwd: SimTime::from_secs_f64(lt.bwd),
                 t_recompute: SimTime::from_secs_f64(t_recompute),
-                offload_bytes,
-                bandwidth: w.calib.effective_pcie(),
-                nvme_bytes,
-                nvme_bandwidth,
+                traffic,
             };
-            let mut host = HostStaging::new(w.calib.host_capacity_per_gpu().max(1));
+            // One staging pool per tier the plan touches: the host pool
+            // carries its legacy `.max(1)` floor, deeper pools their exact
+            // capacity shares.
+            let mut capacities = vec![w.calib.host_capacity_per_gpu().max(1)];
+            for k in 1..traffic.len() {
+                capacities.push(w.calib.tier_capacity_per_gpu(k));
+            }
+            let mut staging = TierStaging::new(&capacities);
             // Unobserved runs — the strategy search's inner loop — take the
             // cursor-only fast path (steady-state layer splicing, no spans);
             // observed runs keep the fully recorded Figure-11 timeline. The
@@ -854,7 +951,7 @@ fn build_schedule(
                 p.layers_local,
                 costs,
                 SimTime::from_secs_f64(head_secs),
-                &mut host,
+                &mut staging,
                 p.split.total(),
                 slots,
                 level,

@@ -177,16 +177,16 @@ mod tests {
         };
         let dist = run_distributed_iteration(&grid(4, 2, 1), &spec);
 
-        use memo_swap::host::HostStaging;
         use memo_swap::schedule::{build_iteration_schedule, LayerCosts};
-        let costs = LayerCosts::without_nvme(
+        use memo_swap::tiers::TierStaging;
+        let costs = LayerCosts::single_tier(
             spec.t_fwd,
             spec.t_bwd,
             SimTime::ZERO,
             1_000_000,
             1_000_000.0 / spec.t_offload.as_secs_f64(),
         );
-        let mut host = HostStaging::new(u64::MAX / 2);
+        let mut host = TierStaging::unbounded(1);
         let single =
             build_iteration_schedule(spec.layers, costs, SimTime::ZERO, &mut host, 0).unwrap();
         // The distributed run omits the backward prefetch waits, which are

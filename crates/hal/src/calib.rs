@@ -4,12 +4,17 @@
 //! 8 GPUs per node, NVLink 400 GB/s, InfiniBand 200 GB/s, 2 TB host DRAM,
 //! nominal CPU–GPU PCIe bandwidth 32 GB/s.
 //!
+//! The offload chain below GPU HBM lives in [`MemoryHierarchy`]: an ordered
+//! list of [`crate::hierarchy::TierSpec`]s (host DRAM, NVMe, and optionally
+//! CXL- or remote-memory pools). The default chain reproduces the paper's
+//! GPU→host→NVMe testbed bit-exactly; see [`MemoryHierarchy::three_tier`].
+//!
 //! Two derating factors deserve explanation because they anchor the paper's
 //! headline crossovers:
 //!
-//! * `pcie_utilization` and `pcie_sharers`: on an A800 server, pairs of GPUs
-//!   hang off shared PCIe switches, and sustained pinned-memory H2D/D2H copy
-//!   achieves well under the nominal link rate. With the defaults
+//! * the host tier's `utilization` and `sharing`: on an A800 server, pairs of
+//!   GPUs hang off shared PCIe switches, and sustained pinned-memory H2D/D2H
+//!   copy achieves well under the nominal link rate. With the defaults
 //!   (32 GB/s × 0.75 / 2 = 12 GB/s effective per GPU under concurrent
 //!   offload), the "one-layer forward time == one-layer offload time"
 //!   crossover for the 7B model at TP=8 lands at ≈192K tokens, matching
@@ -19,6 +24,7 @@
 //!   measured ≈52% MFU sits just below the blended kernel efficiency once
 //!   non-overlapped communication and the optimizer step are charged.
 
+use crate::hierarchy::MemoryHierarchy;
 use serde::{Deserialize, Serialize};
 
 pub const GIB: u64 = 1 << 30;
@@ -44,19 +50,12 @@ pub struct Calibration {
     /// allocate their own), TransformerEngine workspaces and cuDNN plans —
     /// memory a training job cannot give to activations.
     pub gpu_reserved_bytes: u64,
-    /// Host DRAM per node in bytes (2 TiB).
-    pub host_memory_bytes: u64,
-    /// Fraction of host DRAM usable for activation staging (the rest is the
-    /// OS, dataloader and pinned-buffer overhead).
-    pub host_usable_fraction: f64,
     /// Number of GPUs attached to each node.
     pub gpus_per_node: usize,
-    /// Nominal unidirectional PCIe bandwidth per GPU, bytes/s (32 GB/s).
-    pub pcie_bandwidth: f64,
-    /// Achievable fraction of nominal PCIe bandwidth for pinned-memory copies.
-    pub pcie_utilization: f64,
-    /// GPUs sharing one host-facing PCIe switch (A800 servers: 2).
-    pub pcie_sharers: f64,
+    /// The ordered offload chain below GPU HBM, nearest tier first. Tier 0
+    /// is the staging tier reached over PCIe (host DRAM on the paper's
+    /// testbed); deeper tiers (NVMe, CXL, ...) are reached through it.
+    pub hierarchy: MemoryHierarchy,
     /// NVLink bandwidth per GPU within a node, bytes/s (400 GB/s).
     pub nvlink_bandwidth: f64,
     /// Achievable fraction of NVLink bandwidth for NCCL collectives.
@@ -80,11 +79,6 @@ pub struct Calibration {
     /// unfused bias/norm/loss paths; its achieved compute throughput is this
     /// fraction of the Megatron-LM/MEMO stack's.
     pub ds_compute_derate: f64,
-    /// Aggregate NVMe array write/read bandwidth per node, bytes/s (for the
-    /// ZeRO-Infinity-style third-tier extension; 0 disables the tier).
-    pub nvme_bandwidth: f64,
-    /// NVMe capacity per node, bytes.
-    pub nvme_capacity_bytes: u64,
 }
 
 impl Default for Calibration {
@@ -96,12 +90,16 @@ impl Default for Calibration {
             elementwise_efficiency: 0.08,
             gpu_memory_bytes: 80 * GIB,
             gpu_reserved_bytes: 12 * GIB,
-            host_memory_bytes: 2048 * GIB,
-            host_usable_fraction: 0.85,
             gpus_per_node: 8,
-            pcie_bandwidth: 32e9,
-            pcie_utilization: 0.75,
-            pcie_sharers: 2.0,
+            hierarchy: MemoryHierarchy::three_tier(
+                2048 * GIB,      // host DRAM per node
+                0.85,            // usable for activation staging
+                32e9,            // nominal PCIe bandwidth
+                0.75,            // pinned-copy utilization
+                2.0,             // GPUs per PCIe switch
+                25e9,            // NVMe array bandwidth per node
+                30 * 1024 * GIB, // NVMe capacity per node
+            ),
             nvlink_bandwidth: 400e9,
             nvlink_utilization: 0.7,
             ib_bandwidth: 200e9,
@@ -111,17 +109,17 @@ impl Default for Calibration {
             comm_overlap_fraction: 0.45,
             optimizer_secs_per_bparam: 0.020,
             ds_compute_derate: 0.72,
-            nvme_bandwidth: 25e9,
-            nvme_capacity_bytes: 30 * 1024 * GIB,
         }
     }
 }
 
 impl Calibration {
     /// Effective per-GPU CPU<->GPU copy bandwidth under concurrent offload
-    /// from all GPUs of a node (bytes/s).
+    /// from all GPUs of a node (bytes/s) — tier 0 of the hierarchy.
     pub fn effective_pcie(&self) -> f64 {
-        self.pcie_bandwidth * self.pcie_utilization / self.pcie_sharers
+        self.hierarchy
+            .tier(0)
+            .map_or(0.0, |t| t.effective_write_bandwidth(self.gpus_per_node))
     }
 
     /// Effective NVLink collective bandwidth per GPU (bytes/s).
@@ -135,20 +133,55 @@ impl Calibration {
         self.ib_bandwidth * self.ib_utilization / self.gpus_per_node as f64
     }
 
-    /// Effective NVMe bandwidth per GPU under concurrent spill (bytes/s).
+    /// Effective per-GPU bandwidth of offload tier `idx` (bytes/s); 0.0 if
+    /// the chain has no such tier (which disables it everywhere).
+    pub fn effective_tier_bandwidth(&self, idx: usize) -> f64 {
+        self.hierarchy
+            .tier(idx)
+            .map_or(0.0, |t| t.effective_write_bandwidth(self.gpus_per_node))
+    }
+
+    /// Capacity share of offload tier `idx` per GPU (bytes); 0 if absent.
+    pub fn tier_capacity_per_gpu(&self, idx: usize) -> u64 {
+        self.hierarchy
+            .tier(idx)
+            .map_or(0, |t| t.capacity_per_gpu(self.gpus_per_node))
+    }
+
+    /// Effective NVMe bandwidth per GPU under concurrent spill (bytes/s) —
+    /// tier 1 of the hierarchy.
     pub fn effective_nvme_per_gpu(&self) -> f64 {
-        self.nvme_bandwidth / self.gpus_per_node as f64
+        self.effective_tier_bandwidth(1)
     }
 
-    /// NVMe capacity share per GPU (bytes).
+    /// NVMe capacity share per GPU (bytes) — tier 1 of the hierarchy.
     pub fn nvme_capacity_per_gpu(&self) -> u64 {
-        self.nvme_capacity_bytes / self.gpus_per_node as u64
+        self.tier_capacity_per_gpu(1)
     }
 
-    /// Host DRAM usable for activation staging, per GPU (bytes).
+    /// Host DRAM usable for activation staging, per GPU (bytes) — tier 0.
     pub fn host_capacity_per_gpu(&self) -> u64 {
-        ((self.host_memory_bytes as f64 * self.host_usable_fraction) / self.gpus_per_node as f64)
-            as u64
+        self.tier_capacity_per_gpu(0)
+    }
+
+    /// Raw host DRAM per node, bytes (tier 0 pool size).
+    pub fn host_memory_bytes(&self) -> u64 {
+        self.hierarchy.tier(0).map_or(0, |t| t.capacity_bytes)
+    }
+
+    /// Resize the host DRAM pool (tier 0), keeping its link untouched.
+    pub fn set_host_memory_bytes(&mut self, bytes: u64) {
+        if let Some(t) = self.hierarchy.tiers.first_mut() {
+            t.capacity_bytes = bytes;
+        }
+    }
+
+    /// Re-rate the CPU<->GPU link (tier 0) in both directions.
+    pub fn set_pcie_bandwidth(&mut self, bytes_per_sec: f64) {
+        if let Some(t) = self.hierarchy.tiers.first_mut() {
+            t.write_bandwidth = bytes_per_sec;
+            t.read_bandwidth = bytes_per_sec;
+        }
     }
 
     /// HBM usable by the training job's allocator (bytes).
@@ -164,11 +197,12 @@ impl Calibration {
     }
 
     /// A bit-exact fingerprint of every calibration field, usable as a hash
-    /// key. Floats are captured by their IEEE-754 bit patterns, so two
-    /// calibrations fingerprint equal iff every field is bit-identical —
-    /// exactly the condition under which the cost models produce identical
-    /// outputs. The exhaustive destructuring makes adding a field without
-    /// extending the fingerprint a compile error.
+    /// key. Floats are captured by their IEEE-754 bit patterns and the tier
+    /// chain by [`MemoryHierarchy::chain_hash`], so two calibrations
+    /// fingerprint equal iff every field is bit-identical — exactly the
+    /// condition under which the cost models produce identical outputs. The
+    /// exhaustive destructuring makes adding a field without extending the
+    /// fingerprint a compile error.
     pub fn fingerprint(&self) -> CalibFingerprint {
         let &Calibration {
             peak_flops,
@@ -177,12 +211,8 @@ impl Calibration {
             elementwise_efficiency,
             gpu_memory_bytes,
             gpu_reserved_bytes,
-            host_memory_bytes,
-            host_usable_fraction,
             gpus_per_node,
-            pcie_bandwidth,
-            pcie_utilization,
-            pcie_sharers,
+            ref hierarchy,
             nvlink_bandwidth,
             nvlink_utilization,
             ib_bandwidth,
@@ -192,8 +222,6 @@ impl Calibration {
             comm_overlap_fraction,
             optimizer_secs_per_bparam,
             ds_compute_derate,
-            nvme_bandwidth,
-            nvme_capacity_bytes,
         } = self;
         CalibFingerprint([
             peak_flops.to_bits(),
@@ -202,12 +230,8 @@ impl Calibration {
             elementwise_efficiency.to_bits(),
             gpu_memory_bytes,
             gpu_reserved_bytes,
-            host_memory_bytes,
-            host_usable_fraction.to_bits(),
             gpus_per_node as u64,
-            pcie_bandwidth.to_bits(),
-            pcie_utilization.to_bits(),
-            pcie_sharers.to_bits(),
+            hierarchy.chain_hash(),
             nvlink_bandwidth.to_bits(),
             nvlink_utilization.to_bits(),
             ib_bandwidth.to_bits(),
@@ -217,8 +241,6 @@ impl Calibration {
             comm_overlap_fraction.to_bits(),
             optimizer_secs_per_bparam.to_bits(),
             ds_compute_derate.to_bits(),
-            nvme_bandwidth.to_bits(),
-            nvme_capacity_bytes,
         ])
     }
 }
@@ -226,47 +248,171 @@ impl Calibration {
 /// The bit pattern of a [`Calibration`] — `Eq + Hash`, unlike the float
 /// struct itself. See [`Calibration::fingerprint`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CalibFingerprint([u64; 23]);
+pub struct CalibFingerprint([u64; 17]);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hierarchy::{TierSharing, TierSpec};
 
     #[test]
     fn defaults_match_paper_testbed() {
         let c = Calibration::default();
         assert_eq!(c.peak_flops, 312e12);
         assert_eq!(c.gpu_memory_bytes, 80 * GIB);
-        assert_eq!(c.host_memory_bytes, 2048 * GIB);
+        assert_eq!(c.host_memory_bytes(), 2048 * GIB);
         assert_eq!(c.gpus_per_node, 8);
+        assert_eq!(c.hierarchy.len(), 2);
+        assert_eq!(c.hierarchy.tier(0).unwrap().name, "host");
+        assert_eq!(c.hierarchy.tier(1).unwrap().name, "nvme");
     }
 
     #[test]
     fn effective_pcie_is_derated() {
         let c = Calibration::default();
         let eff = c.effective_pcie();
-        assert!(eff < c.pcie_bandwidth);
+        assert!(eff < c.hierarchy.tier(0).unwrap().write_bandwidth);
         assert!((eff - 12e9).abs() < 1e6, "expected ~12 GB/s, got {eff}");
+    }
+
+    #[test]
+    fn legacy_accessors_match_flat_field_formulas() {
+        // The three_tier chain must reproduce the retired flat-field
+        // expressions bit-for-bit: these are the values every golden in the
+        // repo was recorded against.
+        let c = Calibration::default();
+        assert_eq!(c.effective_pcie(), 32e9 * 0.75 / 2.0);
+        assert_eq!(c.effective_nvme_per_gpu(), 25e9 / 8.0);
+        assert_eq!(c.nvme_capacity_per_gpu(), 30 * 1024 * GIB / 8);
+        assert_eq!(
+            c.host_capacity_per_gpu(),
+            (((2048 * GIB) as f64 * 0.85) / 8.0) as u64
+        );
+        // Tiers beyond the chain are disabled, not errors.
+        assert_eq!(c.effective_tier_bandwidth(2), 0.0);
+        assert_eq!(c.tier_capacity_per_gpu(2), 0);
     }
 
     #[test]
     fn host_capacity_split_across_gpus() {
         let c = Calibration::default();
         let per_gpu = c.host_capacity_per_gpu();
-        assert!(per_gpu * 8 <= c.host_memory_bytes);
+        assert!(per_gpu * 8 <= c.host_memory_bytes());
         assert!(per_gpu > 100 * GIB);
     }
 
     #[test]
     fn fingerprint_distinguishes_any_field_change() {
+        // Field-by-field perturbation: every Calibration field — including
+        // every field of every tier in the hierarchy — must change the
+        // fingerprint when it changes.
         let base = Calibration::default();
-        let mut c = base.clone();
-        assert_eq!(base.fingerprint(), c.fingerprint());
-        c.nvme_bandwidth += 1.0;
-        assert_ne!(base.fingerprint(), c.fingerprint());
-        let mut c = base.clone();
-        c.gpus_per_node = 4;
-        assert_ne!(base.fingerprint(), c.fingerprint());
+        assert_eq!(base.fingerprint(), Calibration::default().fingerprint());
+        type CalibEdit = Box<dyn Fn(&mut Calibration)>;
+        let cases: Vec<(&str, CalibEdit)> = vec![
+            ("peak_flops", Box::new(|c| c.peak_flops += 1.0)),
+            ("gemm_efficiency", Box::new(|c| c.gemm_efficiency += 0.01)),
+            ("attn_efficiency", Box::new(|c| c.attn_efficiency += 0.01)),
+            (
+                "elementwise_efficiency",
+                Box::new(|c| c.elementwise_efficiency += 0.01),
+            ),
+            ("gpu_memory_bytes", Box::new(|c| c.gpu_memory_bytes += 1)),
+            (
+                "gpu_reserved_bytes",
+                Box::new(|c| c.gpu_reserved_bytes += 1),
+            ),
+            ("gpus_per_node", Box::new(|c| c.gpus_per_node = 4)),
+            ("nvlink_bandwidth", Box::new(|c| c.nvlink_bandwidth += 1.0)),
+            (
+                "nvlink_utilization",
+                Box::new(|c| c.nvlink_utilization += 0.01),
+            ),
+            ("ib_bandwidth", Box::new(|c| c.ib_bandwidth += 1.0)),
+            ("ib_utilization", Box::new(|c| c.ib_utilization += 0.01)),
+            (
+                "reorg_penalty_secs",
+                Box::new(|c| c.reorg_penalty_secs += 0.01),
+            ),
+            (
+                "kernel_launch_secs",
+                Box::new(|c| c.kernel_launch_secs += 1e-6),
+            ),
+            (
+                "comm_overlap_fraction",
+                Box::new(|c| c.comm_overlap_fraction += 0.01),
+            ),
+            (
+                "optimizer_secs_per_bparam",
+                Box::new(|c| c.optimizer_secs_per_bparam += 0.001),
+            ),
+            (
+                "ds_compute_derate",
+                Box::new(|c| c.ds_compute_derate += 0.01),
+            ),
+            // Hierarchy structure.
+            (
+                "hierarchy.pop",
+                Box::new(|c| {
+                    c.hierarchy.tiers.pop();
+                }),
+            ),
+            (
+                "hierarchy.push",
+                Box::new(|c| {
+                    c.hierarchy.push(TierSpec {
+                        name: "cxl".to_string(),
+                        capacity_bytes: 512 * GIB,
+                        usable_fraction: 1.0,
+                        write_bandwidth: 64e9,
+                        read_bandwidth: 64e9,
+                        utilization: 0.85,
+                        sharing: TierSharing::Fixed(2.0),
+                        latency_secs: 250e-9,
+                    });
+                }),
+            ),
+        ];
+        for (label, perturb) in &cases {
+            let mut c = base.clone();
+            perturb(&mut c);
+            assert_ne!(
+                base.fingerprint(),
+                c.fingerprint(),
+                "perturbing {label} did not change the fingerprint"
+            );
+        }
+        // Every field of every tier, in both tiers of the default chain.
+        type TierEdit = Box<dyn Fn(&mut TierSpec)>;
+        let tier_cases: Vec<(&str, TierEdit)> = vec![
+            ("name", Box::new(|t| t.name.push('x'))),
+            ("capacity_bytes", Box::new(|t| t.capacity_bytes += 1)),
+            ("usable_fraction", Box::new(|t| t.usable_fraction += 0.01)),
+            ("write_bandwidth", Box::new(|t| t.write_bandwidth += 1.0)),
+            ("read_bandwidth", Box::new(|t| t.read_bandwidth += 1.0)),
+            ("utilization", Box::new(|t| t.utilization += 0.01)),
+            (
+                "sharing",
+                Box::new(|t| {
+                    t.sharing = match t.sharing {
+                        TierSharing::Fixed(n) => TierSharing::Fixed(n + 1.0),
+                        TierSharing::NodeGpus => TierSharing::Fixed(1.0),
+                    }
+                }),
+            ),
+            ("latency_secs", Box::new(|t| t.latency_secs += 1e-6)),
+        ];
+        for idx in 0..base.hierarchy.len() {
+            for (label, perturb) in &tier_cases {
+                let mut c = base.clone();
+                perturb(&mut c.hierarchy.tiers[idx]);
+                assert_ne!(
+                    base.fingerprint(),
+                    c.fingerprint(),
+                    "perturbing tier {idx} {label} did not change the fingerprint"
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod calib;
 pub mod engine;
+pub mod hierarchy;
 pub mod reference;
 pub mod time;
 pub mod timeline;
@@ -29,5 +30,6 @@ pub mod topology;
 
 pub use calib::Calibration;
 pub use engine::{EventId, RecordLevel, StreamId, Sym, Timeline};
+pub use hierarchy::{MemoryHierarchy, TierSharing, TierSpec};
 pub use time::SimTime;
 pub use topology::{ClusterSpec, GpuSpec, HostSpec, LinkKind};

@@ -66,7 +66,7 @@ impl ClusterSpec {
                 peak_flops: calib.peak_flops,
             },
             host: HostSpec {
-                memory_bytes: calib.host_memory_bytes,
+                memory_bytes: calib.host_memory_bytes(),
             },
             calib,
         }

@@ -25,6 +25,11 @@ fn spec_json(spec: SystemSpec) -> Json {
             fields.push(("slots".into(), Json::int(n as u64)));
             fields
         }
+        SystemSpec::MemoTiered(depth) => {
+            let mut fields = variant("MemoTiered");
+            fields.push(("depth".into(), Json::int(depth as u64)));
+            fields
+        }
     })
 }
 
@@ -46,6 +51,11 @@ fn parse_spec(doc: &Json) -> Result<SystemSpec, String> {
             doc.get("slots")
                 .and_then(Json::as_u64)
                 .ok_or("MemoBufferSlots missing slots")? as u8,
+        ),
+        "MemoTiered" => SystemSpec::MemoTiered(
+            doc.get("depth")
+                .and_then(Json::as_u64)
+                .ok_or("MemoTiered missing depth")? as u8,
         ),
         other => return Err(format!("unknown spec variant {other:?}")),
     })
@@ -280,6 +290,8 @@ mod tests {
             SystemSpec::FullSwapPlan,
             SystemSpec::FullRecomputePlan,
             SystemSpec::MemoBufferSlots(4),
+            SystemSpec::MemoTiered(0),
+            SystemSpec::MemoTiered(3),
         ]);
         specs
     }

@@ -29,6 +29,12 @@ pub enum SystemSpec {
     FullSwapPlan,
     /// Ablation: MEMO with `n` rounding buffers instead of two.
     MemoBufferSlots(u8),
+    /// MEMO over the calibration's full N-tier memory hierarchy, truncated
+    /// to the first `depth` offload tiers (`0` = use the whole chain). The
+    /// α program becomes the per-tier greedy waterfall; `MemoTiered(1)`
+    /// reproduces [`SystemSpec::Memo`] and `MemoTiered(2)`
+    /// [`SystemSpec::MemoNvme`] bit-exactly.
+    MemoTiered(u8),
 }
 
 /// How the strategy search enumerates configurations for a spec.
@@ -69,6 +75,7 @@ impl SystemSpec {
             SystemSpec::FullRecomputePlan => "Recompute+Plan",
             SystemSpec::FullSwapPlan => "FullSwap+Plan",
             SystemSpec::MemoBufferSlots(_) => "MEMO-slots",
+            SystemSpec::MemoTiered(_) => "MEMO-tiered",
         }
     }
 

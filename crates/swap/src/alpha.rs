@@ -344,6 +344,92 @@ pub fn solve_alpha_two_tier(
     }
 }
 
+/// One tier of the offload chain beyond the host, as the α waterfall sees
+/// it: an effective per-GPU link bandwidth and a per-GPU capacity share.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierLink {
+    /// Effective per-GPU bandwidth of the tier's link, bytes/s
+    /// (≤ 0 disables the tier).
+    pub bandwidth: f64,
+    /// This GPU's capacity share of the tier, bytes.
+    pub capacity: u64,
+}
+
+/// Solution of the N-tier α program: one fraction per tier of the chain,
+/// host (tier 0) first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TieredSolution {
+    /// Per-tier swapped fractions on the 1/8 grid, `alphas[0]` = host.
+    pub alphas: Vec<f64>,
+    /// See [`AlphaSolution::host_infeasible_at_zero`].
+    pub host_infeasible_at_zero: bool,
+}
+
+impl TieredSolution {
+    /// The total swapped fraction across the whole chain.
+    pub fn alpha_total(&self) -> f64 {
+        self.alphas.iter().sum()
+    }
+
+    /// The fraction placed on tier `idx` (0 beyond the solved chain).
+    pub fn alpha(&self, idx: usize) -> f64 {
+        self.alphas.get(idx).copied().unwrap_or(0.0)
+    }
+}
+
+/// N-tier greedy waterfall generalisation of [`solve_alpha_two_tier`]: the
+/// host tier is solved by the base α program, then each deeper tier in
+/// chain order absorbs as much of the remaining fraction as its bandwidth
+/// headroom and capacity allow, each tier's spill quantised down to the
+/// 1/8 grid before the next tier is considered.
+///
+/// Nearer tiers are always preferred (their links are faster), which makes
+/// the greedy order optimal for the per-tier-linear program. For chains of
+/// length ≤ 3 (≤ 1 entry in `extra`) this provably reduces to the legacy
+/// solvers — the loop body is the exact expression sequence of
+/// [`solve_alpha_two_tier`], so `extra == []` returns `[solve_alpha(..)
+/// .alpha]` and `extra == [nvme]` returns the two-tier solution
+/// bit-for-bit (differential-tested in `tiered_tests`).
+pub fn solve_alpha_tiered(inp: &AlphaInputs, extra: &[TierLink]) -> TieredSolution {
+    let base = solve_alpha(inp);
+    let mut alphas = Vec::with_capacity(1 + extra.len());
+    alphas.push(base.alpha);
+    if inp.s_others == 0 {
+        alphas.resize(1 + extra.len(), 0.0);
+        return TieredSolution {
+            alphas,
+            host_infeasible_at_zero: base.host_infeasible_at_zero,
+        };
+    }
+    let mandatory = (inp.s_input + inp.s_attn) as f64;
+    let others = inp.s_others as f64;
+    let swap_layers = inp.n_layers.saturating_sub(2).max(1) as f64;
+
+    // Transfer time already claimed by nearer tiers; starts at the host
+    // (PCIe) traffic of the base solution.
+    let mut time_used = (mandatory + base.alpha * others) / inp.bandwidth;
+    let mut total = base.alpha;
+    for link in extra {
+        if link.bandwidth <= 0.0 {
+            alphas.push(0.0);
+            continue;
+        }
+        let headroom = (inp.t_layer_fwd - time_used).max(0.0);
+        let cap_bw = headroom * link.bandwidth / others;
+        let cap_space = link.capacity as f64 / swap_layers / others;
+        let alpha_tier = cap_bw.min(cap_space).min(1.0 - total).max(0.0);
+        // quantise down to the 1/8 grid, consistent with the host tier
+        let alpha_tier = ((alpha_tier / ALPHA_GRID).floor() * ALPHA_GRID).clamp(0.0, 1.0);
+        alphas.push(alpha_tier);
+        total += alpha_tier;
+        time_used += alpha_tier * others / link.bandwidth;
+    }
+    TieredSolution {
+        alphas,
+        host_infeasible_at_zero: base.host_infeasible_at_zero,
+    }
+}
+
 #[cfg(test)]
 mod two_tier_tests {
     use super::*;
@@ -401,5 +487,157 @@ mod two_tier_tests {
         assert_eq!(two.alpha_host, base.alpha);
         // tiny residual grid headroom at most
         assert!(two.alpha_nvme <= 0.125);
+    }
+}
+
+#[cfg(test)]
+mod tiered_tests {
+    use super::*;
+
+    /// A dense input grid spanning host-bound, overlap-bound, roomy and
+    /// degenerate cells.
+    fn input_grid() -> Vec<AlphaInputs> {
+        let mut out = Vec::new();
+        for s_others in [0u64, 400, 1600, 6400] {
+            for bandwidth in [250.0, 1000.0, 4000.0] {
+                for t_layer_fwd in [0.05, 0.5, 1.0, 4.0] {
+                    for host_capacity in [100u64, 6000, 60_000, u64::MAX / 4] {
+                        out.push(AlphaInputs {
+                            s_input: 100,
+                            s_attn: 100,
+                            s_others,
+                            bandwidth,
+                            t_layer_fwd,
+                            n_layers: 12,
+                            host_capacity,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_chain_reduces_to_solve_alpha() {
+        for inp in input_grid() {
+            let base = solve_alpha(&inp);
+            let tiered = solve_alpha_tiered(&inp, &[]);
+            assert_eq!(tiered.alphas, vec![base.alpha], "{inp:?}");
+            assert_eq!(
+                tiered.host_infeasible_at_zero, base.host_infeasible_at_zero,
+                "{inp:?}"
+            );
+            assert_eq!(tiered.alpha_total(), base.alpha, "{inp:?}");
+        }
+    }
+
+    #[test]
+    fn one_extra_tier_reduces_to_solve_alpha_two_tier() {
+        // The waterfall must be bit-identical to the hand-rolled two-tier
+        // solver over the whole grid × every NVMe shape, including the
+        // disabled-tier and capacity-starved corners.
+        for inp in input_grid() {
+            for nvme_bw in [0.0, 125.0, 500.0, 2000.0] {
+                for nvme_cap in [0u64, 2200, 50_000, u64::MAX / 4] {
+                    let two = solve_alpha_two_tier(&inp, nvme_bw, nvme_cap);
+                    let tiered = solve_alpha_tiered(
+                        &inp,
+                        &[TierLink {
+                            bandwidth: nvme_bw,
+                            capacity: nvme_cap,
+                        }],
+                    );
+                    assert_eq!(tiered.alphas.len(), 2, "{inp:?}");
+                    assert!(
+                        tiered.alpha(0).to_bits() == two.alpha_host.to_bits()
+                            && tiered.alpha(1).to_bits() == two.alpha_nvme.to_bits(),
+                        "{inp:?} nvme_bw={nvme_bw} nvme_cap={nvme_cap}: \
+                         tiered {:?} vs two-tier ({}, {})",
+                        tiered.alphas,
+                        two.alpha_host,
+                        two.alpha_nvme
+                    );
+                    assert_eq!(
+                        tiered.host_infeasible_at_zero, two.host_infeasible_at_zero,
+                        "{inp:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_tiers_absorb_what_nearer_tiers_cannot() {
+        // Host capped at 0.25, slow NVMe at ~0.25 more: a third (CXL-like)
+        // tier between them in the chain order picks up further spill, and
+        // the total never exceeds 1.
+        let inp = AlphaInputs {
+            s_input: 100,
+            s_attn: 100,
+            s_others: 1600,
+            bandwidth: 1000.0,
+            t_layer_fwd: 4.0,
+            n_layers: 12,
+            host_capacity: 6000,
+        };
+        let shallow = solve_alpha_tiered(
+            &inp,
+            &[TierLink {
+                bandwidth: 125.0,
+                capacity: u64::MAX / 4,
+            }],
+        );
+        let deep = solve_alpha_tiered(
+            &inp,
+            &[
+                TierLink {
+                    bandwidth: 125.0,
+                    capacity: u64::MAX / 4,
+                },
+                TierLink {
+                    bandwidth: 2000.0,
+                    capacity: u64::MAX / 4,
+                },
+            ],
+        );
+        assert_eq!(deep.alpha(0), shallow.alpha(0));
+        assert_eq!(deep.alpha(1), shallow.alpha(1));
+        assert!(deep.alpha(2) > 0.0, "third tier must absorb spill");
+        assert!(deep.alpha_total() > shallow.alpha_total());
+        assert!(deep.alpha_total() <= 1.0);
+    }
+
+    #[test]
+    fn waterfall_respects_per_tier_capacity_and_grid() {
+        let inp = AlphaInputs {
+            s_input: 100,
+            s_attn: 100,
+            s_others: 1600,
+            bandwidth: 1000.0,
+            t_layer_fwd: 8.0,
+            n_layers: 12,
+            host_capacity: 6000,
+        };
+        let sol = solve_alpha_tiered(
+            &inp,
+            &[
+                TierLink {
+                    bandwidth: 2000.0,
+                    capacity: 2200, // 220/layer → 0.1375 → grid 0.125
+                },
+                TierLink {
+                    bandwidth: 2000.0,
+                    capacity: u64::MAX / 4,
+                },
+            ],
+        );
+        assert_eq!(sol.alpha(0), 0.25);
+        assert!((sol.alpha(1) - 0.125).abs() < 1e-12);
+        // Every fraction sits on the 1/8 grid.
+        for a in &sol.alphas {
+            assert!((a / ALPHA_GRID - (a / ALPHA_GRID).round()).abs() < 1e-9);
+        }
+        assert!(sol.alpha_total() <= 1.0);
     }
 }

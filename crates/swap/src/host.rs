@@ -43,6 +43,15 @@ impl HostStaging {
         }
     }
 
+    /// An effectively unlimited tracker for tests, benches and models that
+    /// only want the peak accounting. The capacity is `u64::MAX / 2` rather
+    /// than `u64::MAX` so that `used + bytes` in [`Self::reserve`] and the
+    /// `fit * bytes` product in [`Self::reserve_many`] cannot overflow u64
+    /// for any request that itself fits in the tracker.
+    pub fn unbounded() -> Self {
+        HostStaging::new(u64::MAX / 2)
+    }
+
     /// Stage `bytes` on the host (an offload landing).
     pub fn reserve(&mut self, bytes: u64) -> Result<(), OutOfHostMemory> {
         if self.used + bytes > self.capacity {
@@ -170,6 +179,17 @@ mod tests {
             }
         );
         assert_eq!((h.used(), h.peak()), (0, 0));
+    }
+
+    #[test]
+    fn unbounded_headroom_cannot_overflow() {
+        let mut h = HostStaging::unbounded();
+        // A pathological splice request: the `fit` computation must not
+        // overflow even at the largest representable per-layer size.
+        assert!(h.reserve_many(u64::MAX / 4, 2).is_ok());
+        assert_eq!(h.used(), u64::MAX / 2 - 1);
+        let err = h.reserve(2).unwrap_err();
+        assert_eq!(err.capacity, u64::MAX / 2);
     }
 
     #[test]

@@ -14,17 +14,26 @@
 //!   case).
 //! * The offload / prefetch / recompute operations are laid out on three
 //!   streams ([`schedule`]) exactly as in Figure 11.
-//! * Host staging capacity (and OOHM) is tracked by [`host`].
+//! * Host staging capacity (and OOHM) is tracked by [`host`]; the N-tier
+//!   offload chain keeps one such pool per tier in [`tiers`], and the
+//!   α program generalises to a per-tier greedy waterfall
+//!   ([`alpha::solve_alpha_tiered`]).
 
 pub mod alpha;
 pub mod buffers;
 pub mod host;
 pub mod reference;
 pub mod schedule;
+pub mod tiers;
 
-pub use alpha::{solve_alpha, AlphaInputs, AlphaSolution, BindingConstraint};
+pub use alpha::{
+    solve_alpha, solve_alpha_tiered, AlphaInputs, AlphaSolution, BindingConstraint, TierLink,
+    TieredSolution,
+};
 pub use buffers::RoundingBuffers;
 pub use host::HostStaging;
 pub use schedule::{
     build_iteration_schedule, build_iteration_schedule_recorded, LayerCosts, ScheduleOutcome,
+    TierTraffic, TierTrafficList, MAX_TIERS,
 };
+pub use tiers::{OutOfTierMemory, TierStaging};

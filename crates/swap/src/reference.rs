@@ -10,8 +10,8 @@
 //! OOHM errors. Do not optimise this module.
 
 use crate::buffers::RoundingBuffers;
-use crate::host::{HostStaging, OutOfHostMemory};
 use crate::schedule::LayerCosts;
+use crate::tiers::{OutOfTierMemory, TierStaging};
 use memo_hal::engine::StreamId;
 use memo_hal::reference::Timeline;
 use memo_hal::time::SimTime;
@@ -28,7 +28,7 @@ pub struct ReferenceScheduleOutcome {
     pub compute_busy: SimTime,
     /// Compute-stream idle time (stalls caused by transfers).
     pub compute_idle: SimTime,
-    /// Peak host bytes staged.
+    /// Peak host bytes staged (tier 0).
     pub host_peak: u64,
     /// The populated timeline (3 streams), for rendering.
     pub timeline: Timeline,
@@ -50,10 +50,10 @@ pub fn build_iteration_schedule(
     n_layers: usize,
     costs: LayerCosts,
     t_head: SimTime,
-    host: &mut HostStaging,
+    staging: &mut TierStaging,
     buffer_bytes: u64,
-) -> Result<ReferenceScheduleOutcome, OutOfHostMemory> {
-    build_iteration_schedule_with_slots(n_layers, costs, t_head, host, buffer_bytes, 2)
+) -> Result<ReferenceScheduleOutcome, OutOfTierMemory> {
+    build_iteration_schedule_with_slots(n_layers, costs, t_head, staging, buffer_bytes, 2)
 }
 
 /// [`build_iteration_schedule`] generalised to `slots ≥ 2` rotating buffers:
@@ -64,10 +64,10 @@ pub fn build_iteration_schedule_with_slots(
     n_layers: usize,
     costs: LayerCosts,
     t_head: SimTime,
-    host: &mut HostStaging,
+    staging: &mut TierStaging,
     buffer_bytes: u64,
     slots: usize,
-) -> Result<ReferenceScheduleOutcome, OutOfHostMemory> {
+) -> Result<ReferenceScheduleOutcome, OutOfTierMemory> {
     assert!(n_layers >= 1);
     let mut tl = Timeline::new();
     let s = Streams {
@@ -88,7 +88,7 @@ pub fn build_iteration_schedule_with_slots(
         tl.enqueue(s.compute, costs.t_fwd, format!("fwd L{layer}"));
         let fwd_done = tl.record_event(s.compute);
         if swaps(layer) {
-            host.reserve(costs.offload_bytes)?;
+            staging.reserve_layer(&costs.traffic)?;
             tl.wait_event(s.offload, fwd_done);
             tl.enqueue(s.offload, t_transfer, format!("off L{layer}"));
             let off_done = tl.record_event(s.offload);
@@ -118,7 +118,7 @@ pub fn build_iteration_schedule_with_slots(
         let bwd_done = tl.record_event(s.compute);
         buffers.release_after_backward(layer);
         if swaps(layer) {
-            host.release(costs.offload_bytes);
+            staging.release_layer(&costs.traffic);
         }
         // Kick the prefetch of the slot's next occupant now that it's free.
         if layer >= slots && swaps(layer - slots) {
@@ -137,7 +137,7 @@ pub fn build_iteration_schedule_with_slots(
         makespan,
         compute_busy,
         compute_idle: makespan.saturating_sub(compute_busy),
-        host_peak: host.peak(),
+        host_peak: staging.host_peak(),
         timeline: tl,
     })
 }

@@ -9,14 +9,105 @@
 //! recompute of the non-swapped slice runs on the compute stream immediately
 //! before each backward.
 //!
+//! A layer's staged slice may span several tiers of the offload chain
+//! ([`TierTrafficList`]): the per-layer transfer time is the sum of the
+//! per-tier transfer times (the chain is traversed serially), and each
+//! tier's bytes are tracked in its own [`TierStaging`] pool.
+//!
 //! The builder returns both the timings (from which MFU/TGS derive) and the
-//! populated [`Timeline`] (for Figure 11 rendering); it reports OOHM if the
-//! staged activations overflow host memory — the simulation's `X_oohm`.
+//! populated [`Timeline`] (for Figure 11 rendering); it reports an
+//! out-of-tier failure if the staged activations overflow any pool — the
+//! simulation's `X_oohm` when the host tier binds.
 
 use crate::buffers::RoundingBuffers;
-use crate::host::{HostStaging, OutOfHostMemory};
+use crate::tiers::{OutOfTierMemory, TierStaging};
 use memo_hal::engine::{RecordLevel, StreamId, Timeline};
 use memo_hal::time::SimTime;
+
+/// Maximum offload tiers a layer's traffic can span (chain depth below GPU
+/// HBM). Deep enough for GPU→host→CXL→NVMe→remote chains with headroom;
+/// keeping it fixed keeps [`LayerCosts`] `Copy`.
+pub const MAX_TIERS: usize = 6;
+
+/// One tier's share of a layer's staged slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierTraffic {
+    /// Bytes staged on this tier per layer.
+    pub bytes: u64,
+    /// Effective bandwidth of the tier's link, bytes/s (ignored when
+    /// `bytes == 0`).
+    pub bandwidth: f64,
+    /// Fixed per-transfer latency charged on top of the bandwidth term,
+    /// seconds (0.0 for DRAM-class tiers).
+    pub latency_secs: f64,
+}
+
+/// A layer's traffic across the offload chain, nearest tier first.
+/// Fixed-capacity so [`LayerCosts`] stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierTrafficList {
+    items: [TierTraffic; MAX_TIERS],
+    len: usize,
+}
+
+impl TierTrafficList {
+    pub fn new() -> Self {
+        TierTrafficList {
+            items: [TierTraffic {
+                bytes: 0,
+                bandwidth: 1.0,
+                latency_secs: 0.0,
+            }; MAX_TIERS],
+            len: 0,
+        }
+    }
+
+    /// Append the next-deeper tier's traffic.
+    pub fn push(&mut self, t: TierTraffic) {
+        assert!(self.len < MAX_TIERS, "offload chain deeper than MAX_TIERS");
+        self.items[self.len] = t;
+        self.len += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn get(&self, tier: usize) -> Option<&TierTraffic> {
+        self.as_slice().get(tier)
+    }
+
+    pub fn as_slice(&self) -> &[TierTraffic] {
+        &self.items[..self.len]
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, TierTraffic> {
+        self.as_slice().iter()
+    }
+
+    /// Bytes staged on tier `tier` per layer (0 beyond the chain).
+    pub fn bytes(&self, tier: usize) -> u64 {
+        self.get(tier).map_or(0, |t| t.bytes)
+    }
+}
+
+impl Default for TierTrafficList {
+    fn default() -> Self {
+        TierTrafficList::new()
+    }
+}
+
+impl<'a> IntoIterator for &'a TierTrafficList {
+    type Item = &'a TierTraffic;
+    type IntoIter = std::slice::Iter<'a, TierTraffic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
 
 /// Per-layer costs feeding the schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,54 +119,74 @@ pub struct LayerCosts {
     /// Token-wise recompute time of the non-swapped slice, run before the
     /// layer's backward (zero when α = 1 or under full swapping).
     pub t_recompute: SimTime,
-    /// Bytes offloaded per layer (input + attn + α·others).
-    pub offload_bytes: u64,
-    /// Effective CPU–GPU bandwidth, bytes/s.
-    pub bandwidth: f64,
-    /// Bytes spilled per layer to the NVMe tier (extension; usually 0).
-    pub nvme_bytes: u64,
-    /// Effective NVMe bandwidth, bytes/s (ignored when `nvme_bytes == 0`).
-    pub nvme_bandwidth: f64,
+    /// The layer's staged slice across the offload chain, nearest tier
+    /// first (tier 0 carries the mandatory input+attn swaps).
+    pub traffic: TierTrafficList,
 }
 
 impl LayerCosts {
-    /// Host-tier only costs (the paper's configuration).
-    pub fn without_nvme(
+    /// Costs for the two-level GPU→host chain (the paper's testbed without
+    /// its NVMe tier): every staged byte lands on host DRAM over PCIe, so
+    /// the traffic list is the single host tier carrying
+    /// `offload_bytes = S_input + S_attn + α·S_others` at the effective
+    /// PCIe bandwidth.
+    pub fn single_tier(
         t_fwd: SimTime,
         t_bwd: SimTime,
         t_recompute: SimTime,
         offload_bytes: u64,
         bandwidth: f64,
     ) -> Self {
+        let mut traffic = TierTrafficList::new();
+        traffic.push(TierTraffic {
+            bytes: offload_bytes,
+            bandwidth,
+            latency_secs: 0.0,
+        });
         LayerCosts {
             t_fwd,
             t_bwd,
             t_recompute,
-            offload_bytes,
-            bandwidth,
-            nvme_bytes: 0,
-            nvme_bandwidth: 1.0,
+            traffic,
         }
     }
 
-    /// Per-layer staging transfer time across both tiers (host + NVMe).
-    pub fn t_transfer(&self) -> SimTime {
-        let host = if self.offload_bytes == 0 {
-            0.0
-        } else {
-            self.offload_bytes as f64 / self.bandwidth
-        };
-        let nvme = if self.nvme_bytes == 0 {
-            0.0
-        } else {
-            self.nvme_bytes as f64 / self.nvme_bandwidth
-        };
-        SimTime::from_secs_f64(host + nvme)
+    /// Costs for an arbitrary offload chain.
+    pub fn with_traffic(
+        t_fwd: SimTime,
+        t_bwd: SimTime,
+        t_recompute: SimTime,
+        traffic: TierTrafficList,
+    ) -> Self {
+        LayerCosts {
+            t_fwd,
+            t_bwd,
+            t_recompute,
+            traffic,
+        }
     }
 
-    /// Bytes staged per layer across both tiers.
+    /// Bytes staged on the host tier (tier 0) per layer.
+    pub fn host_bytes(&self) -> u64 {
+        self.traffic.bytes(0)
+    }
+
+    /// Per-layer staging transfer time across the whole chain: the tiers
+    /// are traversed serially, so the times add. An idle tier (0 bytes)
+    /// contributes nothing regardless of its bandwidth or latency.
+    pub fn t_transfer(&self) -> SimTime {
+        let mut secs = 0.0;
+        for t in &self.traffic {
+            if t.bytes != 0 {
+                secs += t.bytes as f64 / t.bandwidth + t.latency_secs;
+            }
+        }
+        SimTime::from_secs_f64(secs)
+    }
+
+    /// Bytes staged per layer across the whole chain.
     pub fn staged_bytes(&self) -> u64 {
-        self.offload_bytes + self.nvme_bytes
+        self.traffic.iter().map(|t| t.bytes).sum()
     }
 }
 
@@ -90,7 +201,7 @@ pub struct ScheduleOutcome {
     pub compute_busy: SimTime,
     /// Compute-stream idle time (stalls caused by transfers).
     pub compute_idle: SimTime,
-    /// Peak host bytes staged.
+    /// Peak host bytes staged (tier 0).
     pub host_peak: u64,
     /// The populated timeline (3 streams), for rendering.
     pub timeline: Timeline,
@@ -112,10 +223,10 @@ pub fn build_iteration_schedule(
     n_layers: usize,
     costs: LayerCosts,
     t_head: SimTime,
-    host: &mut HostStaging,
+    staging: &mut TierStaging,
     buffer_bytes: u64,
-) -> Result<ScheduleOutcome, OutOfHostMemory> {
-    build_iteration_schedule_with_slots(n_layers, costs, t_head, host, buffer_bytes, 2)
+) -> Result<ScheduleOutcome, OutOfTierMemory> {
+    build_iteration_schedule_with_slots(n_layers, costs, t_head, staging, buffer_bytes, 2)
 }
 
 /// [`build_iteration_schedule`] generalised to `slots ≥ 2` rotating buffers:
@@ -126,15 +237,15 @@ pub fn build_iteration_schedule_with_slots(
     n_layers: usize,
     costs: LayerCosts,
     t_head: SimTime,
-    host: &mut HostStaging,
+    staging: &mut TierStaging,
     buffer_bytes: u64,
     slots: usize,
-) -> Result<ScheduleOutcome, OutOfHostMemory> {
+) -> Result<ScheduleOutcome, OutOfTierMemory> {
     build_iteration_schedule_recorded(
         n_layers,
         costs,
         t_head,
-        host,
+        staging,
         buffer_bytes,
         slots,
         RecordLevel::Full,
@@ -149,22 +260,24 @@ pub fn build_iteration_schedule_with_slots(
 ///   recurrence is evaluated in scalar u64 arithmetic, and once the
 ///   homogeneous mid-layer region settles into a constant per-layer delta,
 ///   the remaining layers are spliced in closed form. Makespan, per-stream
-///   cursors, busy times, host peak and OOHM errors are bit-identical to the
-///   `Full` run (asserted by `tests/differential.rs`); the returned timeline
-///   carries cursors and busy totals but no spans.
+///   cursors, busy times, per-tier peaks and out-of-tier errors are
+///   bit-identical to the `Full` run (asserted by `tests/differential.rs`);
+///   the returned timeline carries cursors and busy totals but no spans.
 pub fn build_iteration_schedule_recorded(
     n_layers: usize,
     costs: LayerCosts,
     t_head: SimTime,
-    host: &mut HostStaging,
+    staging: &mut TierStaging,
     buffer_bytes: u64,
     slots: usize,
     level: RecordLevel,
-) -> Result<ScheduleOutcome, OutOfHostMemory> {
+) -> Result<ScheduleOutcome, OutOfTierMemory> {
     assert!(n_layers >= 1);
     match level {
-        RecordLevel::Full => build_event_loop(n_layers, costs, t_head, host, buffer_bytes, slots),
-        RecordLevel::CursorOnly => build_fast(n_layers, costs, t_head, host, slots),
+        RecordLevel::Full => {
+            build_event_loop(n_layers, costs, t_head, staging, buffer_bytes, slots)
+        }
+        RecordLevel::CursorOnly => build_fast(n_layers, costs, t_head, staging, slots),
     }
 }
 
@@ -174,10 +287,10 @@ fn build_event_loop(
     n_layers: usize,
     costs: LayerCosts,
     t_head: SimTime,
-    host: &mut HostStaging,
+    staging: &mut TierStaging,
     buffer_bytes: u64,
     slots: usize,
-) -> Result<ScheduleOutcome, OutOfHostMemory> {
+) -> Result<ScheduleOutcome, OutOfTierMemory> {
     let mut tl = Timeline::new();
     // Exact op counts: `swapped` layers offload in the forward pass and
     // prefetch + (optionally) recompute in the backward pass.
@@ -213,7 +326,7 @@ fn build_event_loop(
         tl.enqueue_fmt(s.compute, costs.t_fwd, format_args!("fwd L{layer}"));
         let fwd_done = tl.record_event(s.compute);
         if swaps(layer) {
-            host.reserve(costs.offload_bytes)?;
+            staging.reserve_layer(&costs.traffic)?;
             tl.wait_event(s.offload, fwd_done);
             tl.enqueue_fmt(s.offload, t_transfer, format_args!("off L{layer}"));
             let off_done = tl.record_event(s.offload);
@@ -243,7 +356,7 @@ fn build_event_loop(
         let bwd_done = tl.record_event(s.compute);
         buffers.release_after_backward(layer);
         if swaps(layer) {
-            host.release(costs.offload_bytes);
+            staging.release_layer(&costs.traffic);
         }
         // Kick the prefetch of the slot's next occupant now that it's free.
         if layer >= slots && swaps(layer - slots) {
@@ -266,7 +379,7 @@ fn build_event_loop(
         makespan,
         compute_busy,
         compute_idle: makespan.saturating_sub(compute_busy),
-        host_peak: host.peak(),
+        host_peak: staging.host_peak(),
         timeline: tl,
     })
 }
@@ -362,15 +475,14 @@ fn build_fast(
     n_layers: usize,
     costs: LayerCosts,
     t_head: SimTime,
-    host: &mut HostStaging,
+    staging: &mut TierStaging,
     slots: usize,
-) -> Result<ScheduleOutcome, OutOfHostMemory> {
+) -> Result<ScheduleOutcome, OutOfTierMemory> {
     let n = n_layers;
     let tf = costs.t_fwd;
     let tb = costs.t_bwd;
     let tr = costs.t_recompute;
     let tt = costs.t_transfer();
-    let bytes = costs.offload_bytes;
     let swapped = n.saturating_sub(slots) as u64;
     // Layers in [slots, mid_end) both wait on their slot and swap — the
     // homogeneous region the splice targets.
@@ -391,7 +503,7 @@ fn build_fast(
         }
         c += tf;
         if i + slots < n {
-            host.reserve(bytes)?;
+            staging.reserve_layer(&costs.traffic)?;
             o = o.max(c) + tt;
             off_end[i % slots] = o;
         }
@@ -400,7 +512,7 @@ fn build_fast(
                 // Steady: splice layers i+1 ..= mid_end−1 in one step.
                 let m = mid_end - 1;
                 let k = (m - i) as u64;
-                host.reserve_many(bytes, k)?;
+                staging.reserve_layers(&costs.traffic, k)?;
                 c += scale(delta, k);
                 let (rel_io, rel_ring) = detect.state();
                 o = offset(c, rel_io);
@@ -432,7 +544,7 @@ fn build_fast(
         }
         c += tb;
         if swaps_l {
-            host.release(bytes);
+            staging.release_layer(&costs.traffic);
         }
         if layer >= slots {
             // Layer layer−slots always swaps here; its prefetch starts when
@@ -444,7 +556,7 @@ fn build_fast(
             if let Some(delta) = detect.push(c, p, |j| pf_end[(layer - 1 - j) % slots]) {
                 // Steady: splice layers layer−1 ..= slots in one step.
                 let k = (layer - slots) as u64;
-                host.release_many(bytes, k);
+                staging.release_layers(&costs.traffic, k);
                 c += scale(delta, k);
                 let (rel_io, rel_ring) = detect.state();
                 p = offset(c, rel_io);
@@ -479,7 +591,7 @@ fn build_fast(
         makespan,
         compute_busy,
         compute_idle: makespan.saturating_sub(compute_busy),
-        host_peak: host.peak(),
+        host_peak: staging.host_peak(),
         timeline: tl,
     })
 }
@@ -491,7 +603,7 @@ mod tests {
     fn costs(t_fwd_ms: u64, transfer_ratio: f64, t_remat_ms: u64) -> LayerCosts {
         let bytes = 1_000_000u64;
         let t_fwd = SimTime::from_millis(t_fwd_ms);
-        LayerCosts::without_nvme(
+        LayerCosts::single_tier(
             t_fwd,
             SimTime::from_millis(2 * t_fwd_ms),
             SimTime::from_millis(t_remat_ms),
@@ -501,8 +613,8 @@ mod tests {
     }
 
     fn run(n: usize, c: LayerCosts) -> ScheduleOutcome {
-        let mut host = HostStaging::new(u64::MAX / 2);
-        build_iteration_schedule(n, c, SimTime::from_millis(5), &mut host, 0).unwrap()
+        let mut staging = TierStaging::unbounded(1);
+        build_iteration_schedule(n, c, SimTime::from_millis(5), &mut staging, 0).unwrap()
     }
 
     #[test]
@@ -553,27 +665,84 @@ mod tests {
 
     #[test]
     fn host_usage_returns_to_zero() {
-        let mut host = HostStaging::new(u64::MAX / 2);
+        let mut staging = TierStaging::unbounded(1);
         let c = costs(10, 0.5, 0);
-        build_iteration_schedule(8, c, SimTime::ZERO, &mut host, 0).unwrap();
-        assert_eq!(host.used(), 0);
-        assert_eq!(host.peak(), 6 * c.offload_bytes);
+        build_iteration_schedule(8, c, SimTime::ZERO, &mut staging, 0).unwrap();
+        assert_eq!(staging.host_used(), 0);
+        assert_eq!(staging.host_peak(), 6 * c.host_bytes());
     }
 
     #[test]
     fn oohm_surfaces() {
-        let mut host = HostStaging::new(3 * 1_000_000); // room for 3 layers
+        let mut staging = TierStaging::single(3 * 1_000_000); // room for 3 layers
         let c = costs(10, 0.5, 0);
-        let err = build_iteration_schedule(12, c, SimTime::ZERO, &mut host, 0).unwrap_err();
+        let err = build_iteration_schedule(12, c, SimTime::ZERO, &mut staging, 0).unwrap_err();
         assert_eq!(err.capacity, 3_000_000);
+        assert_eq!(err.tier, 0);
+    }
+
+    #[test]
+    fn deep_tier_overflow_surfaces_with_its_index() {
+        // Host roomy, the second tier fits only 3 layers: the failure must
+        // name tier 1 and leave the host pool holding the committed layers.
+        let mut c = costs(10, 0.5, 0);
+        c.traffic.push(TierTraffic {
+            bytes: 500_000,
+            bandwidth: 1e9,
+            latency_secs: 0.0,
+        });
+        let mut staging = TierStaging::new(&[u64::MAX / 2, 3 * 500_000]);
+        let err = build_iteration_schedule(12, c, SimTime::ZERO, &mut staging, 0).unwrap_err();
+        assert_eq!(err.tier, 1);
+        assert_eq!(err.capacity, 1_500_000);
+        assert_eq!(staging.host_used(), 4 * 1_000_000);
+    }
+
+    #[test]
+    fn multi_tier_transfer_times_add() {
+        // 1 MB to a 1 GB/s host tier + 0.5 MB to a 0.1 GB/s deep tier with
+        // 1 ms latency: 1 ms + (5 + 1) ms per layer.
+        let mut traffic = TierTrafficList::new();
+        traffic.push(TierTraffic {
+            bytes: 1_000_000,
+            bandwidth: 1e9,
+            latency_secs: 0.0,
+        });
+        traffic.push(TierTraffic {
+            bytes: 500_000,
+            bandwidth: 1e8,
+            latency_secs: 1e-3,
+        });
+        let c = LayerCosts::with_traffic(
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+            SimTime::ZERO,
+            traffic,
+        );
+        assert_eq!(c.t_transfer(), SimTime::from_millis(7));
+        assert_eq!(c.staged_bytes(), 1_500_000);
+        // An idle tier costs nothing even with a huge latency.
+        let mut idle = traffic;
+        idle.push(TierTraffic {
+            bytes: 0,
+            bandwidth: 1.0,
+            latency_secs: 10.0,
+        });
+        assert_eq!(
+            LayerCosts::with_traffic(c.t_fwd, c.t_bwd, c.t_recompute, idle).t_transfer(),
+            SimTime::from_millis(7)
+        );
     }
 
     #[test]
     fn zero_offload_bytes_never_stalls() {
-        let c = LayerCosts {
-            offload_bytes: 0,
-            ..costs(10, 1.0, 0)
-        };
+        let c = LayerCosts::single_tier(
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+            SimTime::ZERO,
+            0,
+            1e9,
+        );
         let out = run(6, c);
         assert_eq!(out.compute_idle, SimTime::ZERO);
     }
@@ -581,10 +750,10 @@ mod tests {
     #[test]
     fn tiny_models_skip_swapping_entirely() {
         // n = 2: both layers retained; no offload traffic at all.
-        let mut host = HostStaging::new(1);
+        let mut staging = TierStaging::single(1);
         let out =
-            build_iteration_schedule(2, costs(10, 2.0, 0), SimTime::ZERO, &mut host, 0).unwrap();
-        assert_eq!(host.peak(), 0);
+            build_iteration_schedule(2, costs(10, 2.0, 0), SimTime::ZERO, &mut staging, 0).unwrap();
+        assert_eq!(staging.host_peak(), 0);
         assert_eq!(out.compute_idle, SimTime::ZERO);
     }
 
@@ -597,8 +766,9 @@ mod tests {
         // constraint of Eq. (2) is PCIe bandwidth, not buffer count.
         let c = costs(10, 1.5, 0);
         let run_slots = |slots: usize| {
-            let mut host = HostStaging::new(u64::MAX / 2);
-            build_iteration_schedule_with_slots(24, c, SimTime::ZERO, &mut host, 0, slots).unwrap()
+            let mut staging = TierStaging::unbounded(1);
+            build_iteration_schedule_with_slots(24, c, SimTime::ZERO, &mut staging, 0, slots)
+                .unwrap()
         };
         let two = run_slots(2);
         let three = run_slots(3);

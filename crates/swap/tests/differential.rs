@@ -11,9 +11,9 @@
 
 use memo_hal::engine::{MarkKind, RecordLevel, StreamId};
 use memo_hal::time::SimTime;
-use memo_swap::host::HostStaging;
 use memo_swap::reference as ref_sched;
-use memo_swap::schedule::{build_iteration_schedule_recorded, LayerCosts};
+use memo_swap::schedule::{build_iteration_schedule_recorded, LayerCosts, TierTraffic};
+use memo_swap::tiers::TierStaging;
 
 /// A schedule scenario: one cell of the differential grid.
 #[derive(Debug, Clone, Copy)]
@@ -32,7 +32,7 @@ fn ms(n: u64) -> SimTime {
 /// `transfer_ratio` × t_fwd of per-layer transfer time.
 fn costs(t_fwd_ms: u64, transfer_ratio: f64, t_remat_ms: u64, bytes: u64) -> LayerCosts {
     let t_fwd = ms(t_fwd_ms);
-    LayerCosts::without_nvme(
+    LayerCosts::single_tier(
         t_fwd,
         ms(2 * t_fwd_ms),
         ms(t_remat_ms),
@@ -70,7 +70,7 @@ fn scenarios() -> Vec<Scenario> {
             });
         }
     }
-    // Zero head block, zero offload bytes, NVMe tier in play.
+    // Zero head block, zero offload bytes, deeper tiers in play.
     out.push(Scenario {
         n_layers: 24,
         slots: 2,
@@ -81,20 +81,40 @@ fn scenarios() -> Vec<Scenario> {
     out.push(Scenario {
         n_layers: 24,
         slots: 2,
-        costs: LayerCosts {
-            offload_bytes: 0,
-            ..costs(10, 1.0, 0, b)
-        },
+        costs: LayerCosts::single_tier(ms(10), ms(20), ms(0), 0, 1e9),
         t_head: ms(5),
         host_capacity: roomy,
     });
     let mut nvme = costs(10, 0.7, 1, b);
-    nvme.nvme_bytes = b / 2;
-    nvme.nvme_bandwidth = nvme.bandwidth / 3.0;
+    let host_bw = nvme.traffic.get(0).unwrap().bandwidth;
+    nvme.traffic.push(TierTraffic {
+        bytes: b / 2,
+        bandwidth: host_bw / 3.0,
+        latency_secs: 0.0,
+    });
     out.push(Scenario {
         n_layers: 40,
         slots: 2,
         costs: nvme,
+        t_head: ms(5),
+        host_capacity: roomy,
+    });
+    // A four-deep chain (host -> CXL -> NVMe) with a latency-bearing tier.
+    let mut chain = costs(10, 0.6, 2, b);
+    chain.traffic.push(TierTraffic {
+        bytes: b / 4,
+        bandwidth: host_bw / 2.0,
+        latency_secs: 250e-9,
+    });
+    chain.traffic.push(TierTraffic {
+        bytes: b / 8,
+        bandwidth: host_bw / 5.0,
+        latency_secs: 2e-3,
+    });
+    out.push(Scenario {
+        n_layers: 40,
+        slots: 2,
+        costs: chain,
         t_head: ms(5),
         host_capacity: roomy,
     });
@@ -123,11 +143,27 @@ fn streams() -> [StreamId; 3] {
     [StreamId(0), StreamId(1), StreamId(2)]
 }
 
-fn run_cell(sc: Scenario) {
-    let mut host_ref = HostStaging::new(sc.host_capacity);
-    let mut host_full = HostStaging::new(sc.host_capacity);
-    let mut host_fast = HostStaging::new(sc.host_capacity);
+/// Staging pools for a scenario: the host pool carries the scenario's
+/// capacity, deeper tiers are unbounded (their binding failures have a
+/// dedicated cell below).
+fn staging_for(sc: &Scenario) -> TierStaging {
+    let mut caps = vec![sc.host_capacity];
+    for _ in 1..sc.costs.traffic.len() {
+        caps.push(u64::MAX / 2);
+    }
+    TierStaging::new(&caps)
+}
 
+fn run_cell(sc: Scenario) {
+    run_cell_with(sc, staging_for(&sc), staging_for(&sc), staging_for(&sc));
+}
+
+fn run_cell_with(
+    sc: Scenario,
+    mut host_ref: TierStaging,
+    mut host_full: TierStaging,
+    mut host_fast: TierStaging,
+) {
     let reference = ref_sched::build_iteration_schedule_with_slots(
         sc.n_layers,
         sc.costs,
@@ -155,8 +191,8 @@ fn run_cell(sc: Scenario) {
         RecordLevel::CursorOnly,
     );
 
-    // The host tracker must end in the same state in all three runs, pass
-    // or fail.
+    // Every tier's tracker must end in the same state in all three runs,
+    // pass or fail.
     assert_eq!(host_ref, host_full, "{sc:?}: full host state diverged");
     assert_eq!(host_ref, host_fast, "{sc:?}: fast host state diverged");
 
@@ -265,9 +301,35 @@ fn zero_duration_edges() {
         run_cell(Scenario {
             n_layers: 16,
             slots: 2,
-            costs: LayerCosts::without_nvme(ms(f), ms(b), ms(r), 1_000, 1e9),
+            costs: LayerCosts::single_tier(ms(f), ms(b), ms(r), 1_000, 1e9),
             t_head: SimTime::ZERO,
             host_capacity: u64::MAX / 2,
         });
+    }
+}
+
+/// Deep-tier overflow: the *second* pool binds while the host pool is
+/// roomy. All three builders must fail with the identical tier-1 error and
+/// leave identical pool states behind.
+#[test]
+fn deep_tier_oohm_bit_identical() {
+    let b = 1_000_000u64;
+    let mut costs = costs(10, 0.8, 1, b);
+    let host_bw = costs.traffic.get(0).unwrap().bandwidth;
+    costs.traffic.push(TierTraffic {
+        bytes: b / 2,
+        bandwidth: host_bw / 4.0,
+        latency_secs: 0.0,
+    });
+    for layers_fit in [0u64, 1, 5, 9] {
+        let sc = Scenario {
+            n_layers: 24,
+            slots: 2,
+            costs,
+            t_head: ms(5),
+            host_capacity: u64::MAX / 2,
+        };
+        let staging = || TierStaging::new(&[u64::MAX / 2, layers_fit * (b / 2) + b / 8]);
+        run_cell_with(sc, staging(), staging(), staging());
     }
 }

@@ -29,7 +29,9 @@ LEN accepts k/m suffixes (e.g. 512k, 1m) and comma-separated lists
 OPTIONS:
     --system <SYS>                       system to simulate (default: memo); one of
                                          memo, megatron, keepall, deepspeed,
-                                         hybrid, nvme
+                                         hybrid, nvme, tiered[:<depth>]
+                                         (tiered = N-tier chain; depth 0/absent
+                                         uses the calibration's whole chain)
     --all                                run all six systems
     --strategy tp<T>,cp<C>,pp<P>,dp<D>   fix the parallelism (default: search)
     --batch <B>                          sequences per DP replica (default: 1)
@@ -80,7 +82,11 @@ fn parse_system(s: &str) -> Option<SystemSpec> {
         "deepspeed" | "ds" => SystemSpec::DeepSpeed,
         "hybrid" | "tensor-hybrid" => SystemSpec::TensorHybrid,
         "nvme" | "memo-nvme" => SystemSpec::MemoNvme,
-        _ => return None,
+        "tiered" | "memo-tiered" => SystemSpec::MemoTiered(0),
+        other => match other.strip_prefix("tiered:") {
+            Some(depth) => SystemSpec::MemoTiered(depth.parse().ok()?),
+            None => return None,
+        },
     })
 }
 
@@ -345,13 +351,13 @@ fn main() -> ExitCode {
         let mut workload = Workload::new(model.clone(), gpus, s);
         workload.batch = batch;
         if let Some(v) = pcie_gbps {
-            workload.calib.pcie_bandwidth = v * 1e9;
+            workload.calib.set_pcie_bandwidth(v * 1e9);
         }
         if let Some(v) = gpu_mem_gib {
             workload.calib.gpu_memory_bytes = v << 30;
         }
         if let Some(v) = host_mem_gib {
-            workload.calib.host_memory_bytes = v << 30;
+            workload.calib.set_host_memory_bytes(v << 30);
         }
         println!(
             "{} model, {} tokens, {} GPUs (batch {batch}/replica)",

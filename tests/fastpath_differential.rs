@@ -68,7 +68,7 @@ fn oom_and_oohm_diagnostics_identical() {
     }
 
     let mut starved = w7(1024);
-    starved.calib.host_memory_bytes = 8 << 30;
+    starved.calib.set_host_memory_bytes(8 << 30);
     for (spec, cfg) in six_modes() {
         assert_cell_parity(&starved, spec, &cfg);
     }

@@ -389,7 +389,7 @@ fn parity_small_host_oohm() {
     // to X_oohm with exact shortfall diagnostics; the NVMe tier routes
     // everything past the host and keeps running.
     let mut w = w7(512);
-    w.calib.host_memory_bytes = 64 * (1 << 30);
+    w.calib.set_host_memory_bytes(64 * (1 << 30));
     let oohm = CellOutcome::Oohm {
         needed: 32212254720,
         capacity: 7301444403,

@@ -201,20 +201,20 @@ proptest! {
         ratio in 0.1f64..3.0,
         remat_ms in 0u64..10,
     ) {
-        use memo::swap::host::HostStaging;
         use memo::swap::schedule::{build_iteration_schedule, LayerCosts};
+        use memo::swap::tiers::TierStaging;
         let bytes = 1_000_000u64;
         let t_fwd = SimTime::from_millis(fwd_ms);
-        let costs = LayerCosts::without_nvme(
+        let costs = LayerCosts::single_tier(
             t_fwd,
             SimTime::from_millis(2 * fwd_ms),
             SimTime::from_millis(remat_ms),
             bytes,
             bytes as f64 / (t_fwd.as_secs_f64() * ratio),
         );
-        let mut host = HostStaging::new(u64::MAX / 2);
+        let mut host = TierStaging::unbounded(1);
         let out = build_iteration_schedule(layers, costs, SimTime::ZERO, &mut host, 0).unwrap();
-        prop_assert_eq!(host.used(), 0, "host must drain");
+        prop_assert_eq!(host.host_used(), 0, "host must drain");
         let compute_total = SimTime::from_millis(layers as u64 * 3 * fwd_ms);
         prop_assert!(out.makespan >= compute_total);
         let swapping_layers = layers.saturating_sub(2) as u64;
