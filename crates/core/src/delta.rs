@@ -1,0 +1,523 @@
+//! Incremental delta simulation for dense strategy grids.
+//!
+//! A grid sweep — 17 α points × 20 parallel configs, or a per-layer
+//! mixed-policy search — evaluates candidate N+1 that differs from
+//! candidate N by a single knob. Full simulation re-derives everything
+//! from scratch each time; the delta path reuses candidate N's work at
+//! three layers:
+//!
+//! 1. **Profile pins.** A [`DeltaContext`] holds the `Arc<ProfileReport>`
+//!    and `Arc<BilevelReport>` for each `(strategy, remat, logits)` triple
+//!    it has seen, keyed by plain `Copy` comparisons — no `ModelConfig`
+//!    clone, no SipHash pass, no shard lock on reuse. The context is
+//!    stamped with the workload it serves; any workload change clears
+//!    every pin (the divergence fallback).
+//! 2. **Segment cache.** The swap-family schedule recurrence is memoized
+//!    process-wide in [`memo_swap::SegmentCache`], keyed by every input of
+//!    the scalar recurrence including the staging-pool state; a hit
+//!    replays the staging effects and returns the memoized scalars
+//!    bit-exactly (including memoized OOHM failures).
+//! 3. **No timeline.** Delta cells never materialise a `Timeline` — the
+//!    makespan, busy, idle, and host-peak figures come straight off the
+//!    [`memo_swap::schedule::ScalarSchedule`].
+//!
+//! [`ExecutionPipeline::execute_delta`] reports are bit-identical to
+//! `execute_cached` — every reuse layer keys on all of its inputs — and
+//! the lockstep differential suite (`tests/delta_differential.rs`) drives
+//! the two in parallel over randomized workloads and knob-adjacent
+//! strategy pairs, including OOM/OOHM divergence cells, to pin that.
+
+use crate::pipeline::{ActivationPolicy, ExecutionPipeline, ExecutionReport, PipelineStages};
+use crate::profiler::ProfileReport;
+use crate::session::Workload;
+use memo_hal::calib::Calibration;
+use memo_model::config::ModelConfig;
+use memo_model::trace::{IterationTrace, RematPolicy};
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
+use memo_plan::bilevel::BilevelReport;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---- process-wide delta telemetry (advisory; `Relaxed` counters) ----------
+
+static DELTA_RUNS: AtomicU64 = AtomicU64::new(0);
+static FULL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static PIN_HITS: AtomicU64 = AtomicU64::new(0);
+static PIN_MISSES: AtomicU64 = AtomicU64::new(0);
+static RESTAMPS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative [`ExecutionPipeline::execute_delta`] telemetry. All contexts
+/// share one set of counters, like `PoolStats` — the observability layer
+/// wants "how incremental was this sweep" as one process-level answer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// `execute_delta` invocations.
+    pub delta_runs: u64,
+    /// Runs that fell back to full simulation (caching-replay backends).
+    pub full_fallbacks: u64,
+    /// Profile/plan fetches served from a context pin.
+    pub pin_hits: u64,
+    /// Fetches that went through the global `ProfileCache`.
+    pub pin_misses: u64,
+    /// Context re-stamps (workload changed; every pin dropped).
+    pub restamps: u64,
+}
+
+/// Snapshot the cumulative [`DeltaStats`].
+pub fn delta_stats() -> DeltaStats {
+    DeltaStats {
+        delta_runs: DELTA_RUNS.load(Ordering::Relaxed),
+        full_fallbacks: FULL_FALLBACKS.load(Ordering::Relaxed),
+        pin_hits: PIN_HITS.load(Ordering::Relaxed),
+        pin_misses: PIN_MISSES.load(Ordering::Relaxed),
+        restamps: RESTAMPS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the cumulative counters (start of an observed region).
+pub fn reset_delta_stats() {
+    DELTA_RUNS.store(0, Ordering::Relaxed);
+    FULL_FALLBACKS.store(0, Ordering::Relaxed);
+    PIN_HITS.store(0, Ordering::Relaxed);
+    PIN_MISSES.store(0, Ordering::Relaxed);
+    RESTAMPS.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn count_delta_run() {
+    DELTA_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_full_fallback() {
+    FULL_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Everything the profiler reads besides the strategy triple. Pins are only
+/// valid while the workload stamp matches. The calibration is kept as a
+/// clone and compared with [`Calibration::bits_eq`] — bit-exact like the
+/// fingerprint, but early-exiting instead of FNV-hashing the tier chain on
+/// every cell.
+#[derive(Debug, Clone)]
+struct WorkloadStamp {
+    model: ModelConfig,
+    n_gpus: usize,
+    seq_len: u64,
+    batch: u64,
+    calib: Calibration,
+}
+
+impl WorkloadStamp {
+    fn of(w: &Workload) -> Self {
+        WorkloadStamp {
+            model: w.model.clone(),
+            n_gpus: w.n_gpus,
+            seq_len: w.seq_len,
+            batch: w.batch,
+            calib: w.calib.clone(),
+        }
+    }
+}
+
+/// The per-sweep pin key: the inputs of `profile()` that vary cell-to-cell.
+type PinKey = (ParallelConfig, RematPolicy, bool);
+
+/// Mutable per-sweep state of the delta path: pinned profile and plan
+/// `Arc`s keyed by the strategy triple, valid for one workload at a time.
+/// Create one per sweep (it is cheap) and thread it through
+/// [`ExecutionPipeline::execute_delta`]; the first call against a new
+/// workload re-stamps the context and drops every pin.
+#[derive(Debug, Default)]
+pub struct DeltaContext {
+    stamp: Option<WorkloadStamp>,
+    profiles: HashMap<PinKey, Arc<ProfileReport>>,
+    plans: HashMap<PinKey, Arc<BilevelReport>>,
+    // One-entry MRU pins: along a delta walk, consecutive cells almost
+    // always share the strategy triple, so a plain `Copy` compare beats
+    // a hash-map probe on the hot path. Cleared with the maps.
+    mru_profile: Option<(PinKey, Arc<ProfileReport>)>,
+    mru_plan: Option<(PinKey, Arc<BilevelReport>)>,
+}
+
+impl DeltaContext {
+    pub fn new() -> Self {
+        DeltaContext::default()
+    }
+
+    /// Drop every pin if `w` differs from the stamped workload. Called once
+    /// per [`ExecutionPipeline::execute_delta`] cell, *before* any pin
+    /// lookup — `profile`/`plan` assume the stamp is current.
+    pub(crate) fn restamp(&mut self, w: &Workload) {
+        let matches = self.stamp.as_ref().is_some_and(|s| {
+            // Cheap scalar fields first; the calibration walk goes last.
+            s.n_gpus == w.n_gpus
+                && s.seq_len == w.seq_len
+                && s.batch == w.batch
+                && s.model == w.model
+                && s.calib.bits_eq(&w.calib)
+        });
+        if !matches {
+            if self.stamp.is_some() {
+                RESTAMPS.fetch_add(1, Ordering::Relaxed);
+            }
+            self.profiles.clear();
+            self.plans.clear();
+            self.mru_profile = None;
+            self.mru_plan = None;
+            self.stamp = Some(WorkloadStamp::of(w));
+        }
+    }
+
+    /// The profile for `(w, cfg, policy, logits)` — from a pin, else from
+    /// the global [`crate::cache::ProfileCache`] (which the pin then
+    /// shares, so repeated sweeps stay deduplicated process-wide).
+    pub(crate) fn profile(
+        &mut self,
+        w: &Workload,
+        cfg: &ParallelConfig,
+        policy: RematPolicy,
+        materialize_logits: bool,
+    ) -> Arc<ProfileReport> {
+        debug_assert!(self.stamp.is_some(), "restamp() before pin lookups");
+        let key = (*cfg, policy, materialize_logits);
+        if let Some((k, pin)) = &self.mru_profile {
+            if *k == key {
+                PIN_HITS.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(pin);
+            }
+        }
+        let p = if let Some(pin) = self.profiles.get(&key) {
+            PIN_HITS.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(pin)
+        } else {
+            PIN_MISSES.fetch_add(1, Ordering::Relaxed);
+            let p = crate::cache::ProfileCache::global().profile(
+                w,
+                cfg,
+                policy,
+                materialize_logits,
+                true,
+            );
+            self.profiles.insert(key, Arc::clone(&p));
+            p
+        };
+        self.mru_profile = Some((key, Arc::clone(&p)));
+        p
+    }
+
+    /// The bi-level plan for the same triple; `trace` must be the trace of
+    /// the profile this key maps to (same contract as `ProfileCache::plan`).
+    pub(crate) fn plan(
+        &mut self,
+        w: &Workload,
+        cfg: &ParallelConfig,
+        policy: RematPolicy,
+        materialize_logits: bool,
+        trace: &IterationTrace,
+    ) -> Arc<BilevelReport> {
+        debug_assert!(self.stamp.is_some(), "restamp() before pin lookups");
+        let key = (*cfg, policy, materialize_logits);
+        if let Some((k, pin)) = &self.mru_plan {
+            if *k == key {
+                PIN_HITS.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(pin);
+            }
+        }
+        let p = if let Some(pin) = self.plans.get(&key) {
+            PIN_HITS.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(pin)
+        } else {
+            PIN_MISSES.fetch_add(1, Ordering::Relaxed);
+            let p = crate::cache::ProfileCache::global().plan(
+                w,
+                cfg,
+                policy,
+                materialize_logits,
+                trace,
+                true,
+            );
+            self.plans.insert(key, Arc::clone(&p));
+            p
+        };
+        self.mru_plan = Some((key, Arc::clone(&p)));
+        p
+    }
+
+    /// Pinned (profile, plan) entry count — test/bench introspection.
+    pub fn pinned(&self) -> (usize, usize) {
+        (self.profiles.len(), self.plans.len())
+    }
+}
+
+/// The TGS-best cell of a sweep, with the search fold's exact tie-break
+/// (`>=`: the last enumerated of equal-TGS cells wins, matching
+/// `Workload::run_best`). `None` when every cell failed.
+pub fn pick_best<K: Copy>(cells: &[(K, ExecutionReport)]) -> Option<(K, &ExecutionReport)> {
+    let mut best: Option<(K, &ExecutionReport, f64)> = None;
+    for (k, rep) in cells {
+        if let Some(tgs) = rep.outcome.metrics().map(|m| m.tgs) {
+            if best.as_ref().is_none_or(|(_, _, b)| tgs >= *b) {
+                best = Some((*k, rep, tgs));
+            }
+        }
+    }
+    best.map(|(k, rep, _)| (k, rep))
+}
+
+impl Workload {
+    /// Sweep a dense α grid for the MEMO token-wise policy under one
+    /// strategy: `points ≥ 2` evenly spaced overrides on [0, 1], walked in
+    /// ascending order so consecutive cells differ by exactly one knob (the
+    /// delta order the segment cache exploits). Failed cells (OOHM at high
+    /// α) are reported in place, exactly as `execute_cached` would.
+    pub fn run_alpha_grid(
+        &self,
+        cfg: &ParallelConfig,
+        points: usize,
+        slots: usize,
+    ) -> Vec<(f64, ExecutionReport)> {
+        assert!(points >= 2, "an α grid needs at least its two endpoints");
+        let mut ctx = DeltaContext::new();
+        self.alpha_grid_with(cfg, points, slots, &mut ctx)
+    }
+
+    /// [`Self::run_alpha_grid`] reusing a caller-owned [`DeltaContext`]
+    /// (dense 2-D sweeps share one context across strategies).
+    pub fn alpha_grid_with(
+        &self,
+        cfg: &ParallelConfig,
+        points: usize,
+        slots: usize,
+        ctx: &mut DeltaContext,
+    ) -> Vec<(f64, ExecutionReport)> {
+        (0..points)
+            .map(|i| {
+                let alpha = i as f64 / (points - 1) as f64;
+                let mut stages = PipelineStages::for_spec(SystemSpec::Memo);
+                stages.policy = ActivationPolicy::TokenWise {
+                    alpha_override: Some(alpha),
+                    slots,
+                };
+                let rep = ExecutionPipeline::with_stages(SystemSpec::Memo, stages)
+                    .execute_delta(self, cfg, ctx);
+                (alpha, rep)
+            })
+            .collect()
+    }
+
+    /// Sweep the per-layer mixed-policy lattice under one strategy: for
+    /// each `k` in `0 ..= layers_local − slots`, the first `k` layers swap
+    /// token-wise (at the solved or overridden α), the last `slots` stay
+    /// retained, and the rest fully recompute. `k` ascends, so consecutive
+    /// cells again differ by one knob. The top cell (`k = layers_local −
+    /// slots`) is bit-identical to uniform MEMO at `slots = 2`.
+    pub fn run_mixed_policy_grid(
+        &self,
+        cfg: &ParallelConfig,
+        alpha_override: Option<f64>,
+        slots: usize,
+    ) -> Vec<(usize, ExecutionReport)> {
+        let mut ctx = DeltaContext::new();
+        self.mixed_policy_grid_with(cfg, alpha_override, slots, &mut ctx)
+    }
+
+    /// [`Self::run_mixed_policy_grid`] reusing a caller-owned context.
+    pub fn mixed_policy_grid_with(
+        &self,
+        cfg: &ParallelConfig,
+        alpha_override: Option<f64>,
+        slots: usize,
+        ctx: &mut DeltaContext,
+    ) -> Vec<(usize, ExecutionReport)> {
+        let layers_local = cfg.layers_local(self.model.n_layers);
+        let max_k = layers_local.saturating_sub(slots);
+        (0..=max_k)
+            .map(|k| {
+                // The spec tag is reporting-only (clamped to u8); the
+                // policy carries the exact count.
+                let spec = SystemSpec::MemoMixed(k.min(u8::MAX as usize) as u8);
+                let mut stages = PipelineStages::for_spec(spec);
+                stages.policy = ActivationPolicy::MixedTokenWise {
+                    swap_layers: k,
+                    alpha_override,
+                    slots,
+                };
+                let rep =
+                    ExecutionPipeline::with_stages(spec, stages).execute_delta(self, cfg, ctx);
+                (k, rep)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::CellOutcome;
+    use crate::testutil::w7;
+
+    fn assert_reports_equal(a: &ExecutionReport, b: &ExecutionReport, what: &str) {
+        assert_eq!(a.outcome, b.outcome, "{what}: outcome");
+        assert_eq!(a.bytes, b.bytes, "{what}: bytes");
+        assert_eq!(a.time, b.time, "{what}: time");
+        assert_eq!(a.strategy, b.strategy, "{what}: strategy");
+    }
+
+    #[test]
+    fn delta_alpha_grid_is_bit_identical_to_cached_runs() {
+        let w = w7(8, 64);
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        let grid = w.run_alpha_grid(&cfg, 17, 2);
+        assert_eq!(grid.len(), 17);
+        for (alpha, rep) in &grid {
+            let mut stages = PipelineStages::for_spec(SystemSpec::Memo);
+            stages.policy = ActivationPolicy::TokenWise {
+                alpha_override: Some(*alpha),
+                slots: 2,
+            };
+            let full = ExecutionPipeline::with_stages(SystemSpec::Memo, stages)
+                .execute_cached(&w, &cfg, true);
+            assert_reports_equal(rep, &full, &format!("alpha {alpha}"));
+        }
+        // The endpoints must differ (α = 0 recomputes everything, α = 1
+        // swaps everything) or the grid is degenerate.
+        assert_ne!(grid[0].1.time, grid[16].1.time);
+    }
+
+    #[test]
+    fn delta_alpha_grid_reuses_profile_and_plan_pins() {
+        let w = w7(8, 64);
+        let cfg = ParallelConfig::megatron(8, 1, 1, 1);
+        reset_delta_stats();
+        let mut ctx = DeltaContext::new();
+        let grid = w.alpha_grid_with(&cfg, 17, 2, &mut ctx);
+        assert_eq!(grid.len(), 17);
+        let s = delta_stats();
+        assert_eq!(s.delta_runs, 17);
+        assert_eq!(s.full_fallbacks, 0, "static plan never falls back");
+        // One profile miss + one plan miss; every later cell pins both.
+        assert_eq!(s.pin_misses, 2);
+        assert_eq!(s.pin_hits, 2 * 17 - 2);
+        assert_eq!(ctx.pinned(), (1, 1));
+    }
+
+    #[test]
+    fn mixed_policy_grid_matches_cached_and_tops_out_at_uniform_memo() {
+        let w = w7(8, 64);
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        let grid = w.run_mixed_policy_grid(&cfg, None, 2);
+        let layers_local = cfg.layers_local(w.model.n_layers);
+        assert_eq!(grid.len(), layers_local - 2 + 1);
+        for (k, rep) in &grid {
+            let spec = SystemSpec::MemoMixed(*k as u8);
+            let mut stages = PipelineStages::for_spec(spec);
+            stages.policy = ActivationPolicy::MixedTokenWise {
+                swap_layers: *k,
+                alpha_override: None,
+                slots: 2,
+            };
+            let full = ExecutionPipeline::with_stages(spec, stages).execute_cached(&w, &cfg, true);
+            assert_reports_equal(rep, &full, &format!("k = {k}"));
+        }
+        // k = layers_local − 2 is the uniform schedule: identical metrics
+        // to plain MEMO under the same strategy.
+        let top = &grid.last().unwrap().1;
+        let memo = ExecutionPipeline::new(SystemSpec::Memo).execute_cached(&w, &cfg, true);
+        assert_eq!(top.outcome, memo.outcome);
+        assert_eq!(top.bytes, memo.bytes);
+        assert_eq!(top.time, memo.time);
+        // Fewer swap layers stage less on the host but pay refwd compute.
+        let m_top = top.outcome.metrics().expect("uniform point feasible");
+        let m_zero = grid[0].1.outcome.metrics().expect("k = 0 always fits");
+        assert!(m_zero.host_peak_bytes < m_top.host_peak_bytes);
+        assert!(
+            m_zero.iter_secs > m_top.iter_secs,
+            "refwd compute costs time"
+        );
+    }
+
+    #[test]
+    fn context_restamps_on_workload_change() {
+        let w64 = w7(8, 64);
+        let w128 = w7(8, 128);
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        let mut ctx = DeltaContext::new();
+        let a = w64.alpha_grid_with(&cfg, 3, 2, &mut ctx);
+        let before = delta_stats().restamps;
+        let b = w128.alpha_grid_with(&cfg, 3, 2, &mut ctx);
+        assert_eq!(delta_stats().restamps, before + 1, "one re-stamp");
+        // Both grids still match their from-scratch equivalents.
+        for (w, grid) in [(&w64, &a), (&w128, &b)] {
+            for (alpha, rep) in grid.iter() {
+                let mut stages = PipelineStages::for_spec(SystemSpec::Memo);
+                stages.policy = ActivationPolicy::TokenWise {
+                    alpha_override: Some(*alpha),
+                    slots: 2,
+                };
+                let full = ExecutionPipeline::with_stages(SystemSpec::Memo, stages)
+                    .execute_cached(w, &cfg, true);
+                assert_reports_equal(rep, &full, &format!("s = {}", w.seq_len));
+            }
+        }
+    }
+
+    #[test]
+    fn caching_replay_backends_fall_back_to_full_simulation() {
+        let w = w7(8, 64);
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        let mut ctx = DeltaContext::new();
+        let before = delta_stats().full_fallbacks;
+        let delta =
+            ExecutionPipeline::new(SystemSpec::MegatronLM).execute_delta(&w, &cfg, &mut ctx);
+        assert_eq!(delta_stats().full_fallbacks, before + 1);
+        let full = ExecutionPipeline::new(SystemSpec::MegatronLM).execute_cached(&w, &cfg, true);
+        assert_reports_equal(&delta, &full, "caching replay");
+        assert_eq!(ctx.pinned(), (0, 0), "fallback pins nothing");
+    }
+
+    #[test]
+    fn delta_reproduces_oohm_failure_cells() {
+        // α = 1.0 at a long context overflows the host (the executor's
+        // OOHM test pins this workload); the delta path must report the
+        // identical failure, and keep doing so on the cached re-run.
+        let w = w7(8, 768);
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        let mut stages = PipelineStages::for_spec(SystemSpec::Memo);
+        stages.policy = ActivationPolicy::TokenWise {
+            alpha_override: Some(1.0),
+            slots: 2,
+        };
+        let pipe = ExecutionPipeline::with_stages(SystemSpec::Memo, stages);
+        let full = pipe.execute_cached(&w, &cfg, true);
+        assert!(
+            matches!(full.outcome, CellOutcome::Oohm { .. }),
+            "expected OOHM, got {:?}",
+            full.outcome
+        );
+        let mut ctx = DeltaContext::new();
+        for round in 0..2 {
+            let delta = pipe.execute_delta(&w, &cfg, &mut ctx);
+            assert_reports_equal(&delta, &full, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn pick_best_uses_last_wins_tie_break() {
+        let w = w7(8, 64);
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        let grid = w.run_alpha_grid(&cfg, 5, 2);
+        let (best_alpha, best) = pick_best(&grid).expect("some α is feasible");
+        let best_tgs = best.outcome.metrics().unwrap().tgs;
+        // Every feasible cell's TGS is ≤ the pick's, and the pick is the
+        // *last* cell attaining it.
+        let mut last_at_max = None;
+        for (a, rep) in &grid {
+            if let Some(m) = rep.outcome.metrics() {
+                assert!(m.tgs <= best_tgs);
+                if m.tgs == best_tgs {
+                    last_at_max = Some(*a);
+                }
+            }
+        }
+        assert_eq!(Some(best_alpha), last_at_max);
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod ablation;
 pub mod cache;
+pub mod delta;
 pub mod executor;
 pub mod metrics;
 pub mod observer;
@@ -33,6 +34,7 @@ pub mod profiler;
 pub mod session;
 
 pub use cache::{CacheStats, ProfileCache};
+pub use delta::{delta_stats, pick_best, reset_delta_stats, DeltaContext, DeltaStats};
 pub use metrics::Metrics;
 pub use observer::RunObserver;
 pub use outcome::CellOutcome;

@@ -59,6 +59,18 @@ pub enum ActivationPolicy {
     /// truncates it to the first `d` offload tiers (so `d = 1` is the
     /// host-only token-wise policy and `d = 2` the host+NVMe pair).
     Tiered { depth: u8 },
+    /// Per-layer mixed policy (the delta-search extension): the first
+    /// `swap_layers` layers swap token-wise exactly as [`Self::TokenWise`],
+    /// the last `slots` layers stay resident in their rounding buffers, and
+    /// every layer in between fully recomputes — trading host-staging
+    /// pressure for re-forward compute. `swap_layers` is clamped to the
+    /// layers that could swap at all (`layers_local − slots`); at the clamp
+    /// the schedule is bit-identical to [`Self::TokenWise`].
+    MixedTokenWise {
+        swap_layers: usize,
+        alpha_override: Option<f64>,
+        slots: usize,
+    },
     /// Re-forward every transformer layer during backward (Megatron-LM
     /// full recomputation, also DeepSpeed's configuration).
     FullRecompute,
@@ -127,6 +139,14 @@ impl PipelineStages {
             },
             SystemSpec::MemoTiered(depth) => PipelineStages {
                 policy: ActivationPolicy::Tiered { depth },
+                ..token_wise(None, 2)
+            },
+            SystemSpec::MemoMixed(k) => PipelineStages {
+                policy: ActivationPolicy::MixedTokenWise {
+                    swap_layers: k as usize,
+                    alpha_override: None,
+                    slots: 2,
+                },
                 ..token_wise(None, 2)
             },
             SystemSpec::MegatronLM => PipelineStages {
@@ -388,9 +408,106 @@ impl ExecutionPipeline {
             &plan,
             &mem,
             self.stages.derate,
+            false,
             obs.as_deref_mut(),
         );
-        let report = match sched {
+        let report = self.finalize(w, cfg, &plan, &mem, sched);
+        if let Some(o) = obs.as_deref_mut() {
+            o.stage_secs.schedule = t0.unwrap().elapsed().as_secs_f64();
+        }
+        finish_cache_delta(obs, cache_before);
+        report
+    }
+
+    /// [`Self::execute_cached`] driven through a [`crate::delta::DeltaContext`]:
+    /// the profile and bi-level plan come from the context's pinned `Arc`s
+    /// (no key construction or shard locking on reuse) and the swap-family
+    /// schedule goes through the global [`memo_swap::SegmentCache`]. The
+    /// report is bit-identical to `execute_cached(w, cfg, true)` — every
+    /// reuse layer keys on all of its inputs (asserted by the lockstep
+    /// differential suite). Caching-replay backends have no incremental
+    /// structure to exploit and fall back to full simulation.
+    pub fn execute_delta(
+        &self,
+        w: &Workload,
+        cfg: &ParallelConfig,
+        ctx: &mut crate::delta::DeltaContext,
+    ) -> ExecutionReport {
+        crate::delta::count_delta_run();
+        if matches!(self.stages.backend, MemoryBackend::CachingReplay { .. }) {
+            crate::delta::count_full_fallback();
+            return self.execute_cached(w, cfg, true);
+        }
+        debug_assert!(cfg
+            .validate(&w.model, w.n_gpus, w.calib.gpus_per_node.min(w.n_gpus))
+            .is_ok());
+        ctx.restamp(w);
+
+        let fail = |bytes, outcome| ExecutionReport {
+            spec: self.spec,
+            strategy: *cfg,
+            bytes,
+            time: TimeBreakdown::default(),
+            outcome,
+        };
+        let states_only = |p: &ProfileReport| ByteBreakdown {
+            model_states: p.model_states.total(),
+            ..ByteBreakdown::default()
+        };
+
+        // ---- stage 1: profile (context pin) -------------------------------
+        let p = ctx.profile(w, cfg, self.stages.remat, self.stages.materialize_logits);
+        let head_secs = p.head_secs * self.stages.head_scale;
+
+        // ---- stage 2: activation policy -----------------------------------
+        let plan = match decide_activation(&self.stages.policy, w, &p) {
+            Ok(plan) => plan,
+            Err(out) => return fail(states_only(&p), out),
+        };
+
+        // ---- stage 3: memory backend (static plan via context pin) --------
+        let plan_rep = ctx.plan(
+            w,
+            cfg,
+            self.stages.remat,
+            self.stages.materialize_logits,
+            &p.trace,
+        );
+        let mem = match static_plan_accounting(
+            &p,
+            &plan,
+            plan_rep.plan.peak,
+            w.calib.usable_gpu_memory(),
+        ) {
+            Ok(mem) => mem,
+            Err(out) => return fail(states_only(&p), out),
+        };
+
+        // ---- stages 4+5: schedule and metrics -----------------------------
+        let sched = build_schedule(
+            w,
+            cfg,
+            &p,
+            head_secs,
+            &plan,
+            &mem,
+            self.stages.derate,
+            true,
+            None,
+        );
+        self.finalize(w, cfg, &plan, &mem, sched)
+    }
+
+    /// Stage 5: fold the schedule result into the [`ExecutionReport`].
+    fn finalize(
+        &self,
+        w: &Workload,
+        cfg: &ParallelConfig,
+        plan: &ActivationPlan,
+        mem: &MemoryAccounting,
+        sched: Result<(f64, TimeBreakdown, u64), CellOutcome>,
+    ) -> ExecutionReport {
+        match sched {
             Ok((iter_secs, time, host_peak)) => {
                 let samples = w.batch * cfg.dp as u64;
                 let outcome = match compute_metrics(
@@ -423,13 +540,14 @@ impl ExecutionPipeline {
                     outcome,
                 }
             }
-            Err(out) => fail(mem.bytes, out),
-        };
-        if let Some(o) = obs.as_deref_mut() {
-            o.stage_secs.schedule = t0.unwrap().elapsed().as_secs_f64();
+            Err(out) => ExecutionReport {
+                spec: self.spec,
+                strategy: *cfg,
+                bytes: mem.bytes,
+                time: TimeBreakdown::default(),
+                outcome: out,
+            },
         }
-        finish_cache_delta(obs, cache_before);
-        report
     }
 }
 
@@ -459,6 +577,21 @@ enum ActivationPlan {
         /// Token-wise recompute seconds before each swapped layer's backward.
         t_recompute: f64,
     },
+    /// Mixed per-layer policy: `swap_layers` token-wise swap layers, then
+    /// full-recompute layers, then `slots` retained layers — the segmented
+    /// three-stream schedule of [`memo_swap::segmented`].
+    MixedSwap {
+        /// Reported α of the swapping layers.
+        alpha: f64,
+        /// Token-wise swap layers (already clamped to `layers_local − slots`).
+        swap_layers: usize,
+        /// Rounding-buffer slots (= retained layers).
+        slots: usize,
+        /// Per-layer staged traffic of each *swapping* layer.
+        traffic: TierTrafficList,
+        /// Token-wise recompute seconds before each swapped layer's backward.
+        t_recompute: f64,
+    },
     /// Recompute family: closed-form timing, `refwd` layers re-forwarded.
     Recompute { refwd: bool },
 }
@@ -466,7 +599,9 @@ enum ActivationPlan {
 impl ActivationPlan {
     fn reported_alpha(&self) -> Option<f64> {
         match self {
-            ActivationPlan::Swap { alpha, .. } => Some(*alpha),
+            ActivationPlan::Swap { alpha, .. } | ActivationPlan::MixedSwap { alpha, .. } => {
+                Some(*alpha)
+            }
             ActivationPlan::Recompute { .. } => None,
         }
     }
@@ -694,6 +829,37 @@ fn decide_activation(
                 t_recompute: (1.0 - alpha) * p.layer_time.fwd_without_attention(),
             })
         }
+        ActivationPolicy::MixedTokenWise {
+            swap_layers,
+            alpha_override,
+            slots,
+        } => {
+            let alpha = alpha_override.unwrap_or(p.alpha.alpha);
+            let swapped_others = (alpha * p.split.s_others as f64).round() as u64;
+            let offload_bytes = p.split.s_input + p.split.s_attn + swapped_others;
+            let k = swap_layers.min(p.layers_local.saturating_sub(slots));
+            // Unlike the uniform gate, only the `k` swapping layers stage —
+            // `k = 0` is always host-feasible (pure recompute + retained),
+            // which is exactly the search space this policy opens.
+            let host_capacity = w.calib.host_capacity_per_gpu();
+            let staged = k as u64 * offload_bytes;
+            if staged > host_capacity {
+                return Err(CellOutcome::Oohm {
+                    needed: staged,
+                    capacity: host_capacity,
+                });
+            }
+            let recompute_fraction = 1.0 - swapped_others as f64 / p.split.s_others.max(1) as f64;
+            let mut traffic = TierTrafficList::new();
+            traffic.push(tier_traffic(w, 0, offload_bytes));
+            Ok(ActivationPlan::MixedSwap {
+                alpha,
+                swap_layers: k,
+                slots,
+                traffic,
+                t_recompute: recompute_fraction * p.layer_time.fwd_without_attention(),
+            })
+        }
         ActivationPolicy::FullRecompute => Ok(ActivationPlan::Recompute { refwd: true }),
         ActivationPolicy::KeepAll => Ok(ActivationPlan::Recompute { refwd: false }),
     }
@@ -704,6 +870,47 @@ fn decide_activation(
 struct MemoryAccounting {
     bytes: ByteBreakdown,
     reorgs: u64,
+}
+
+/// GPU byte accounting of the static-plan backend given the planned arena
+/// peak. The bi-level plan itself is fetched by the caller — through the
+/// [`ProfileCache`] or a [`crate::delta::DeltaContext`] pin — so both paths
+/// share one accounting function.
+fn static_plan_accounting(
+    p: &ProfileReport,
+    plan: &ActivationPlan,
+    arena_peak: u64,
+    usable: u64,
+) -> Result<MemoryAccounting, CellOutcome> {
+    let skeletal = match *plan {
+        // The mixed policy rotates the same `slots` rounding buffers
+        // through its swap + retained layers, so its skeletal GPU
+        // footprint is the uniform formula (recompute layers pass
+        // through without touching the ring).
+        ActivationPlan::Swap { alpha, slots, .. }
+        | ActivationPlan::MixedSwap { alpha, slots, .. } => {
+            memo_swap::buffers::skeletal_gpu_bytes_with_slots(
+                p.split.s_input,
+                p.split.s_attn,
+                p.split.s_others,
+                alpha,
+                slots,
+            )
+        }
+        ActivationPlan::Recompute { .. } => 0,
+    };
+    let bytes = ByteBreakdown {
+        model_states: p.model_states.total(),
+        skeletal_buffers: skeletal,
+        planned_arena: arena_peak,
+    };
+    if bytes.peak() > usable {
+        return Err(CellOutcome::Oom {
+            needed: bytes.peak(),
+            capacity: usable,
+        });
+    }
+    Ok(MemoryAccounting { bytes, reorgs: 0 })
 }
 
 fn account_memory(
@@ -728,30 +935,7 @@ fn account_memory(
                 &p.trace,
                 use_cache,
             );
-            let skeletal = match *plan {
-                ActivationPlan::Swap { alpha, slots, .. } => {
-                    memo_swap::buffers::skeletal_gpu_bytes_with_slots(
-                        p.split.s_input,
-                        p.split.s_attn,
-                        p.split.s_others,
-                        alpha,
-                        slots,
-                    )
-                }
-                ActivationPlan::Recompute { .. } => 0,
-            };
-            let bytes = ByteBreakdown {
-                model_states: p.model_states.total(),
-                skeletal_buffers: skeletal,
-                planned_arena: report.plan.peak,
-            };
-            if bytes.peak() > usable {
-                return Err(CellOutcome::Oom {
-                    needed: bytes.peak(),
-                    capacity: usable,
-                });
-            }
-            Ok(MemoryAccounting { bytes, reorgs: 0 })
+            static_plan_accounting(p, plan, report.plan.peak, usable)
         }
         MemoryBackend::CachingReplay { zero3_prefetch } => {
             let extra_static = if zero3_prefetch {
@@ -900,9 +1084,30 @@ fn replay_oom(err: &AllocError, static_bytes: u64, usable: u64) -> CellOutcome {
     }
 }
 
+/// Map a staging failure into the cell outcome.
+fn oohm(e: memo_swap::tiers::OutOfTierMemory) -> CellOutcome {
+    CellOutcome::Oohm {
+        needed: e.used + e.requested,
+        capacity: e.capacity,
+    }
+}
+
+/// One staging pool per tier the plan touches: the host pool carries its
+/// legacy `.max(1)` floor, deeper pools their exact capacity shares.
+fn staging_for(w: &Workload, traffic: &TierTrafficList) -> TierStaging {
+    let mut capacities = vec![w.calib.host_capacity_per_gpu().max(1)];
+    for k in 1..traffic.len() {
+        capacities.push(w.calib.tier_capacity_per_gpu(k));
+    }
+    TierStaging::new(&capacities)
+}
+
 /// Stage 4: the iteration seconds, their decomposition, and the host peak.
 /// `head_secs` is the stage-scaled head time (the cached [`ProfileReport`]
-/// stays pristine so it can be shared across modes).
+/// stays pristine so it can be shared across modes). `segment_cache` routes
+/// the unobserved swap-family builds through the global
+/// [`memo_swap::SegmentCache`] (the delta path); cached and uncached builds
+/// are bit-identical (the cache key covers every recurrence input).
 #[allow(clippy::too_many_arguments)] // internal stage fn; args mirror the stage inputs
 fn build_schedule(
     w: &Workload,
@@ -912,10 +1117,29 @@ fn build_schedule(
     plan: &ActivationPlan,
     mem: &MemoryAccounting,
     derate: bool,
+    segment_cache: bool,
     obs: Option<&mut RunObserver>,
 ) -> Result<(f64, TimeBreakdown, u64), CellOutcome> {
     let bubble_factor = comm::pipeline_bubble_factor(cfg.pp, w.batch as usize);
     let lt = &p.layer_time;
+    // Shared metric tail of the swap-family arms.
+    let finish_swap =
+        |makespan: SimTime, busy: SimTime, idle: SimTime, host_peak: u64, recompute: f64| {
+            let makespan = makespan.as_secs_f64();
+            let iter_secs = makespan * bubble_factor + p.optimizer_secs + p.grad_sync_secs;
+            (
+                iter_secs,
+                TimeBreakdown {
+                    compute: (busy.as_secs_f64() - recompute).max(0.0),
+                    recompute,
+                    stall: idle.as_secs_f64(),
+                    bubble: makespan * (bubble_factor - 1.0),
+                    optimizer: p.optimizer_secs,
+                    grad_sync: p.grad_sync_secs,
+                },
+                host_peak,
+            )
+        };
     match *plan {
         ActivationPlan::Swap {
             slots,
@@ -929,14 +1153,26 @@ fn build_schedule(
                 t_recompute: SimTime::from_secs_f64(t_recompute),
                 traffic,
             };
-            // One staging pool per tier the plan touches: the host pool
-            // carries its legacy `.max(1)` floor, deeper pools their exact
-            // capacity shares.
-            let mut capacities = vec![w.calib.host_capacity_per_gpu().max(1)];
-            for k in 1..traffic.len() {
-                capacities.push(w.calib.tier_capacity_per_gpu(k));
+            let mut staging = staging_for(w, &traffic);
+            // Only layers `i + slots < n` swap, and only those recompute.
+            let swapped_layers = p.layers_local.saturating_sub(slots) as f64;
+            let recompute = swapped_layers * t_recompute;
+            let t_head = SimTime::from_secs_f64(head_secs);
+            if obs.is_none() && segment_cache {
+                // Delta path: the memoized cursor-only recurrence. No
+                // timeline is materialised at all — makespan, busy, idle,
+                // and the staging peak come straight off the scalars.
+                let s = memo_swap::SegmentCache::global()
+                    .schedule_cursor_only(p.layers_local, costs, t_head, &mut staging, slots, true)
+                    .map_err(oohm)?;
+                return Ok(finish_swap(
+                    s.makespan(),
+                    s.compute_busy,
+                    s.compute_idle(),
+                    staging.host_peak(),
+                    recompute,
+                ));
             }
-            let mut staging = TierStaging::new(&capacities);
             // Unobserved runs — the strategy search's inner loop — take the
             // cursor-only fast path (steady-state layer splicing, no spans);
             // observed runs keep the fully recorded Figure-11 timeline. The
@@ -947,44 +1183,90 @@ fn build_schedule(
             } else {
                 RecordLevel::CursorOnly
             };
-            let mut sched = match memo_swap::schedule::build_iteration_schedule_recorded(
+            let mut sched = memo_swap::schedule::build_iteration_schedule_recorded(
                 p.layers_local,
                 costs,
-                SimTime::from_secs_f64(head_secs),
+                t_head,
                 &mut staging,
                 p.split.total(),
                 slots,
                 level,
-            ) {
-                Ok(s) => s,
-                Err(e) => {
-                    return Err(CellOutcome::Oohm {
-                        needed: e.used + e.requested,
-                        capacity: e.capacity,
-                    })
-                }
-            };
-            let makespan = sched.makespan.as_secs_f64();
-            let iter_secs = makespan * bubble_factor + p.optimizer_secs + p.grad_sync_secs;
-            // Only layers `i + slots < n` swap, and only those recompute.
-            let swapped_layers = p.layers_local.saturating_sub(slots) as f64;
-            let recompute = swapped_layers * t_recompute;
+            )
+            .map_err(oohm)?;
             if let Some(o) = obs {
                 // The three-stream schedule already *is* a timeline; hand
                 // it over instead of letting the pipeline drop it.
                 o.timeline = Some(std::mem::take(&mut sched.timeline));
             }
-            Ok((
-                iter_secs,
-                TimeBreakdown {
-                    compute: (sched.compute_busy.as_secs_f64() - recompute).max(0.0),
-                    recompute,
-                    stall: sched.compute_idle.as_secs_f64(),
-                    bubble: makespan * (bubble_factor - 1.0),
-                    optimizer: p.optimizer_secs,
-                    grad_sync: p.grad_sync_secs,
-                },
+            Ok(finish_swap(
+                sched.makespan,
+                sched.compute_busy,
+                sched.compute_idle,
                 sched.host_peak,
+                recompute,
+            ))
+        }
+        ActivationPlan::MixedSwap {
+            swap_layers,
+            slots,
+            traffic,
+            t_recompute,
+            ..
+        } => {
+            use memo_swap::segmented::{LayerSegment, SegmentPolicy};
+            let costs = LayerCosts {
+                t_fwd: SimTime::from_secs_f64(lt.fwd()),
+                t_bwd: SimTime::from_secs_f64(lt.bwd),
+                t_recompute: SimTime::from_secs_f64(t_recompute),
+                traffic,
+            };
+            // [Swap × k][Recompute × rec][Retained × last slots]: recompute
+            // layers re-forward in full (`lt.fwd()`); at `rec = 0` this is
+            // bit-identical to the uniform schedule (swap's differential
+            // suite pins it).
+            let n = p.layers_local;
+            let retained = slots.min(n);
+            let k = swap_layers.min(n - retained);
+            let rec = n - k - retained;
+            let mut refwd_costs = costs;
+            refwd_costs.t_recompute = SimTime::from_secs_f64(lt.fwd());
+            let segments = [
+                LayerSegment::new(k, SegmentPolicy::Swap, costs),
+                LayerSegment::new(rec, SegmentPolicy::Recompute, refwd_costs),
+                LayerSegment::new(retained, SegmentPolicy::Retained, costs),
+            ];
+            let mut staging = staging_for(w, &traffic);
+            let recompute = k as f64 * t_recompute + rec as f64 * lt.fwd();
+            let t_head = SimTime::from_secs_f64(head_secs);
+            if obs.is_none() {
+                let s = memo_swap::build_segmented_scalars(&segments, t_head, &mut staging, slots)
+                    .map_err(oohm)?;
+                return Ok(finish_swap(
+                    s.makespan(),
+                    s.compute_busy,
+                    s.compute_idle(),
+                    staging.host_peak(),
+                    recompute,
+                ));
+            }
+            let mut sched = memo_swap::build_segmented_schedule_recorded(
+                &segments,
+                t_head,
+                &mut staging,
+                p.split.total(),
+                slots,
+                RecordLevel::Full,
+            )
+            .map_err(oohm)?;
+            if let Some(o) = obs {
+                o.timeline = Some(std::mem::take(&mut sched.timeline));
+            }
+            Ok(finish_swap(
+                sched.makespan,
+                sched.compute_busy,
+                sched.compute_idle,
+                sched.host_peak,
+                recompute,
             ))
         }
         ActivationPlan::Recompute { refwd } => {

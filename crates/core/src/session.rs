@@ -32,6 +32,14 @@ impl Default for SearchOptions {
     }
 }
 
+/// Strategy grids at or below this size skip both the worker pool and the
+/// profile cache: the per-config fixed costs (task hand-off, `ProfileKey`
+/// construction + hashing) exceed any reuse such a grid can generate, and
+/// a small grid's keys are rarely shared with other searches (DeepSpeed's
+/// Ulysses grid pairs `FullRecompute` with materialized logits — no other
+/// backend asks for that profile). See `BENCH_search.json`.
+pub const SMALL_GRID_BYPASS: usize = 8;
+
 impl SearchOptions {
     /// Serial, uncached: exactly the pre-pool code path.
     pub fn serial_uncached() -> Self {
@@ -162,10 +170,17 @@ impl Workload {
     ) -> (Option<(ParallelConfig, CellOutcome)>, CellOutcome) {
         let gpn = self.calib.gpus_per_node.min(self.n_gpus);
         let configs = search::enumerate_configs(system, &self.model, self.n_gpus, gpn);
+        // Tiny grids (DeepSpeed's Ulysses axis is 4 configs at 8 GPUs) lose
+        // more to pool dispatch and cache fingerprinting than either can
+        // return — the whole grid evaluates faster than one ProfileKey
+        // hash. Bypass both; the outcome is identical either way (the
+        // cache is a pure memo and the reduction is order-fixed).
+        let small = configs.len() <= SMALL_GRID_BYPASS;
+        let parallel = opts.parallel && !small;
+        let use_cache = opts.cache && !small;
         let pipeline = ExecutionPipeline::new(system);
-        let evaluate =
-            |cfg: &ParallelConfig| pipeline.execute_cached(self, cfg, opts.cache).outcome;
-        let outcomes: Vec<(ParallelConfig, CellOutcome)> = if opts.parallel {
+        let evaluate = |cfg: &ParallelConfig| pipeline.execute_cached(self, cfg, use_cache).outcome;
+        let outcomes: Vec<(ParallelConfig, CellOutcome)> = if parallel {
             Pool::machine().map(configs, |cfg| (cfg, evaluate(&cfg)))
         } else {
             configs
@@ -240,6 +255,44 @@ mod tests {
             assert!(m_mfu > d_mfu, "MEMO {m_mfu} vs DeepSpeed {d_mfu}");
         }
         assert!(m_mfu > 0.40 && m_mfu < 0.62, "MEMO MFU {m_mfu} out of band");
+    }
+
+    #[test]
+    fn small_grids_bypass_pool_and_cache_without_changing_the_pick() {
+        // DeepSpeed's Ulysses axis at 8 GPUs enumerates 4 configs — under
+        // SMALL_GRID_BYPASS — so a default-options search must not touch
+        // the profile cache at all, and still pick exactly what the
+        // serial-uncached oracle picks.
+        let w = w7(8, 64);
+        let gpn = w.calib.gpus_per_node.min(w.n_gpus);
+        let grid = search::enumerate_configs(SystemSpec::DeepSpeed, &w.model, w.n_gpus, gpn);
+        assert!(
+            !grid.is_empty() && grid.len() <= SMALL_GRID_BYPASS,
+            "Ulysses grid ({}) should sit under the bypass threshold",
+            grid.len()
+        );
+        let cache = crate::cache::ProfileCache::global();
+        let oracle =
+            w.run_best_or_failure_with(SystemSpec::DeepSpeed, SearchOptions::serial_uncached());
+        cache.clear();
+        cache.reset_stats();
+        let picked = w.run_best_or_failure(SystemSpec::DeepSpeed);
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 0),
+            "bypass must skip the cache"
+        );
+        assert_eq!(picked, oracle);
+
+        // A Megatron-family grid is over the threshold and still uses it.
+        let big = search::enumerate_configs(SystemSpec::Memo, &w.model, w.n_gpus, gpn);
+        assert!(big.len() > SMALL_GRID_BYPASS);
+        let _ = w.run_best(SystemSpec::Memo);
+        assert!(
+            cache.stats().misses > 0,
+            "large grids still populate the cache"
+        );
     }
 
     #[test]

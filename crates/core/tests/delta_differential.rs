@@ -1,0 +1,225 @@
+//! Differential suite: [`ExecutionPipeline::execute_delta`] must be
+//! **bit-exact** with `execute_cached` — same outcome (including OOM/OOHM
+//! failure cells with identical shortfall values), same byte and time
+//! decompositions, same final pick — while reusing profile pins and the
+//! process-global segment cache across a knob walk.
+//!
+//! The properties drive both paths in lockstep over randomized workloads
+//! and *knob-adjacent* cells (α ± one grid step, swap-layer count ± 1,
+//! neighbouring strategies), because adjacency is exactly what the delta
+//! layer exploits: a wrong segment-cache key or a stale pin shows up as a
+//! divergence on the cell after the knob change, not on the first cell.
+
+use memo_core::delta::{pick_best, DeltaContext};
+use memo_core::pipeline::{ActivationPolicy, ExecutionPipeline, ExecutionReport, PipelineStages};
+use memo_core::session::Workload;
+use memo_model::config::ModelConfig;
+use memo_parallel::search;
+use memo_parallel::strategy::{ParallelConfig, SystemSpec};
+use proptest::prelude::*;
+
+const ALPHA_POINTS: usize = 17;
+
+fn alpha_at(idx: usize) -> f64 {
+    idx as f64 / (ALPHA_POINTS - 1) as f64
+}
+
+fn memo_grid(w: &Workload) -> Vec<ParallelConfig> {
+    let gpn = w.calib.gpus_per_node.min(w.n_gpus);
+    search::enumerate_configs(SystemSpec::Memo, &w.model, w.n_gpus, gpn)
+}
+
+fn token_wise(alpha: f64, slots: usize) -> ExecutionPipeline {
+    let mut stages = PipelineStages::for_spec(SystemSpec::Memo);
+    stages.policy = ActivationPolicy::TokenWise {
+        alpha_override: Some(alpha),
+        slots,
+    };
+    ExecutionPipeline::with_stages(SystemSpec::Memo, stages)
+}
+
+fn mixed(k: usize, slots: usize) -> ExecutionPipeline {
+    let spec = SystemSpec::MemoMixed(k.min(u8::MAX as usize) as u8);
+    let mut stages = PipelineStages::for_spec(spec);
+    stages.policy = ActivationPolicy::MixedTokenWise {
+        swap_layers: k,
+        alpha_override: None,
+        slots,
+    };
+    ExecutionPipeline::with_stages(spec, stages)
+}
+
+/// Run one cell through both paths and assert a bit-identical report.
+fn lockstep(
+    pipe: &ExecutionPipeline,
+    w: &Workload,
+    cfg: &ParallelConfig,
+    ctx: &mut DeltaContext,
+    what: &str,
+) -> ExecutionReport {
+    let full = pipe.execute_cached(w, cfg, true);
+    let delta = pipe.execute_delta(w, cfg, ctx);
+    assert_eq!(full.spec, delta.spec, "{what}: spec");
+    assert_eq!(full.strategy, delta.strategy, "{what}: strategy");
+    assert_eq!(full.outcome, delta.outcome, "{what}: outcome");
+    assert_eq!(full.bytes, delta.bytes, "{what}: bytes");
+    assert_eq!(full.time, delta.time, "{what}: time");
+    full
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random walk on the (strategy, α) lattice: every step moves exactly
+    /// one knob by one step (the delta order), every visited cell is
+    /// checked in lockstep, and the TGS pick over the visited cells is
+    /// identical between the two paths. Long contexts (768K+) push high-α
+    /// cells into OOHM and tight strategies into OOM, so failure cells are
+    /// part of every walk.
+    #[test]
+    fn random_knob_walks_are_bit_identical(
+        seq_k in prop::sample::select(vec![64u64, 128, 256, 512, 768, 1024]),
+        cfg_start in 0usize..64,
+        alpha_start in 0usize..ALPHA_POINTS,
+        slots in prop::sample::select(vec![2usize, 3]),
+        steps in prop::collection::vec((0u8..2, 0u8..2), 1..14),
+    ) {
+        let w = Workload::new(ModelConfig::gpt_7b(), 8, seq_k * 1024);
+        let grid = memo_grid(&w);
+        prop_assert!(!grid.is_empty());
+        let mut ci = cfg_start % grid.len();
+        let mut ai = alpha_start;
+        let mut ctx = DeltaContext::new();
+        let mut cells: Vec<((usize, usize), ExecutionReport)> = Vec::new();
+        let visit = |ci: usize, ai: usize, ctx: &mut DeltaContext| {
+            let rep = lockstep(
+                &token_wise(alpha_at(ai), slots),
+                &w,
+                &grid[ci],
+                ctx,
+                &format!("seq {seq_k}K cfg {ci} alpha idx {ai} slots {slots}"),
+            );
+            ((ci, ai), rep)
+        };
+        cells.push(visit(ci, ai, &mut ctx));
+        for &(knob, dir) in &steps {
+            if knob == 0 {
+                // Strategy axis: ± one enumeration neighbour, clamped.
+                ci = if dir == 0 { ci.saturating_sub(1) } else { (ci + 1).min(grid.len() - 1) };
+            } else {
+                ai = if dir == 0 { ai.saturating_sub(1) } else { (ai + 1).min(ALPHA_POINTS - 1) };
+            }
+            cells.push(visit(ci, ai, &mut ctx));
+        }
+
+        // Pick parity: the delta fold over delta reports must agree with
+        // the same fold over the full-simulation reports.
+        let full_cells: Vec<((usize, usize), ExecutionReport)> = cells
+            .iter()
+            .map(|(k, _)| {
+                (*k, token_wise(alpha_at(k.1), slots).execute_cached(&w, &grid[k.0], true))
+            })
+            .collect();
+        let a = pick_best(&cells).map(|(k, _)| k);
+        let b = pick_best(&full_cells).map(|(k, _)| k);
+        prop_assert_eq!(a, b, "pick diverged over the walk");
+    }
+
+    /// Mixed-policy k-walk: adjacent swap-layer counts under a random
+    /// strategy, lockstep-checked, sharing one context with interleaved
+    /// uniform-MEMO cells (pin keys must not bleed between policies).
+    #[test]
+    fn mixed_policy_walks_are_bit_identical(
+        seq_k in prop::sample::select(vec![64u64, 256, 768]),
+        cfg_pick in 0usize..64,
+        k_start in 0usize..32,
+        steps in prop::collection::vec(0u8..2, 1..10),
+    ) {
+        let w = Workload::new(ModelConfig::gpt_7b(), 8, seq_k * 1024);
+        let grid = memo_grid(&w);
+        let cfg = grid[cfg_pick % grid.len()];
+        let layers_local = cfg.layers_local(w.model.n_layers);
+        let k_max = layers_local.saturating_sub(2);
+        let mut k = k_start.min(k_max);
+        let mut ctx = DeltaContext::new();
+        for (i, &dir) in steps.iter().enumerate() {
+            lockstep(
+                &mixed(k, 2),
+                &w,
+                &cfg,
+                &mut ctx,
+                &format!("seq {seq_k}K mixed k {k}"),
+            );
+            if i % 3 == 2 {
+                // Interleave a uniform token-wise cell through the same
+                // context: distinct policy, same strategy triple.
+                lockstep(
+                    &token_wise(0.5, 2),
+                    &w,
+                    &cfg,
+                    &mut ctx,
+                    &format!("seq {seq_k}K interleaved uniform"),
+                );
+            }
+            k = if dir == 0 { k.saturating_sub(1) } else { (k + 1).min(k_max) };
+        }
+    }
+
+    /// Workload flips mid-walk: the context must restamp and stay
+    /// bit-exact on both sides of every boundary (stale pins across a
+    /// workload change are the classic incremental-evaluation bug).
+    #[test]
+    fn workload_changes_restamp_without_divergence(
+        seq_a in prop::sample::select(vec![64u64, 256, 768]),
+        seq_b in prop::sample::select(vec![128u64, 512, 1024]),
+        alpha_idx in 0usize..ALPHA_POINTS,
+        flips in prop::collection::vec(0u8..2, 2..8),
+    ) {
+        let wa = Workload::new(ModelConfig::gpt_7b(), 8, seq_a * 1024);
+        let wb = Workload::new(ModelConfig::gpt_7b(), 8, seq_b * 1024);
+        let cfg = memo_grid(&wa)[0];
+        let mut ctx = DeltaContext::new();
+        for (i, &side) in flips.iter().enumerate() {
+            let w = if side == 0 { &wa } else { &wb };
+            lockstep(
+                &token_wise(alpha_at(alpha_idx), 2),
+                w,
+                &cfg,
+                &mut ctx,
+                &format!("flip {i} side {side}"),
+            );
+        }
+    }
+}
+
+/// Deterministic spot check that the random walks do traverse failure
+/// cells: at 1M and α = 1.0 the 7B grid must contain OOHM cells, and both
+/// paths must report them identically (this is the divergence-cell case
+/// the ISSUE calls out, pinned without relying on proptest's sampling).
+#[test]
+fn oohm_and_oom_cells_appear_and_match_at_one_million_tokens() {
+    let w = Workload::new(ModelConfig::gpt_7b(), 8, 1024 * 1024);
+    let grid = memo_grid(&w);
+    let mut ctx = DeltaContext::new();
+    let mut saw_oohm = false;
+    let mut saw_oom = false;
+    let mut saw_ok = false;
+    for (ci, cfg) in grid.iter().enumerate() {
+        for ai in [0, ALPHA_POINTS - 1] {
+            let rep = lockstep(
+                &token_wise(alpha_at(ai), 2),
+                &w,
+                cfg,
+                &mut ctx,
+                &format!("endpoint cfg {ci} alpha idx {ai}"),
+            );
+            let label = format!("{:?}", rep.outcome);
+            saw_oohm |= label.starts_with("Oohm");
+            saw_oom |= label.starts_with("Oom");
+            saw_ok |= rep.outcome.metrics().is_some();
+        }
+    }
+    assert!(saw_oohm, "1M grid endpoints must contain OOHM cells");
+    assert!(saw_oom, "1M grid endpoints must contain OOM cells");
+    assert!(saw_ok, "1M grid endpoints must contain feasible cells");
+}

@@ -191,6 +191,52 @@ pub enum RecordLevel {
     CursorOnly,
 }
 
+/// A captured per-stream `(cursor, busy)` advance — the cursor-level
+/// summary of a simulated region, recordable at any [`RecordLevel`] and
+/// re-applicable to a compatible timeline through the splice primitives
+/// ([`Timeline::advance_cursor`] / [`Timeline::add_busy`]). This is what
+/// the delta-simulation layer memoizes: simulate a schedule once, capture
+/// it, and splice the capture into later timelines without replaying the
+/// event machinery.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CursorSegment {
+    /// Per-stream `(cursor_advance, busy_advance)`, in stream order.
+    advances: Vec<(SimTime, SimTime)>,
+}
+
+impl CursorSegment {
+    /// A segment from explicit per-stream `(cursor, busy)` advances.
+    pub fn from_advances(advances: Vec<(SimTime, SimTime)>) -> Self {
+        CursorSegment { advances }
+    }
+
+    /// The advance of `end` over `start`, both captured from the same
+    /// timeline (`start` earlier): per-stream cursor/busy deltas. Streams
+    /// created after `start` was taken contribute their full totals.
+    pub fn between(start: &CursorSegment, end: &CursorSegment) -> CursorSegment {
+        assert!(
+            start.advances.len() <= end.advances.len(),
+            "start snapshot has more streams than end"
+        );
+        CursorSegment {
+            advances: end
+                .advances
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, b))| match start.advances.get(i) {
+                    Some(&(c0, b0)) => (c.saturating_sub(c0), b.saturating_sub(b0)),
+                    None => (c, b),
+                })
+                .collect(),
+        }
+    }
+
+    /// Per-stream `(cursor_advance, busy_advance)`, in stream order.
+    pub fn advances(&self) -> &[(SimTime, SimTime)] {
+        &self.advances
+    }
+}
+
 /// One executed operation, kept for timeline rendering and assertions.
 /// `Copy`: 32 bytes, no heap — the label is an interned [`Sym`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -442,6 +488,36 @@ impl Timeline {
     /// splice counterpart of the per-enqueue accumulation).
     pub fn add_busy(&mut self, stream: StreamId, busy: SimTime) {
         self.streams[stream.0].busy += busy;
+    }
+
+    /// Snapshot every stream's `(cursor, busy)` totals as a
+    /// [`CursorSegment`] relative to time zero. Works at every
+    /// [`RecordLevel`]: only the O(1) cursor/busy accumulators are read.
+    pub fn capture_segment(&self) -> CursorSegment {
+        CursorSegment {
+            advances: self.streams.iter().map(|s| (s.cursor, s.busy)).collect(),
+        }
+    }
+
+    /// Splice a captured segment into this timeline: each stream's cursor
+    /// advances by the segment's cursor delta (through
+    /// [`Self::advance_cursor`], so pending waits drain exactly as an
+    /// enqueue would) and its busy accumulator by the busy delta. The
+    /// segment may cover a prefix of the streams; covering more streams
+    /// than exist panics.
+    pub fn apply_segment(&mut self, seg: &CursorSegment) {
+        assert!(
+            seg.advances.len() <= self.streams.len(),
+            "segment covers {} streams, timeline has {}",
+            seg.advances.len(),
+            self.streams.len()
+        );
+        for (i, &(cursor, busy)) in seg.advances.iter().enumerate() {
+            let id = StreamId(i);
+            let to = self.streams[i].cursor + cursor;
+            self.advance_cursor(id, to);
+            self.add_busy(id, busy);
+        }
     }
 
     /// Record an event capturing the stream's current completion time.
@@ -775,5 +851,55 @@ mod tests {
         tl.enqueue(s, ms(1), "op");
         assert_eq!(tl.spans().len(), 1);
         assert_eq!(tl.makespan(), ms(1));
+    }
+
+    #[test]
+    fn captured_segment_splices_bit_exactly() {
+        // Simulate a two-stream region, capture it, and splice the capture
+        // into a fresh cursor-only timeline: cursors, busy totals and the
+        // makespan must be bit-identical to the simulated original.
+        let mut sim = Timeline::with_recording(RecordLevel::CursorOnly);
+        let a = sim.add_stream("a");
+        let b = sim.add_stream("b");
+        let start = sim.capture_segment();
+        sim.enqueue(a, ms(30), "x");
+        let ev = sim.record_event(a);
+        sim.wait_event(b, ev);
+        sim.enqueue(b, ms(12), "y");
+        let seg = CursorSegment::between(&start, &sim.capture_segment());
+
+        let mut fresh = Timeline::with_recording(RecordLevel::CursorOnly);
+        let fa = fresh.add_stream("a");
+        let fb = fresh.add_stream("b");
+        fresh.apply_segment(&seg);
+        assert_eq!(fresh.stream_cursor(fa), sim.stream_cursor(a));
+        assert_eq!(fresh.stream_cursor(fb), sim.stream_cursor(b));
+        assert_eq!(fresh.busy_time(fa), sim.busy_time(a));
+        assert_eq!(fresh.busy_time(fb), sim.busy_time(b));
+        assert_eq!(fresh.makespan(), sim.makespan());
+    }
+
+    #[test]
+    fn segment_between_handles_streams_added_after_start() {
+        let mut tl = Timeline::with_recording(RecordLevel::CursorOnly);
+        let a = tl.add_stream("a");
+        let start = tl.capture_segment();
+        tl.enqueue(a, ms(5), "x");
+        let b = tl.add_stream("b");
+        tl.enqueue(b, ms(7), "y");
+        let seg = CursorSegment::between(&start, &tl.capture_segment());
+        assert_eq!(seg.advances(), &[(ms(5), ms(5)), (ms(7), ms(7))]);
+    }
+
+    #[test]
+    fn apply_segment_accumulates_relative_advances() {
+        let mut tl = Timeline::with_recording(RecordLevel::CursorOnly);
+        let s = tl.add_stream("s");
+        tl.enqueue(s, ms(10), "pre");
+        let seg = CursorSegment::from_advances(vec![(ms(4), ms(3))]);
+        tl.apply_segment(&seg);
+        tl.apply_segment(&seg);
+        assert_eq!(tl.stream_cursor(s), ms(18));
+        assert_eq!(tl.busy_time(s), ms(16));
     }
 }

@@ -195,6 +195,45 @@ impl MemoryHierarchy {
         }
         h
     }
+
+    /// Bit-exact chain equality: `true` iff the two chains would
+    /// [`chain_hash`](Self::chain_hash) equal (same tiers, same order, every
+    /// float by its IEEE-754 bit pattern). An order of magnitude cheaper
+    /// than hashing both sides — plain compares with early exit, no FNV
+    /// mixing — which is what the delta path's per-cell stamp check needs.
+    pub fn chain_bits_eq(&self, other: &MemoryHierarchy) -> bool {
+        fn tier_bits_eq(a: &TierSpec, b: &TierSpec) -> bool {
+            let TierSpec {
+                name,
+                capacity_bytes,
+                usable_fraction,
+                write_bandwidth,
+                read_bandwidth,
+                utilization,
+                sharing,
+                latency_secs,
+            } = a;
+            let sharing_eq = match (sharing, &b.sharing) {
+                (TierSharing::Fixed(x), TierSharing::Fixed(y)) => x.to_bits() == y.to_bits(),
+                (TierSharing::NodeGpus, TierSharing::NodeGpus) => true,
+                _ => false,
+            };
+            *name == b.name
+                && *capacity_bytes == b.capacity_bytes
+                && usable_fraction.to_bits() == b.usable_fraction.to_bits()
+                && write_bandwidth.to_bits() == b.write_bandwidth.to_bits()
+                && read_bandwidth.to_bits() == b.read_bandwidth.to_bits()
+                && utilization.to_bits() == b.utilization.to_bits()
+                && sharing_eq
+                && latency_secs.to_bits() == b.latency_secs.to_bits()
+        }
+        self.tiers.len() == other.tiers.len()
+            && self
+                .tiers
+                .iter()
+                .zip(&other.tiers)
+                .all(|(a, b)| tier_bits_eq(a, b))
+    }
 }
 
 #[cfg(test)]

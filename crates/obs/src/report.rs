@@ -30,6 +30,11 @@ fn spec_json(spec: SystemSpec) -> Json {
             fields.push(("depth".into(), Json::int(depth as u64)));
             fields
         }
+        SystemSpec::MemoMixed(k) => {
+            let mut fields = variant("MemoMixed");
+            fields.push(("swap_layers".into(), Json::int(k as u64)));
+            fields
+        }
     })
 }
 
@@ -56,6 +61,11 @@ fn parse_spec(doc: &Json) -> Result<SystemSpec, String> {
             doc.get("depth")
                 .and_then(Json::as_u64)
                 .ok_or("MemoTiered missing depth")? as u8,
+        ),
+        "MemoMixed" => SystemSpec::MemoMixed(
+            doc.get("swap_layers")
+                .and_then(Json::as_u64)
+                .ok_or("MemoMixed missing swap_layers")? as u8,
         ),
         other => return Err(format!("unknown spec variant {other:?}")),
     })

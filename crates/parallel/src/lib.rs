@@ -24,6 +24,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod search;
 pub mod strategy;
+pub mod sweep;
 
 pub use cost::LayerTime;
 pub use strategy::{ParallelConfig, SearchFamily, StrategyError, SystemKind, SystemSpec};

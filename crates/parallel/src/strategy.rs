@@ -35,6 +35,12 @@ pub enum SystemSpec {
     /// reproduces [`SystemSpec::Memo`] and `MemoTiered(2)`
     /// [`SystemSpec::MemoNvme`] bit-exactly.
     MemoTiered(u8),
+    /// Per-layer mixed-policy search point: the first `k` layers swap
+    /// token-wise, the last two stay retained in their rounding buffers,
+    /// and everything between fully recomputes. `MemoMixed(k)` at
+    /// `k ≥ layers_local − 2` reproduces [`SystemSpec::Memo`] bit-exactly;
+    /// smaller `k` trades host-staging pressure for re-forward compute.
+    MemoMixed(u8),
 }
 
 /// How the strategy search enumerates configurations for a spec.
@@ -76,6 +82,7 @@ impl SystemSpec {
             SystemSpec::FullSwapPlan => "FullSwap+Plan",
             SystemSpec::MemoBufferSlots(_) => "MEMO-slots",
             SystemSpec::MemoTiered(_) => "MEMO-tiered",
+            SystemSpec::MemoMixed(_) => "MEMO-mixed",
         }
     }
 

@@ -1,0 +1,98 @@
+//! Knob-lattice walk orders for dense grid sweeps.
+//!
+//! The delta-simulation path is fastest when consecutive cells differ by a
+//! single knob: the profile/plan pins stay valid along a row, and the
+//! segment cache sees key-adjacent builds. A row-major walk breaks that at
+//! every row boundary (both coordinates jump); the serpentine
+//! (boustrophedon) order fixes it by reversing the column direction on
+//! alternate rows, so *every* consecutive pair of cells differs in exactly
+//! one coordinate, by exactly one step.
+
+/// The serpentine walk over a `rows × cols` lattice: row 0 left-to-right,
+/// row 1 right-to-left, and so on. Covers every cell exactly once;
+/// consecutive cells differ in exactly one coordinate by exactly one step
+/// (asserted by the unit tests). Empty when either dimension is zero.
+pub fn serpentine(rows: usize, cols: usize) -> Vec<(usize, usize)> {
+    let mut order = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        if r % 2 == 0 {
+            order.extend((0..cols).map(|c| (r, c)));
+        } else {
+            order.extend((0..cols).rev().map(|c| (r, c)));
+        }
+    }
+    order
+}
+
+/// [`serpentine`] materialised over two axes of knob values: each cell is a
+/// `(row_value, col_value)` pair in serpentine order. The row axis should
+/// be the *expensive* knob (e.g. the parallel strategy, which invalidates
+/// profile pins) and the column axis the cheap one (e.g. α) — the walk then
+/// changes the expensive knob only `rows − 1` times.
+pub fn serpentine_pairs<A: Clone, B: Clone>(rows: &[A], cols: &[B]) -> Vec<(A, B)> {
+    serpentine(rows.len(), cols.len())
+        .into_iter()
+        .map(|(r, c)| (rows[r].clone(), cols[c].clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_cell_exactly_once() {
+        for (rows, cols) in [(1, 1), (1, 7), (5, 1), (4, 6), (7, 3)] {
+            let order = serpentine(rows, cols);
+            assert_eq!(order.len(), rows * cols);
+            let mut seen = vec![false; rows * cols];
+            for (r, c) in order {
+                assert!(r < rows && c < cols);
+                assert!(!seen[r * cols + c], "cell ({r},{c}) visited twice");
+                seen[r * cols + c] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn consecutive_cells_differ_by_one_knob_step() {
+        for (rows, cols) in [(1, 9), (6, 1), (4, 6), (9, 5)] {
+            let order = serpentine(rows, cols);
+            for pair in order.windows(2) {
+                let ((r0, c0), (r1, c1)) = (pair[0], pair[1]);
+                let dr = r0.abs_diff(r1);
+                let dc = c0.abs_diff(c1);
+                assert_eq!(
+                    dr + dc,
+                    1,
+                    "({r0},{c0}) -> ({r1},{c1}) changes more than one knob"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_direction_alternates() {
+        let order = serpentine(3, 4);
+        assert_eq!(&order[..4], &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        assert_eq!(&order[4..8], &[(1, 3), (1, 2), (1, 1), (1, 0)]);
+        assert_eq!(&order[8..], &[(2, 0), (2, 1), (2, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_axes_yield_empty_walks() {
+        assert!(serpentine(0, 5).is_empty());
+        assert!(serpentine(5, 0).is_empty());
+        assert!(serpentine_pairs::<u8, u8>(&[], &[1]).is_empty());
+    }
+
+    #[test]
+    fn pairs_materialise_knob_values() {
+        let pairs = serpentine_pairs(&["a", "b"], &[1, 2, 3]);
+        assert_eq!(
+            pairs,
+            vec![("a", 1), ("a", 2), ("a", 3), ("b", 3), ("b", 2), ("b", 1)]
+        );
+    }
+}

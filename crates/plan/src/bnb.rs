@@ -77,6 +77,24 @@ pub fn reset_node_counter() {
     TOTAL_NODES.store(0, Ordering::Relaxed)
 }
 
+/// Process-wide count of [`solve`] invocations, counted at entry — unlike
+/// [`nodes_expanded_total`], this moves even when the heuristic closes the
+/// bound immediately and zero nodes are expanded. `search_bench` uses the
+/// pair to tell "BnB ran and was lucky" (solves > 0, nodes == 0) from
+/// "this cell never reached the planner" (solves == 0).
+static TOTAL_SOLVES: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`solve`] calls since process start (or the last
+/// [`reset_solve_counter`]).
+pub fn solves_total() -> u64 {
+    TOTAL_SOLVES.load(Ordering::Relaxed)
+}
+
+/// Zero the global solve counter.
+pub fn reset_solve_counter() {
+    TOTAL_SOLVES.store(0, Ordering::Relaxed)
+}
+
 /// Reusable per-depth scratch. Each DFS depth owns one (taken/restored
 /// around the expansion loop), so recursion never clobbers a live buffer
 /// and no `Vec` is allocated per node.
@@ -278,6 +296,7 @@ fn max_liveness_clique(inst: &DsaInstance, lower_bound: u64) -> Vec<usize> {
 /// Solve the instance. Exact within the node budget and size cap; otherwise
 /// returns the best-fit incumbent (still validated, just not certified).
 pub fn solve(inst: &DsaInstance, opts: BnbOptions) -> Solution {
+    TOTAL_SOLVES.fetch_add(1, Ordering::Relaxed);
     let lower_bound = inst.lower_bound();
     let incumbent = heuristic::solve(inst);
     debug_assert!(incumbent.validate(inst).is_ok());
@@ -536,10 +555,15 @@ mod tests {
         let inst = DsaInstance {
             tensors: vec![t(0, 8, 0, 2), t(1, 8, 2, 4)],
         };
+        let solves_before = solves_total();
         let sol = solve(&inst, BnbOptions::default());
         assert!(sol.optimal);
         assert_eq!(sol.nodes, 0, "bound should close without search");
         assert_eq!(sol.assignment.peak, 8);
+        // The solve counter moves even on the zero-node early return —
+        // that's the whole point of tracking it separately from nodes.
+        // (`>=`: sibling tests may solve concurrently in this process.)
+        assert!(solves_total() - solves_before >= 1);
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! Delta simulation: a sharded memo cache of simulated schedule segments.
+//!
+//! Strategy search evaluates dense grids of candidates whose schedules
+//! differ in a single knob — and re-evaluates the *same* schedule inputs
+//! across sweep passes, serving queries, and lockstep verification legs.
+//! The [`SegmentCache`] memoizes the scalar result of the cursor-only fast
+//! path ([`build_fast_scalars`]) keyed by a bit-exact fingerprint of every
+//! input the recurrence reads: layer count, buffer slots, per-layer costs
+//! (fwd/bwd/recompute times and the whole [`TierTrafficList`]), the head
+//! block, and the *entry state* of every staging pool (capacity and used
+//! bytes). Because the recurrence is a pure function of exactly these
+//! inputs, a hit can skip the simulation entirely and replay only the
+//! staging side effects in bulk through the PR 5 splice primitives
+//! ([`TierStaging::reserve_layers`] / [`TierStaging::release_layers`]),
+//! whose contract is state- and error-identical to the sequential
+//! per-layer loop. Failed builds are memoized too: a hit on an
+//! out-of-tier-memory entry replays the sequential reservation up to the
+//! failing layer, leaving the exact partial state the real build leaves.
+//!
+//! Divergence rules (fall back to the full fast path, counted in
+//! [`SegmentCacheStats::fallbacks`]): cache disabled, caller opted out,
+//! staging narrower than the traffic chain, or a chain/pool shape beyond
+//! the fixed key capacity. See DESIGN.md §2g.
+
+use crate::schedule::{build_fast_scalars, LayerCosts, ScalarSchedule, MAX_TIERS};
+use crate::tiers::{OutOfTierMemory, TierStaging};
+use memo_hal::time::SimTime;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Fixed word capacity of a [`ScheduleKey`]: 7 scalar words, 3 per traffic
+/// tier, and 2 per staging pool.
+const MAX_KEY_WORDS: usize = 7 + 3 * MAX_TIERS + 1 + 2 * MAX_TIERS;
+
+/// Bit-exact fingerprint of every input the schedule recurrence reads.
+/// Two equal keys imply bit-identical [`ScalarSchedule`]s *and* identical
+/// staging side effects (the recurrence is a pure function of the key).
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleKey {
+    len: u8,
+    words: [u64; MAX_KEY_WORDS],
+}
+
+impl ScheduleKey {
+    /// Fingerprint a schedule build. `None` when the shape exceeds the
+    /// fixed key capacity (deeper staging chain than [`MAX_TIERS`]) — the
+    /// caller falls back to the uncached path.
+    pub fn new(
+        n_layers: usize,
+        costs: &LayerCosts,
+        t_head: SimTime,
+        staging: &TierStaging,
+        slots: usize,
+    ) -> Option<ScheduleKey> {
+        if staging.len() > MAX_TIERS {
+            return None;
+        }
+        let mut words = [0u64; MAX_KEY_WORDS];
+        let mut n = 0usize;
+        let mut push = |w: u64| {
+            words[n] = w;
+            n += 1;
+        };
+        push(n_layers as u64);
+        push(slots as u64);
+        push(t_head.0);
+        push(costs.t_fwd.0);
+        push(costs.t_bwd.0);
+        push(costs.t_recompute.0);
+        push(costs.traffic.len() as u64);
+        for t in &costs.traffic {
+            push(t.bytes);
+            push(t.bandwidth.to_bits());
+            push(t.latency_secs.to_bits());
+        }
+        push(staging.len() as u64);
+        for tier in 0..staging.len() {
+            let pool = staging.pool(tier).expect("tier < len");
+            push(pool.capacity());
+            push(pool.used());
+        }
+        Some(ScheduleKey {
+            len: n as u8,
+            words,
+        })
+    }
+
+    fn as_words(&self) -> &[u64] {
+        &self.words[..self.len as usize]
+    }
+}
+
+impl PartialEq for ScheduleKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_words() == other.as_words()
+    }
+}
+
+impl Eq for ScheduleKey {}
+
+impl Hash for ScheduleKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for &w in self.as_words() {
+            state.write_u64(w);
+        }
+    }
+}
+
+/// FNV-1a over u64 words — the keys are already well-mixed integer words,
+/// so SipHash would be pure overhead on this hot path.
+pub struct FnvWordHasher(u64);
+
+impl Default for FnvWordHasher {
+    fn default() -> Self {
+        FnvWordHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvWordHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, w: u64) {
+        self.0 ^= w;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+type Shard = HashMap<
+    ScheduleKey,
+    Result<ScalarSchedule, OutOfTierMemory>,
+    BuildHasherDefault<FnvWordHasher>,
+>;
+
+/// Hit/miss/fallback counters of a [`SegmentCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentCacheStats {
+    /// Schedule builds served from a memoized segment.
+    pub hits: u64,
+    /// Builds simulated and memoized.
+    pub misses: u64,
+    /// Builds that bypassed the cache (disabled, opted out, or a shape
+    /// beyond the key capacity).
+    pub fallbacks: u64,
+}
+
+/// Sharded memo cache of cursor-only schedule builds, keyed by
+/// [`ScheduleKey`]. Process-global like `ProfileCache`; shards bound lock
+/// contention when sweeps run on the worker pool.
+pub struct SegmentCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fallbacks: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl SegmentCache {
+    const SHARDS: usize = 16;
+    /// Per-shard entry cap; a full shard is cleared wholesale (same cheap
+    /// eviction policy as `ProfileCache`).
+    const SHARD_CAP: usize = 4096;
+
+    pub fn new() -> Self {
+        SegmentCache {
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// The process-global cache.
+    pub fn global() -> &'static SegmentCache {
+        static GLOBAL: OnceLock<SegmentCache> = OnceLock::new();
+        GLOBAL.get_or_init(SegmentCache::new)
+    }
+
+    fn shard(&self, key: &ScheduleKey) -> &Mutex<Shard> {
+        let mut h = FnvWordHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % Self::SHARDS]
+    }
+
+    /// Cursor-only schedule build through the cache.
+    ///
+    /// * **Hit (Ok)**: return the memoized scalars and replay the staging
+    ///   effects in bulk — `swapped` reserves then `swapped` releases, the
+    ///   exact sequence the fast path performs (all reserves precede all
+    ///   releases), via the batched splice primitives whose state and
+    ///   errors match the sequential loop bit-for-bit.
+    /// * **Hit (Err)**: replay the sequential reservation until it fails,
+    ///   reproducing the error and the partial staging state of the real
+    ///   build.
+    /// * **Miss**: run [`build_fast_scalars`] and memoize its result
+    ///   (failures included).
+    /// * **Divergence** (disabled / `use_cache == false` / staging narrower
+    ///   than the traffic chain / shape beyond the key capacity): run the
+    ///   fast path uncached.
+    pub fn schedule_cursor_only(
+        &self,
+        n_layers: usize,
+        costs: LayerCosts,
+        t_head: SimTime,
+        staging: &mut TierStaging,
+        slots: usize,
+        use_cache: bool,
+    ) -> Result<ScalarSchedule, OutOfTierMemory> {
+        if !use_cache
+            || !self.enabled.load(Ordering::Relaxed)
+            || staging.len() < costs.traffic.len()
+        {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return build_fast_scalars(n_layers, costs, t_head, staging, slots);
+        }
+        let Some(key) = ScheduleKey::new(n_layers, &costs, t_head, staging, slots) else {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return build_fast_scalars(n_layers, costs, t_head, staging, slots);
+        };
+        let cached = {
+            let shard = self.shard(&key).lock().expect("segment shard poisoned");
+            shard.get(&key).copied()
+        };
+        if let Some(entry) = cached {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let swapped = n_layers.saturating_sub(slots) as u64;
+            return match entry {
+                Ok(s) => {
+                    if swapped > 0 {
+                        // Deterministic: the key captures every pool's
+                        // capacity and used bytes, so a state that admitted
+                        // the reserves once admits them again.
+                        staging.reserve_layers(&costs.traffic, swapped)?;
+                        staging.release_layers(&costs.traffic, swapped);
+                    }
+                    Ok(s)
+                }
+                Err(e) => {
+                    for _ in 0..swapped {
+                        staging.reserve_layer(&costs.traffic)?;
+                    }
+                    // Same determinism argument, in the failing direction.
+                    unreachable!("memoized failure {e} did not reproduce")
+                }
+            };
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = build_fast_scalars(n_layers, costs, t_head, staging, slots);
+        let mut shard = self.shard(&key).lock().expect("segment shard poisoned");
+        if shard.len() >= Self::SHARD_CAP {
+            shard.clear();
+        }
+        shard.insert(key, result);
+        result
+    }
+
+    pub fn stats(&self) -> SegmentCacheStats {
+        SegmentCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.fallbacks.store(0, Ordering::Relaxed);
+    }
+
+    /// Globally enable/disable memoization (lookups and inserts).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drop every memoized segment (stats are kept; see
+    /// [`Self::reset_stats`]).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("segment shard poisoned").clear();
+        }
+    }
+}
+
+impl Default for SegmentCache {
+    fn default() -> Self {
+        SegmentCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{TierTraffic, TierTrafficList};
+
+    fn costs(offload_bytes: u64) -> LayerCosts {
+        LayerCosts::single_tier(
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+            SimTime::from_millis(3),
+            offload_bytes,
+            1e9,
+        )
+    }
+
+    #[test]
+    fn hit_returns_bit_identical_scalars_and_staging_state() {
+        let cache = SegmentCache::new();
+        let c = costs(1_000_000);
+        let mut s1 = TierStaging::single(100_000_000);
+        let miss = cache
+            .schedule_cursor_only(12, c, SimTime::from_millis(5), &mut s1, 2, true)
+            .unwrap();
+        let mut s2 = TierStaging::single(100_000_000);
+        let hit = cache
+            .schedule_cursor_only(12, c, SimTime::from_millis(5), &mut s2, 2, true)
+            .unwrap();
+        assert_eq!(miss, hit);
+        assert_eq!(s1, s2, "staging replay must reproduce used bytes and peaks");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn memoized_failure_replays_error_and_partial_state() {
+        let cache = SegmentCache::new();
+        let c = costs(1_000_000);
+        let mut s1 = TierStaging::single(3 * 1_000_000);
+        let e1 = cache
+            .schedule_cursor_only(12, c, SimTime::ZERO, &mut s1, 2, true)
+            .unwrap_err();
+        let mut s2 = TierStaging::single(3 * 1_000_000);
+        let e2 = cache
+            .schedule_cursor_only(12, c, SimTime::ZERO, &mut s2, 2, true)
+            .unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!(s1, s2, "partial commit state must match the real build");
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn entry_state_is_part_of_the_key() {
+        // A pool with bytes already used must not hit the fresh-pool entry:
+        // the recurrence would behave differently (and may OOHM).
+        let cache = SegmentCache::new();
+        let c = costs(1_000_000);
+        let mut fresh = TierStaging::single(10 * 1_000_000);
+        cache
+            .schedule_cursor_only(12, c, SimTime::ZERO, &mut fresh, 2, true)
+            .unwrap();
+        let mut dirty = TierStaging::single(10 * 1_000_000);
+        dirty.reserve_layer(&c.traffic).unwrap();
+        let r = cache.schedule_cursor_only(12, c, SimTime::ZERO, &mut dirty, 2, true);
+        assert_eq!(cache.stats().hits, 0, "dirty pool must miss");
+        // 10 layers swap but only 9 more layers fit on top of the 1 staged.
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cache_matches_uncached_fast_path_across_knobs() {
+        let cache = SegmentCache::new();
+        for n in [2usize, 3, 5, 8, 16] {
+            for slots in [2usize, 3] {
+                for bytes in [0u64, 500_000, 2_000_000] {
+                    let c = costs(bytes);
+                    // Twice through the cache (miss then hit), once around it.
+                    for _ in 0..2 {
+                        let mut a = TierStaging::single(8 * 2_000_000);
+                        let mut b = TierStaging::single(8 * 2_000_000);
+                        let via = cache.schedule_cursor_only(
+                            n,
+                            c,
+                            SimTime::from_millis(1),
+                            &mut a,
+                            slots,
+                            true,
+                        );
+                        let raw = build_fast_scalars(n, c, SimTime::from_millis(1), &mut b, slots);
+                        assert_eq!(via, raw);
+                        assert_eq!(a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opt_out_and_disable_bypass_the_cache() {
+        let cache = SegmentCache::new();
+        let c = costs(1_000_000);
+        let mut s = TierStaging::unbounded(1);
+        cache
+            .schedule_cursor_only(8, c, SimTime::ZERO, &mut s, 2, false)
+            .unwrap();
+        cache.set_enabled(false);
+        cache
+            .schedule_cursor_only(8, c, SimTime::ZERO, &mut s, 2, true)
+            .unwrap();
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.fallbacks), (0, 0, 2));
+    }
+
+    #[test]
+    fn deep_chains_key_all_tiers() {
+        let cache = SegmentCache::new();
+        let mut traffic = TierTrafficList::new();
+        traffic.push(TierTraffic {
+            bytes: 1_000_000,
+            bandwidth: 1e9,
+            latency_secs: 0.0,
+        });
+        traffic.push(TierTraffic {
+            bytes: 400_000,
+            bandwidth: 1e8,
+            latency_secs: 1e-4,
+        });
+        let c = LayerCosts::with_traffic(
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+            SimTime::ZERO,
+            traffic,
+        );
+        let mut a = TierStaging::new(&[u64::MAX / 2, 10 * 400_000]);
+        let first = cache
+            .schedule_cursor_only(10, c, SimTime::ZERO, &mut a, 2, true)
+            .unwrap();
+        // Same shape, deeper tier smaller: must miss and fail on tier 1.
+        let mut b = TierStaging::new(&[u64::MAX / 2, 3 * 400_000]);
+        let err = cache
+            .schedule_cursor_only(10, c, SimTime::ZERO, &mut b, 2, true)
+            .unwrap_err();
+        assert_eq!(err.tier, 1);
+        let mut a2 = TierStaging::new(&[u64::MAX / 2, 10 * 400_000]);
+        let hit = cache
+            .schedule_cursor_only(10, c, SimTime::ZERO, &mut a2, 2, true)
+            .unwrap();
+        assert_eq!(first, hit);
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

@@ -21,9 +21,11 @@
 
 pub mod alpha;
 pub mod buffers;
+pub mod delta;
 pub mod host;
 pub mod reference;
 pub mod schedule;
+pub mod segmented;
 pub mod tiers;
 
 pub use alpha::{
@@ -31,9 +33,13 @@ pub use alpha::{
     TieredSolution,
 };
 pub use buffers::RoundingBuffers;
+pub use delta::{ScheduleKey, SegmentCache, SegmentCacheStats};
 pub use host::HostStaging;
 pub use schedule::{
-    build_iteration_schedule, build_iteration_schedule_recorded, LayerCosts, ScheduleOutcome,
-    TierTraffic, TierTrafficList, MAX_TIERS,
+    build_iteration_schedule, build_iteration_schedule_recorded, LayerCosts, ScalarSchedule,
+    ScheduleOutcome, TierTraffic, TierTrafficList, MAX_TIERS,
+};
+pub use segmented::{
+    build_segmented_scalars, build_segmented_schedule_recorded, LayerSegment, SegmentPolicy,
 };
 pub use tiers::{OutOfTierMemory, TierStaging};

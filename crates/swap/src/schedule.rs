@@ -21,7 +21,7 @@
 
 use crate::buffers::RoundingBuffers;
 use crate::tiers::{OutOfTierMemory, TierStaging};
-use memo_hal::engine::{RecordLevel, StreamId, Timeline};
+use memo_hal::engine::{CursorSegment, RecordLevel, StreamId, Timeline};
 use memo_hal::time::SimTime;
 
 /// Maximum offload tiers a layer's traffic can span (chain depth below GPU
@@ -205,6 +205,62 @@ pub struct ScheduleOutcome {
     pub host_peak: u64,
     /// The populated timeline (3 streams), for rendering.
     pub timeline: Timeline,
+}
+
+/// Scalar results of a cursor-only schedule build — everything besides the
+/// timeline and the staging side effects. Small and `Copy` so the delta
+/// layer ([`crate::delta`]) can memoize it and replay the staging effects
+/// in bulk without re-running the recurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalarSchedule {
+    /// End of the last forward layer (compute stream).
+    pub forward_end: SimTime,
+    /// Final compute-stream cursor (forward + head + backward).
+    pub compute_end: SimTime,
+    /// Final offload-stream cursor.
+    pub offload_end: SimTime,
+    /// Final prefetch-stream cursor.
+    pub prefetch_end: SimTime,
+    /// Compute-stream busy total (useful + recompute work).
+    pub compute_busy: SimTime,
+    /// Busy total of each IO stream (offload and prefetch move the same
+    /// bytes, so they share one figure).
+    pub io_busy: SimTime,
+}
+
+impl ScalarSchedule {
+    pub fn makespan(&self) -> SimTime {
+        self.compute_end
+            .max(self.offload_end)
+            .max(self.prefetch_end)
+    }
+
+    pub fn compute_idle(&self) -> SimTime {
+        self.makespan().saturating_sub(self.compute_busy)
+    }
+
+    /// Materialise the cursor-only [`ScheduleOutcome`] the fast path
+    /// returns: a 3-stream timeline carrying exactly these cursors and
+    /// busy totals, landed through the [`CursorSegment`] splice.
+    pub fn into_outcome(self, staging: &TierStaging) -> ScheduleOutcome {
+        let mut tl = Timeline::with_recording(RecordLevel::CursorOnly);
+        tl.add_stream("compute");
+        tl.add_stream("offload");
+        tl.add_stream("prefetch");
+        tl.apply_segment(&CursorSegment::from_advances(vec![
+            (self.compute_end, self.compute_busy),
+            (self.offload_end, self.io_busy),
+            (self.prefetch_end, self.io_busy),
+        ]));
+        ScheduleOutcome {
+            forward_end: self.forward_end,
+            makespan: self.makespan(),
+            compute_busy: self.compute_busy,
+            compute_idle: self.compute_idle(),
+            host_peak: staging.host_peak(),
+            timeline: tl,
+        }
+    }
 }
 
 /// Streams created by the builder, in order.
@@ -478,6 +534,22 @@ fn build_fast(
     staging: &mut TierStaging,
     slots: usize,
 ) -> Result<ScheduleOutcome, OutOfTierMemory> {
+    let s = build_fast_scalars(n_layers, costs, t_head, staging, slots)?;
+    Ok(s.into_outcome(staging))
+}
+
+/// The scalar core of the cursor-only fast path: runs the layer recurrence
+/// (with the steady mid-layer splice) against `staging` and returns the
+/// resulting cursors and busy totals without building a timeline. This is
+/// the unit the segment cache ([`crate::delta`]) memoizes; callers wanting
+/// a [`ScheduleOutcome`] use [`ScalarSchedule::into_outcome`].
+pub fn build_fast_scalars(
+    n_layers: usize,
+    costs: LayerCosts,
+    t_head: SimTime,
+    staging: &mut TierStaging,
+    slots: usize,
+) -> Result<ScalarSchedule, OutOfTierMemory> {
     let n = n_layers;
     let tf = costs.t_fwd;
     let tb = costs.t_bwd;
@@ -573,26 +645,14 @@ fn build_fast(
     // of the same durations, so bit-identical).
     let compute_busy = scale(tf, n as u64) + t_head + scale(tr, swapped) + scale(tb, n as u64);
     let io_busy = scale(tt, swapped);
-    let makespan = c.max(o).max(p);
 
-    let mut tl = Timeline::with_recording(RecordLevel::CursorOnly);
-    let compute = tl.add_stream("compute");
-    let offload = tl.add_stream("offload");
-    let prefetch = tl.add_stream("prefetch");
-    tl.advance_cursor(compute, c);
-    tl.add_busy(compute, compute_busy);
-    tl.advance_cursor(offload, o);
-    tl.add_busy(offload, io_busy);
-    tl.advance_cursor(prefetch, p);
-    tl.add_busy(prefetch, io_busy);
-
-    Ok(ScheduleOutcome {
+    Ok(ScalarSchedule {
         forward_end,
-        makespan,
+        compute_end: c,
+        offload_end: o,
+        prefetch_end: p,
         compute_busy,
-        compute_idle: makespan.saturating_sub(compute_busy),
-        host_peak: staging.host_peak(),
-        timeline: tl,
+        io_busy,
     })
 }
 

@@ -6,6 +6,7 @@
 //! memo-sim --model 7b --gpus 8 --seq 256k --all
 //! ```
 
+use memo::core::delta::{pick_best, DeltaContext};
 use memo::core::observer::RunObserver;
 use memo::core::session::Workload;
 use memo::model::config::ModelConfig;
@@ -39,6 +40,12 @@ OPTIONS:
     --pcie-gbps <N>                      nominal PCIe bandwidth override (GB/s)
     --gpu-mem-gib <N>                    per-GPU memory override (GiB)
     --host-mem-gib <N>                   per-node host DRAM override (GiB)
+    --alpha-points <N>                   N-point dense α grid (N >= 2) over [0, 1]
+                                         at the best (or fixed) MEMO strategy,
+                                         swept through the delta-simulation path
+    --mixed-policy                       per-layer mixed-policy search at the same
+                                         strategy: k = 0..=L-2 swapped layers,
+                                         remaining layers recomputed token-wise
     --trace <PATH>                       write a Chrome-trace JSON (open in
                                          chrome://tracing or Perfetto): one
                                          process per run, one thread per stream,
@@ -169,6 +176,67 @@ impl ObsSink {
     }
 }
 
+/// Dense α grid at one MEMO strategy, swept through the delta path
+/// ([`Workload::alpha_grid_with`]): profile/plan pins plus the segment
+/// cache make the per-α cost a cache splice, not a fresh simulation.
+fn print_alpha_grid(
+    workload: &Workload,
+    cfg: &ParallelConfig,
+    points: usize,
+    ctx: &mut DeltaContext,
+) {
+    let grid = workload.alpha_grid_with(cfg, points, 2, ctx);
+    println!("α grid — {} points at MEMO {}", points, cfg.describe());
+    for (alpha, rep) in &grid {
+        match rep.outcome.metrics() {
+            Some(m) => println!(
+                "    α={alpha:<6.4}   MFU {:6.2}%   TGS {:9.2}   iter {:7.2}s",
+                m.mfu * 100.0,
+                m.tgs,
+                m.iter_secs
+            ),
+            None => println!("    α={alpha:<6.4}   {}", rep.outcome.cell()),
+        }
+    }
+    match pick_best(&grid) {
+        Some((alpha, rep)) => println!(
+            "    pick: α={alpha:.4} (TGS {:.2})",
+            rep.outcome.metrics().expect("picked cell is feasible").tgs
+        ),
+        None => println!("    pick: none (no feasible α on this strategy)"),
+    }
+}
+
+/// Per-layer mixed-policy search at one strategy: k = 0..=L-2 layers
+/// swapped whole, the rest recomputed token-wise at the solved α.
+fn print_mixed_policy_grid(workload: &Workload, cfg: &ParallelConfig, ctx: &mut DeltaContext) {
+    let grid = workload.mixed_policy_grid_with(cfg, None, 2, ctx);
+    println!(
+        "mixed-policy grid — k = 0..={} swapped layers at MEMO {}",
+        grid.len().saturating_sub(1),
+        cfg.describe()
+    );
+    for (k, rep) in &grid {
+        match rep.outcome.metrics() {
+            Some(m) => println!(
+                "    k={k:<3}   MFU {:6.2}%   TGS {:9.2}   iter {:7.2}s{}",
+                m.mfu * 100.0,
+                m.tgs,
+                m.iter_secs,
+                m.alpha.map(|a| format!("   α={a}")).unwrap_or_default(),
+            ),
+            None => println!("    k={k:<3}   {}", rep.outcome.cell()),
+        }
+    }
+    match pick_best(&grid) {
+        Some((k, rep)) => println!(
+            "    pick: k={k} (TGS {:.2})",
+            rep.outcome.metrics().expect("picked cell is feasible").tgs
+        ),
+        None => println!("    pick: none (no feasible swap count on this strategy)"),
+    }
+}
+
 /// Returns false when the strategy was invalid (so main can exit nonzero).
 fn report(
     workload: &Workload,
@@ -238,6 +306,8 @@ fn main() -> ExitCode {
     let mut host_mem_gib: Option<u64> = None;
     let mut trace_path: Option<String> = None;
     let mut report_path: Option<String> = None;
+    let mut alpha_points: Option<usize> = None;
+    let mut mixed_policy = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -307,6 +377,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--alpha-points" => match take().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 2 => alpha_points = Some(n),
+                _ => {
+                    eprintln!("--alpha-points requires an integer >= 2");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--mixed-policy" => mixed_policy = true,
             "--pcie-gbps" => pcie_gbps = take().and_then(|v| v.parse().ok()),
             "--gpu-mem-gib" => gpu_mem_gib = take().and_then(|v| v.parse().ok()),
             "--host-mem-gib" => host_mem_gib = take().and_then(|v| v.parse().ok()),
@@ -347,6 +425,9 @@ fn main() -> ExitCode {
     };
     let mut all_ok = true;
     let mut sink = (trace_path.is_some() || report_path.is_some()).then(ObsSink::default);
+    // One delta context across every sequence length: it restamps itself on
+    // workload changes, so the grids reuse pins wherever keys still match.
+    let mut grid_ctx = DeltaContext::new();
     for s in seqs {
         let mut workload = Workload::new(model.clone(), gpus, s);
         workload.batch = batch;
@@ -375,6 +456,27 @@ fn main() -> ExitCode {
                 None => None,
             };
             all_ok &= report(&workload, sys, cfg, sink.as_mut());
+        }
+        if alpha_points.is_some() || mixed_policy {
+            // The dense grids are MEMO features: resolve one MEMO strategy
+            // (fixed via --strategy, otherwise the search winner) and sweep.
+            let gpn = workload.calib.gpus_per_node.min(workload.n_gpus);
+            let cfg = match strategy.as_deref() {
+                Some(text) => parse_strategy(text, SystemSpec::Memo)
+                    .filter(|c| c.validate(&workload.model, workload.n_gpus, gpn).is_ok()),
+                None => workload.run_best_or_failure(SystemSpec::Memo).0,
+            };
+            match cfg {
+                Some(cfg) => {
+                    if let Some(points) = alpha_points {
+                        print_alpha_grid(&workload, &cfg, points, &mut grid_ctx);
+                    }
+                    if mixed_policy {
+                        print_mixed_policy_grid(&workload, &cfg, &mut grid_ctx);
+                    }
+                }
+                None => println!("grids skipped: no feasible MEMO strategy at this length"),
+            }
         }
         println!();
     }

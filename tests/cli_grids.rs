@@ -1,0 +1,78 @@
+//! Smoke test for the dense-grid CLI flags: run the real `memo-sim` binary
+//! with `--alpha-points` / `--mixed-policy` (the delta-simulation sweeps)
+//! and check that both tables and their picks come out.
+
+use std::process::Command;
+
+#[test]
+fn memo_sim_dense_grid_flags_print_tables_and_picks() {
+    let out = Command::new(env!("CARGO_BIN_EXE_memo-sim"))
+        .args([
+            "--model",
+            "7b",
+            "--gpus",
+            "8",
+            "--seq",
+            "64k",
+            "--system",
+            "memo",
+            "--alpha-points",
+            "5",
+            "--mixed-policy",
+        ])
+        .output()
+        .expect("memo-sim must launch");
+    assert!(
+        out.status.success(),
+        "memo-sim with grid flags failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    // The α table: exactly the five requested lattice points, then a pick.
+    assert!(
+        stdout.contains("α grid — 5 points at MEMO"),
+        "missing α grid header:\n{stdout}"
+    );
+    for point in ["α=0.0000", "α=0.2500", "α=0.5000", "α=0.7500", "α=1.0000"] {
+        assert!(
+            stdout.contains(point),
+            "missing grid row {point}:\n{stdout}"
+        );
+    }
+
+    // The per-layer policy table: k = 0..=L-2 rows, then a pick.
+    assert!(
+        stdout.contains("mixed-policy grid — k = 0..="),
+        "missing mixed-policy header:\n{stdout}"
+    );
+    assert!(stdout.contains("k=0"), "missing k=0 row:\n{stdout}");
+
+    // One pick line per grid (α pick and k pick).
+    assert!(
+        stdout.matches("pick:").count() >= 2,
+        "expected a pick per grid:\n{stdout}"
+    );
+}
+
+#[test]
+fn alpha_points_rejects_degenerate_grids() {
+    let out = Command::new(env!("CARGO_BIN_EXE_memo-sim"))
+        .args([
+            "--model",
+            "7b",
+            "--gpus",
+            "8",
+            "--seq",
+            "64k",
+            "--alpha-points",
+            "1",
+        ])
+        .output()
+        .expect("memo-sim must launch");
+    assert!(!out.status.success(), "a 1-point α grid must be rejected");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains(">= 2"),
+        "error should name the >= 2 requirement"
+    );
+}
