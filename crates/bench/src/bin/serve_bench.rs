@@ -1,0 +1,142 @@
+//! Fleet-serving benchmark: sustained planning throughput under a
+//! Zipfian multi-tenant mix.
+//!
+//! Generates a deterministic stream of planning queries (48 tenants,
+//! Zipf-popular, 7B/13B models at 64K–256K context on 4–8 GPU slices),
+//! serves it twice — pooled (the product path: work-stealing pool, delta
+//! execution, shared profile/segment caches) and serial (the reference:
+//! one thread, full cached path) — and enforces:
+//!
+//! * **parity** — every record identical between the legs: same admitted
+//!   set, same shed reasons, same picked cell with a bit-identical
+//!   winning report;
+//! * **cache locality** — the shared profile cache serves ≥ 50% of
+//!   lookups under the Zipfian mix (per-request scoped counts, so the
+//!   rate is attributable, not process noise);
+//! * **latency accounting** — p50/p99 per-request planning latency and
+//!   queries/sec recorded in `BENCH_serve.json`.
+
+use memo_obs::json::Json;
+use memo_serve::{
+    generate, replies_match, PlanServer, RequestOutcome, ServeConfig, ServeReport, StreamSpec,
+};
+use std::time::Instant;
+
+fn serve_leg(stream: &[memo_serve::PlanRequest], serial: bool) -> ServeReport {
+    PlanServer::new(ServeConfig {
+        serial,
+        ..ServeConfig::default()
+    })
+    .serve(stream)
+}
+
+fn main() {
+    let mut spec = StreamSpec::new(48, 1500, 42);
+    spec.mean_gap_secs = 0.5e-3;
+    spec.deadline_range_secs = (2e-3, 60e-3);
+    let stream = generate(&spec);
+    println!(
+        "serve_bench — {} requests from {} tenants (zipf {}), {} workers\n",
+        spec.requests,
+        spec.tenants,
+        spec.zipf_exponent,
+        memo_parallel::pool::available_workers()
+    );
+
+    // Cold fleet: both caches empty, so the hit rate below is earned by
+    // the stream's own locality, not by whoever ran before us.
+    memo_core::cache::ProfileCache::global().clear();
+    memo_swap::SegmentCache::global().clear();
+
+    let t0 = Instant::now();
+    let pooled = serve_leg(&stream, false);
+    let pooled_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let serial = serve_leg(&stream, true);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // ---- parity: record-by-record across the legs -------------------------
+    let mut parity = true;
+    assert_eq!(pooled.records.len(), serial.records.len());
+    for (p, s) in pooled.records.iter().zip(&serial.records) {
+        let ok = match (&p.outcome, &s.outcome) {
+            (RequestOutcome::Planned(a), RequestOutcome::Planned(b)) => replies_match(a, b),
+            (RequestOutcome::Rejected(a), RequestOutcome::Rejected(b)) => a == b,
+            _ => false,
+        };
+        assert!(ok, "request {} diverged between legs", p.request.id);
+        parity &= ok;
+    }
+    let s = &pooled.summary;
+    println!(
+        "parity: {} records identical (planned {}, shed queue {} / deadline {} / budget {})",
+        s.requests, s.planned, s.shed_queue, s.shed_deadline, s.shed_budget
+    );
+    assert!(s.planned > 0, "the fleet must plan something");
+    assert!(
+        s.shed_queue + s.shed_deadline + s.shed_budget > 0,
+        "the mix is tuned to shed at least one request"
+    );
+
+    // ---- shared-cache locality --------------------------------------------
+    println!(
+        "caches: profile {:.1}% hit ({}/{}), segment {:.1}% hit ({}/{})",
+        s.profile_hit_rate() * 100.0,
+        s.profile_cache.hits,
+        s.profile_cache.hits + s.profile_cache.misses,
+        s.segment_hit_rate() * 100.0,
+        s.segment_cache.hits,
+        s.segment_cache.hits + s.segment_cache.misses,
+    );
+    assert!(
+        s.profile_hit_rate() >= 0.5,
+        "profile-cache hit rate {:.2} below the 0.5 target",
+        s.profile_hit_rate()
+    );
+
+    // ---- latency / throughput ---------------------------------------------
+    let lat = s.latency.expect("planned requests have latencies");
+    println!(
+        "latency: p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {:.3} ms over {} plans",
+        lat.p50_secs * 1e3,
+        lat.p90_secs * 1e3,
+        lat.p99_secs * 1e3,
+        lat.max_secs * 1e3,
+        lat.count
+    );
+    println!(
+        "throughput: pooled {:.0} plans/s ({:.0} ms), serial leg {:.0} ms; \
+         elastic: {} rebalances, peak {} tenants, pool {} jobs / {} steals",
+        s.qps,
+        pooled_ms,
+        serial_ms,
+        s.rebalances,
+        s.peak_active_tenants,
+        s.pool.jobs,
+        s.pool.steals
+    );
+    assert!(lat.p50_secs <= lat.p99_secs && lat.p99_secs <= lat.max_secs);
+    assert!(s.qps > 0.0);
+    assert!(
+        s.rebalances >= spec.tenants as u64,
+        "every tenant arrival must rebalance the fleet"
+    );
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::str("serve")),
+        ("tenants".into(), Json::int(spec.tenants as u64)),
+        ("requests".into(), Json::int(spec.requests as u64)),
+        ("zipf_exponent".into(), Json::num(spec.zipf_exponent)),
+        ("seed".into(), Json::int(spec.seed)),
+        (
+            "workers".into(),
+            Json::int(memo_parallel::pool::available_workers() as u64),
+        ),
+        ("parity".into(), Json::Bool(parity)),
+        ("pooled_ms".into(), Json::num(pooled_ms)),
+        ("serial_ms".into(), Json::num(serial_ms)),
+        ("summary".into(), s.to_json()),
+    ]);
+    std::fs::write("BENCH_serve.json", format!("{doc}\n")).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+}

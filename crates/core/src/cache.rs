@@ -24,9 +24,10 @@ use memo_model::config::ModelConfig;
 use memo_model::trace::{IterationTrace, RematPolicy};
 use memo_parallel::strategy::ParallelConfig;
 use memo_plan::bilevel::BilevelReport;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Everything `profile()` reads, by value. Two equal keys guarantee
 /// bit-identical reports.
@@ -75,7 +76,7 @@ pub struct ProfileCache {
 }
 
 /// Hit/miss counters since the last [`ProfileCache::reset_stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
@@ -91,6 +92,82 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+thread_local! {
+    /// Active stats scope on this thread (`None` = unscoped).
+    static CACHE_SCOPE: Cell<Option<CacheStats>> = const { Cell::new(None) };
+}
+
+fn bump_scope(f: impl FnOnce(&mut CacheStats)) {
+    CACHE_SCOPE.with(|s| {
+        if let Some(mut cur) = s.get() {
+            f(&mut cur);
+            s.set(Some(cur));
+        }
+    });
+}
+
+/// RAII scope attributing this thread's profile/plan-cache lookups to one
+/// request. The process-global counters keep racing totals across every
+/// thread; a scope observes exactly the lookups made between `enter` and
+/// `finish` *on this thread*, so concurrent requests on different pool
+/// workers report disjoint counts. Entering saves any enclosing scope;
+/// finishing folds the inner counts back into it, composing the way the
+/// global counters do.
+#[derive(Debug)]
+pub struct CacheStatsScope {
+    prev: Option<CacheStats>,
+    done: bool,
+}
+
+impl CacheStatsScope {
+    pub fn enter() -> Self {
+        CacheStatsScope {
+            prev: CACHE_SCOPE.replace(Some(CacheStats::default())),
+            done: false,
+        }
+    }
+
+    /// Close the scope and return the counts recorded inside it.
+    pub fn finish(mut self) -> CacheStats {
+        self.close()
+    }
+
+    fn close(&mut self) -> CacheStats {
+        if self.done {
+            return CacheStats::default();
+        }
+        self.done = true;
+        let inner = CACHE_SCOPE.replace(self.prev).unwrap_or_default();
+        bump_scope(|outer| outer.absorb(inner));
+        inner
+    }
+}
+
+impl Drop for CacheStatsScope {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Lock a shard, recovering from poisoning: a worker that panicked while
+/// holding the lock may have left a half-updated map behind, so the
+/// recovered shard is dropped wholesale — losing cached entries, never
+/// correctness (every entry is recomputable) — and the poison flag is
+/// cleared so later locks are clean.
+fn lock_shard<V>(shard: &Mutex<HashMap<ProfileKey, V>>) -> MutexGuard<'_, HashMap<ProfileKey, V>> {
+    shard.lock().unwrap_or_else(|poisoned| {
+        shard.clear_poison();
+        let mut guard = poisoned.into_inner();
+        guard.clear();
+        guard
+    })
 }
 
 impl ProfileCache {
@@ -127,6 +204,16 @@ impl ProfileCache {
         (h.finish() as usize) % self.shards.len()
     }
 
+    fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        bump_scope(|s| s.hits += 1);
+    }
+
+    fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        bump_scope(|s| s.misses += 1);
+    }
+
     /// Look up or compute the profile for `(w, cfg, policy, materialize_logits)`.
     ///
     /// With the cache disabled (or `use_cache` false) this is a plain
@@ -145,17 +232,17 @@ impl ProfileCache {
         }
         let key = ProfileKey::new(w, cfg, policy, materialize_logits);
         let shard = &self.shards[self.shard_idx(&key)];
-        if let Some(hit) = shard.lock().expect("cache shard poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = lock_shard(shard).get(&key) {
+            self.count_hit();
             return Arc::clone(hit);
         }
         // Compute outside the lock: profiles are expensive and concurrent
         // misses on the same key are rare (the search fans out over distinct
         // configs). A racing duplicate insert is harmless — both values are
         // bit-identical by purity of `profile()`.
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.count_miss();
         let report = Arc::new(profiler::profile(w, cfg, policy, materialize_logits));
-        let mut map = shard.lock().expect("cache shard poisoned");
+        let mut map = lock_shard(shard);
         if map.len() >= Self::SHARD_CAP {
             map.clear();
         }
@@ -182,13 +269,13 @@ impl ProfileCache {
         }
         let key = ProfileKey::new(w, cfg, policy, materialize_logits);
         let shard = &self.plan_shards[self.shard_idx(&key)];
-        if let Some(hit) = shard.lock().expect("plan shard poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = lock_shard(shard).get(&key) {
+            self.count_hit();
             return Arc::clone(hit);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.count_miss();
         let report = Arc::new(crate::planner::plan(trace));
-        let mut map = shard.lock().expect("plan shard poisoned");
+        let mut map = lock_shard(shard);
         if map.len() >= Self::SHARD_CAP {
             map.clear();
         }
@@ -224,10 +311,10 @@ impl ProfileCache {
     /// Drop every cached entry (tests; bench runs isolating phases).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
+            lock_shard(shard).clear();
         }
         for shard in &self.plan_shards {
-            shard.lock().expect("plan shard poisoned").clear();
+            lock_shard(shard).clear();
         }
     }
 }
@@ -284,5 +371,93 @@ mod tests {
     fn hit_rate_arithmetic() {
         assert_eq!(CacheStats { hits: 0, misses: 0 }.hit_rate(), 0.0);
         assert_eq!(CacheStats { hits: 3, misses: 1 }.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn poisoned_shards_recover_and_later_requests_still_serve() {
+        // A request that panics while holding a shard lock must not poison
+        // the cache for the rest of the process (the serve-layer failure
+        // mode). The next lookup recovers the shard, recomputes, and
+        // memoization resumes.
+        let cache = ProfileCache::new();
+        let w = w7(8, 64);
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        let before = cache.profile(&w, &cfg, RematPolicy::MemoTokenWise, false, true);
+        fn poison<T>(shards: &[Mutex<T>]) {
+            for shard in shards {
+                let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _guard = shard.lock().unwrap();
+                    panic!("worker dies mid-request");
+                }));
+                assert!(died.is_err());
+                assert!(shard.is_poisoned());
+            }
+        }
+        poison(&cache.shards);
+        poison(&cache.plan_shards);
+        let after = cache.profile(&w, &cfg, RematPolicy::MemoTokenWise, false, true);
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "poisoned shard was cleared, so this is a recompute"
+        );
+        assert_eq!(*before, *after, "recompute is bit-identical");
+        let hit = cache.profile(&w, &cfg, RematPolicy::MemoTokenWise, false, true);
+        assert!(Arc::ptr_eq(&after, &hit), "memoization resumed");
+        cache.clear();
+        assert!(cache.shards.iter().all(|s| !s.is_poisoned()));
+        assert!(cache.plan_shards.iter().all(|s| !s.is_poisoned()));
+    }
+
+    #[test]
+    fn overlapping_request_scopes_report_disjoint_counts() {
+        use std::sync::{Arc as StdArc, Barrier};
+        // Two overlapping "requests" on separate threads against the same
+        // shared cache: each scope must see exactly its own lookups even
+        // though the global counters race (this is the per-request stats
+        // bug the serve layer exposes).
+        let cache = StdArc::new(ProfileCache::new());
+        let barrier = StdArc::new(Barrier::new(2));
+        let spawn = |hits: usize, tp: usize| {
+            let cache = StdArc::clone(&cache);
+            let barrier = StdArc::clone(&barrier);
+            std::thread::spawn(move || {
+                let w = w7(8, 64);
+                let cfg = ParallelConfig::megatron(tp, 8 / tp, 1, 1);
+                let scope = CacheStatsScope::enter();
+                barrier.wait();
+                // One miss on this request's own key, then `hits` hits.
+                for _ in 0..=hits {
+                    cache.profile(&w, &cfg, RematPolicy::MemoTokenWise, false, true);
+                }
+                scope.finish()
+            })
+        };
+        let a = spawn(2, 4);
+        let b = spawn(4, 2);
+        let sa = a.join().unwrap();
+        let sb = b.join().unwrap();
+        assert_eq!(sa, CacheStats { hits: 2, misses: 1 });
+        assert_eq!(sb, CacheStats { hits: 4, misses: 1 });
+        // The globals hold the racing total, as before.
+        assert_eq!(cache.stats(), CacheStats { hits: 6, misses: 2 });
+    }
+
+    #[test]
+    fn nested_scopes_fold_into_the_enclosing_scope() {
+        let cache = ProfileCache::new();
+        let w = w7(8, 64);
+        let cfg = ParallelConfig::megatron(8, 1, 1, 1);
+        let outer = CacheStatsScope::enter();
+        cache.profile(&w, &cfg, RematPolicy::MemoTokenWise, false, true);
+        let inner = CacheStatsScope::enter();
+        cache.profile(&w, &cfg, RematPolicy::MemoTokenWise, false, true);
+        let si = inner.finish();
+        assert_eq!(si, CacheStats { hits: 1, misses: 0 });
+        let so = outer.finish();
+        assert_eq!(
+            so,
+            CacheStats { hits: 1, misses: 1 },
+            "inner counts fold outward"
+        );
     }
 }

@@ -27,6 +27,7 @@
 //! the two in parallel over randomized workloads and knob-adjacent
 //! strategy pairs, including OOM/OOHM divergence cells, to pin that.
 
+use crate::outcome::CellOutcome;
 use crate::pipeline::{ActivationPolicy, ExecutionPipeline, ExecutionReport, PipelineStages};
 use crate::profiler::ProfileReport;
 use crate::session::Workload;
@@ -263,6 +264,28 @@ pub fn pick_best<K: Copy>(cells: &[(K, ExecutionReport)]) -> Option<(K, &Executi
     best.map(|(k, rep, _)| (k, rep))
 }
 
+/// [`pick_best`] that never strands the caller on a fully-infeasible grid:
+/// alongside the winner (if any) it returns the pick's outcome, or — when
+/// every cell failed — the **least-bad failure** by
+/// [`CellOutcome::failure_rank`] (any OOHM before any OOM, smallest
+/// shortfall first; ties keep the first enumerated cell, matching the
+/// serial fold of `Workload::run_best_or_failure`).
+/// [`CellOutcome::NoValidStrategy`] for an empty grid.
+pub fn pick_best_or_failure<K: Copy>(
+    cells: &[(K, ExecutionReport)],
+) -> (Option<(K, &ExecutionReport)>, CellOutcome) {
+    if let Some((k, rep)) = pick_best(cells) {
+        return (Some((k, rep)), rep.outcome.clone());
+    }
+    let failure = cells
+        .iter()
+        .map(|(_, rep)| &rep.outcome)
+        .min_by_key(|out| out.failure_rank())
+        .cloned()
+        .unwrap_or(CellOutcome::NoValidStrategy);
+    (None, failure)
+}
+
 impl Workload {
     /// Sweep a dense α grid for the MEMO token-wise policy under one
     /// strategy: `points ≥ 2` evenly spaced overrides on [0, 1], walked in
@@ -352,7 +375,6 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::outcome::CellOutcome;
     use crate::testutil::w7;
 
     fn assert_reports_equal(a: &ExecutionReport, b: &ExecutionReport, what: &str) {

@@ -33,8 +33,10 @@ pub mod planner;
 pub mod profiler;
 pub mod session;
 
-pub use cache::{CacheStats, ProfileCache};
-pub use delta::{delta_stats, pick_best, reset_delta_stats, DeltaContext, DeltaStats};
+pub use cache::{CacheStats, CacheStatsScope, ProfileCache};
+pub use delta::{
+    delta_stats, pick_best, pick_best_or_failure, reset_delta_stats, DeltaContext, DeltaStats,
+};
 pub use metrics::Metrics;
 pub use observer::RunObserver;
 pub use outcome::CellOutcome;

@@ -45,6 +45,27 @@ impl CellOutcome {
         self.metrics().map(|m| m.mfu)
     }
 
+    /// Rank failures from least-bad to worst: any OOHM before any OOM
+    /// (host gave out while the GPU fit), smaller shortfalls first within
+    /// each kind, then degenerate timings, then the empty search space.
+    /// `Ok` ranks 0 — strictly below every failure — so min-by-rank over a
+    /// mixed cell set never prefers a failure to a success.
+    pub fn failure_rank(&self) -> u128 {
+        let kind_penalty = 1u128 << 64;
+        match self {
+            CellOutcome::Ok(_) => 0,
+            CellOutcome::Oohm { needed, capacity } => needed.saturating_sub(*capacity) as u128,
+            CellOutcome::Oom { needed, capacity } => {
+                kind_penalty + needed.saturating_sub(*capacity) as u128
+            }
+            // A degenerate iteration time is a simulator-level anomaly,
+            // worse than any concrete memory shortfall but still more
+            // informative than an empty search space.
+            CellOutcome::Degenerate { .. } => u128::MAX - 1,
+            CellOutcome::NoValidStrategy => u128::MAX,
+        }
+    }
+
     /// Render like the paper's table cells: "52.34% / 1786.2" or "X_oom".
     pub fn cell(&self) -> String {
         match self {

@@ -326,7 +326,9 @@ impl ExecutionPipeline {
             .is_ok());
 
         // ---- stage 1: profile ---------------------------------------------
-        let cache_before = obs.as_ref().map(|_| ProfileCache::global().stats());
+        // Thread-local scope, not a global snapshot-diff: concurrent
+        // requests on other workers must not leak into this run's counts.
+        let cache_scope = obs.as_ref().map(|_| crate::cache::CacheStatsScope::enter());
         let t0 = obs.as_ref().map(|_| Instant::now());
         let p = ProfileCache::global().profile(
             w,
@@ -359,7 +361,7 @@ impl ExecutionPipeline {
         let plan = match plan {
             Ok(plan) => plan,
             Err(out) => {
-                finish_cache_delta(obs, cache_before);
+                finish_cache_delta(obs, cache_scope);
                 return fail(
                     ByteBreakdown {
                         model_states: p.model_states.total(),
@@ -387,7 +389,7 @@ impl ExecutionPipeline {
         let mem = match mem {
             Ok(mem) => mem,
             Err(out) => {
-                finish_cache_delta(obs, cache_before);
+                finish_cache_delta(obs, cache_scope);
                 return fail(
                     ByteBreakdown {
                         model_states: p.model_states.total(),
@@ -415,7 +417,7 @@ impl ExecutionPipeline {
         if let Some(o) = obs.as_deref_mut() {
             o.stage_secs.schedule = t0.unwrap().elapsed().as_secs_f64();
         }
-        finish_cache_delta(obs, cache_before);
+        finish_cache_delta(obs, cache_scope);
         report
     }
 
@@ -551,14 +553,15 @@ impl ExecutionPipeline {
     }
 }
 
-/// Fold the global [`ProfileCache`] hit/miss delta since `before` into the
-/// observer. Global counters move under concurrent searches, so the delta
-/// is saturating — attribution is best-effort telemetry, not accounting.
-fn finish_cache_delta(obs: Option<&mut RunObserver>, before: Option<crate::cache::CacheStats>) {
-    if let (Some(o), Some(before)) = (obs, before) {
-        let after = ProfileCache::global().stats();
-        o.cache_hits += after.hits.saturating_sub(before.hits);
-        o.cache_misses += after.misses.saturating_sub(before.misses);
+/// Fold the run's [`ProfileCache`] lookups into the observer. The scope is
+/// thread-local, so the counts are exact for this run even while other
+/// workers hammer the same global cache (the old global snapshot-diff
+/// attributed their lookups to whichever observer finished last).
+fn finish_cache_delta(obs: Option<&mut RunObserver>, scope: Option<crate::cache::CacheStatsScope>) {
+    if let (Some(o), Some(scope)) = (obs, scope) {
+        let s = scope.finish();
+        o.cache_hits += s.hits;
+        o.cache_misses += s.misses;
     }
 }
 

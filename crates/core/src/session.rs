@@ -201,7 +201,11 @@ impl Workload {
                     }
                 }
                 None => {
-                    if failure_rank(&out) < failure.as_ref().map_or(u128::MAX, failure_rank) {
+                    if out.failure_rank()
+                        < failure
+                            .as_ref()
+                            .map_or(u128::MAX, CellOutcome::failure_rank)
+                    {
                         failure = Some(out);
                     }
                 }
@@ -211,24 +215,6 @@ impl Workload {
             best.map(|(cfg, out, _)| (cfg, out)),
             failure.unwrap_or(CellOutcome::NoValidStrategy),
         )
-    }
-}
-
-/// Lower ranks are less-bad failures: any OOHM before any OOM (host gave
-/// out while the GPU fit), smaller shortfalls first within each kind.
-fn failure_rank(out: &CellOutcome) -> u128 {
-    let kind_penalty = 1u128 << 64;
-    match out {
-        CellOutcome::Ok(_) => 0,
-        CellOutcome::Oohm { needed, capacity } => needed.saturating_sub(*capacity) as u128,
-        CellOutcome::Oom { needed, capacity } => {
-            kind_penalty + needed.saturating_sub(*capacity) as u128
-        }
-        // A degenerate iteration time is a simulator-level anomaly, worse
-        // than any concrete memory shortfall but still more informative
-        // than an empty search space.
-        CellOutcome::Degenerate { .. } => u128::MAX - 1,
-        CellOutcome::NoValidStrategy => u128::MAX,
     }
 }
 

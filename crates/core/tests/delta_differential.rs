@@ -10,7 +10,8 @@
 //! layer exploits: a wrong segment-cache key or a stale pin shows up as a
 //! divergence on the cell after the knob change, not on the first cell.
 
-use memo_core::delta::{pick_best, DeltaContext};
+use memo_core::delta::{pick_best, pick_best_or_failure, DeltaContext};
+use memo_core::outcome::CellOutcome;
 use memo_core::pipeline::{ActivationPolicy, ExecutionPipeline, ExecutionReport, PipelineStages};
 use memo_core::session::Workload;
 use memo_model::config::ModelConfig;
@@ -222,4 +223,60 @@ fn oohm_and_oom_cells_appear_and_match_at_one_million_tokens() {
     assert!(saw_oohm, "1M grid endpoints must contain OOHM cells");
     assert!(saw_oom, "1M grid endpoints must contain OOM cells");
     assert!(saw_ok, "1M grid endpoints must contain feasible cells");
+}
+
+/// A fully-infeasible grid (every cell OOM on a starved GPU) must not
+/// panic any dense-grid helper: `pick_best` returns `None` and
+/// `pick_best_or_failure` surfaces the least-bad failure by
+/// `CellOutcome::failure_rank`, mirroring `run_best_or_failure`'s
+/// `NoValidStrategy` path for the empty grid.
+#[test]
+fn fully_infeasible_grids_report_least_bad_failure_without_panicking() {
+    let mut w = Workload::new(ModelConfig::gpt_7b(), 8, 256 * 1024);
+    // 2 GiB per GPU: model states alone exceed it for every strategy.
+    w.calib.gpu_memory_bytes = 2 << 30;
+    let grid = memo_grid(&w);
+    assert!(!grid.is_empty());
+    let mut ctx = DeltaContext::new();
+    let cells: Vec<(usize, ExecutionReport)> = grid
+        .iter()
+        .enumerate()
+        .map(|(ci, cfg)| {
+            (
+                ci,
+                lockstep(
+                    &token_wise(0.5, 2),
+                    &w,
+                    cfg,
+                    &mut ctx,
+                    &format!("starved cfg {ci}"),
+                ),
+            )
+        })
+        .collect();
+    assert!(
+        cells.iter().all(|(_, rep)| !rep.outcome.is_ok()),
+        "2 GiB GPUs must make every cell infeasible"
+    );
+    assert!(pick_best(&cells).is_none());
+    let (pick, failure) = pick_best_or_failure(&cells);
+    assert!(pick.is_none());
+    // The reported failure is the least-bad one actually in the grid.
+    let min_rank = cells
+        .iter()
+        .map(|(_, rep)| rep.outcome.failure_rank())
+        .min()
+        .unwrap();
+    assert_eq!(failure.failure_rank(), min_rank);
+    match &failure {
+        CellOutcome::Oom { needed, capacity } | CellOutcome::Oohm { needed, capacity } => {
+            assert!(needed > capacity, "shortfall must be real");
+        }
+        other => panic!("starved grid must fail on memory, got {other:?}"),
+    }
+    // The empty grid degrades to NoValidStrategy, not a panic.
+    let empty: Vec<(usize, ExecutionReport)> = Vec::new();
+    let (pick, failure) = pick_best_or_failure(&empty);
+    assert!(pick.is_none());
+    assert_eq!(failure, CellOutcome::NoValidStrategy);
 }

@@ -13,6 +13,8 @@
 //! * [`report`] — [`ExecutionReport`](memo_core::pipeline::ExecutionReport)
 //!   and [`RunObserver`](memo_core::observer::RunObserver) serialization,
 //!   with a full parser back;
+//! * [`latency`] — nearest-rank percentile summaries (p50/p90/p99) of
+//!   per-request wall latencies, for the serve layer's fleet metrics;
 //! * [`json`] — the minimal hand-rolled JSON value the above share (the
 //!   workspace builds offline; there is no `serde_json`).
 //!
@@ -24,8 +26,10 @@
 pub mod alloc_trace;
 pub mod chrome;
 pub mod json;
+pub mod latency;
 pub mod report;
 
 pub use chrome::{export_chrome_trace, TraceBuilder};
 pub use json::{parse, Json};
+pub use latency::LatencySummary;
 pub use report::{observed_json, parse_report, report_json};

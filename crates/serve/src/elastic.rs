@@ -1,0 +1,272 @@
+//! Elastic repartitioning of the cluster's shared memory budgets.
+//!
+//! The fleet has one host-staging budget and one arena budget; active
+//! tenants split both evenly. Arrival of a new tenant or departure of an
+//! idle one triggers a rebalance — every live slice is resized *in place*
+//! through [`TierStaging::resize`], so bytes a tenant already staged ride
+//! along (a shrink below usage over-commits the slice until it drains,
+//! exactly the eLLM-style semantics of `HostStaging::set_capacity`).
+//!
+//! Two different things are carved out of a tenant's slice:
+//!
+//! * the **planning budget** — the host-memory capacity the planner is
+//!   told to plan against. It is quantized down to a power of two before
+//!   it reaches `Calibration::set_host_memory_bytes`, so the profile-cache
+//!   key only changes when a tenant's share moves by 2×, not on every
+//!   arrival/departure — this is what keeps the shared cache hot across
+//!   rebalances;
+//! * the **staging reservation** — per-request bytes reserved from the
+//!   slice while a request is in flight, gating admission concurrency.
+//!   Overflow maps to [`RejectReason::BudgetUnavailable`].
+
+use crate::request::RejectReason;
+use memo_swap::schedule::{TierTraffic, TierTrafficList};
+use memo_swap::TierStaging;
+use std::collections::HashMap;
+
+/// Tier indices of a tenant slice's two pools.
+pub const HOST_TIER: usize = 0;
+pub const ARENA_TIER: usize = 1;
+
+/// Largest power of two ≤ `bytes` (0 stays 0).
+pub fn quantize_pow2(bytes: u64) -> u64 {
+    if bytes == 0 {
+        0
+    } else {
+        1u64 << (63 - bytes.leading_zeros())
+    }
+}
+
+fn traffic(host_bytes: u64, arena_bytes: u64) -> TierTrafficList {
+    let mut t = TierTrafficList::new();
+    for bytes in [host_bytes, arena_bytes] {
+        t.push(TierTraffic {
+            bytes,
+            bandwidth: 1e9,
+            latency_secs: 0.0,
+        });
+    }
+    t
+}
+
+/// The fleet's elastic budget pools: one [`TierStaging`] slice per active
+/// tenant, rebalanced to an even split on every arrival and departure.
+#[derive(Debug, Clone)]
+pub struct ElasticPools {
+    host_total: u64,
+    arena_total: u64,
+    /// Active tenants in arrival order (the rebalance order is
+    /// deterministic so the two server legs agree byte for byte).
+    active: Vec<usize>,
+    slices: HashMap<usize, TierStaging>,
+    rebalances: u64,
+    peak_active: usize,
+}
+
+impl ElasticPools {
+    pub fn new(host_total: u64, arena_total: u64) -> Self {
+        ElasticPools {
+            host_total,
+            arena_total,
+            active: Vec::new(),
+            slices: HashMap::new(),
+            rebalances: 0,
+            peak_active: 0,
+        }
+    }
+
+    pub fn active_tenants(&self) -> usize {
+        self.active.len()
+    }
+
+    pub fn peak_active_tenants(&self) -> usize {
+        self.peak_active
+    }
+
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    pub fn is_active(&self, tenant: usize) -> bool {
+        self.slices.contains_key(&tenant)
+    }
+
+    /// Even split of both budgets over the active tenants, applied via
+    /// elastic resize (usage and peaks survive).
+    fn rebalance(&mut self) {
+        let n = self.active.len().max(1) as u64;
+        let shares = [self.host_total / n, self.arena_total / n];
+        for tenant in &self.active {
+            self.slices
+                .get_mut(tenant)
+                .expect("active tenant has a slice")
+                .resize(&shares);
+        }
+        self.rebalances += 1;
+    }
+
+    /// First in-flight presence of `tenant`: carve a slice and shrink
+    /// everyone else's.
+    pub fn tenant_arrived(&mut self, tenant: usize) {
+        assert!(!self.is_active(tenant), "tenant {tenant} already active");
+        self.active.push(tenant);
+        self.peak_active = self.peak_active.max(self.active.len());
+        self.slices.insert(tenant, TierStaging::new(&[0, 0]));
+        self.rebalance();
+    }
+
+    /// Last in-flight request of `tenant` finished and no more are
+    /// coming: return its slice to the pool and grow everyone else's.
+    pub fn tenant_departed(&mut self, tenant: usize) {
+        let slice = self
+            .slices
+            .remove(&tenant)
+            .expect("departing tenant active");
+        assert_eq!(
+            slice.host_used() + slice.pool(ARENA_TIER).map_or(0, |p| p.used()),
+            0,
+            "tenant {tenant} departed with staged bytes"
+        );
+        self.active.retain(|&t| t != tenant);
+        self.rebalance();
+    }
+
+    /// The planning budget of `tenant`'s current slice: the host share,
+    /// quantized down to a power of two for cache-key stability.
+    pub fn quantized_host_share(&self, tenant: usize) -> u64 {
+        let share = self
+            .slices
+            .get(&tenant)
+            .map_or(0, |s| s.capacities()[HOST_TIER]);
+        quantize_pow2(share)
+    }
+
+    /// Stage one in-flight request's bytes against the tenant's slice.
+    pub fn reserve(
+        &mut self,
+        tenant: usize,
+        host_bytes: u64,
+        arena_bytes: u64,
+    ) -> Result<(), RejectReason> {
+        self.slices
+            .get_mut(&tenant)
+            .expect("reserving tenant is active")
+            .reserve_layer(&traffic(host_bytes, arena_bytes))
+            .map_err(|e| {
+                // reserve_layer commits nearer tiers before failing; roll
+                // the host commit back so a shed request holds nothing.
+                if e.tier == ARENA_TIER {
+                    self.release(tenant, host_bytes, 0);
+                }
+                RejectReason::BudgetUnavailable {
+                    tier: e.tier,
+                    requested: e.requested,
+                    capacity: e.capacity,
+                }
+            })
+    }
+
+    /// Release one in-flight request's bytes.
+    pub fn release(&mut self, tenant: usize, host_bytes: u64, arena_bytes: u64) {
+        self.slices
+            .get_mut(&tenant)
+            .expect("releasing tenant is active")
+            .release_layer(&traffic(host_bytes, arena_bytes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn shares_split_evenly_and_quantize_to_powers_of_two() {
+        let mut pools = ElasticPools::new(96 * GIB, 24 * GIB);
+        pools.tenant_arrived(0);
+        assert_eq!(pools.quantized_host_share(0), 64 * GIB);
+        pools.tenant_arrived(1);
+        pools.tenant_arrived(2);
+        // 96/3 = 32 GiB exact: already a power of two.
+        for t in 0..3 {
+            assert_eq!(pools.quantized_host_share(t), 32 * GIB);
+        }
+        pools.tenant_departed(1);
+        // 96/2 = 48 GiB → quantized down to 32 GiB: the cache key did NOT
+        // move even though the raw share did.
+        assert_eq!(pools.quantized_host_share(0), 32 * GIB);
+        assert_eq!(pools.rebalances(), 4);
+        assert_eq!(pools.peak_active_tenants(), 3);
+    }
+
+    #[test]
+    fn reservations_survive_rebalances_and_gate_admission() {
+        let mut pools = ElasticPools::new(8 * GIB, 2 * GIB);
+        pools.tenant_arrived(7);
+        pools.reserve(7, GIB, GIB).unwrap();
+        // Arena slice is 2 GiB; a second 1.5 GiB arena ask overflows and
+        // names the arena tier.
+        let err = pools.reserve(7, 0, 3 * GIB / 2).unwrap_err();
+        match err {
+            RejectReason::BudgetUnavailable {
+                tier,
+                requested,
+                capacity,
+            } => {
+                assert_eq!(tier, ARENA_TIER);
+                assert_eq!(requested, 3 * GIB / 2);
+                assert_eq!(capacity, 2 * GIB);
+            }
+            other => panic!("wrong reject: {other:?}"),
+        }
+        // A second tenant halves the slice below tenant 7's staged GiB on
+        // the arena tier: nothing is revoked, new reserves fail, and after
+        // the release + departure the survivor's slice grows back.
+        pools.tenant_arrived(8);
+        assert!(pools.reserve(7, 0, GIB / 2).is_err());
+        pools.release(7, GIB, GIB);
+        pools.tenant_departed(8);
+        pools.reserve(7, 2 * GIB, GIB).unwrap();
+        pools.release(7, 2 * GIB, GIB);
+        pools.tenant_departed(7);
+        assert_eq!(pools.active_tenants(), 0);
+    }
+
+    #[test]
+    fn failed_reserve_rolls_back_the_host_commit() {
+        let mut pools = ElasticPools::new(8 * GIB, GIB);
+        pools.tenant_arrived(0);
+        let err = pools.reserve(0, GIB, 2 * GIB).unwrap_err();
+        assert!(matches!(
+            err,
+            RejectReason::BudgetUnavailable {
+                tier: ARENA_TIER,
+                ..
+            }
+        ));
+        // The host-tier commit of the failed layer reserve was undone: the
+        // full host share is still reservable.
+        pools.reserve(0, 8 * GIB, 0).unwrap();
+        pools.release(0, 8 * GIB, 0);
+    }
+
+    #[test]
+    fn quantize_pow2_rounds_down() {
+        assert_eq!(quantize_pow2(0), 0);
+        assert_eq!(quantize_pow2(1), 1);
+        assert_eq!(quantize_pow2(GIB), GIB);
+        assert_eq!(quantize_pow2(GIB + 1), GIB);
+        assert_eq!(quantize_pow2(3 * GIB), 2 * GIB);
+        assert_eq!(quantize_pow2(u64::MAX), 1 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "departed with staged bytes")]
+    fn departure_with_staged_bytes_is_a_bug() {
+        let mut pools = ElasticPools::new(8 * GIB, 2 * GIB);
+        pools.tenant_arrived(0);
+        pools.reserve(0, GIB, 0).unwrap();
+        pools.tenant_departed(0);
+    }
+}

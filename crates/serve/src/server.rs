@@ -1,0 +1,545 @@
+//! The planning server: admission → elastic budgets → pooled execution.
+//!
+//! Serving splits into two phases so that *what* is planned is fully
+//! deterministic and only *how fast* depends on the machine:
+//!
+//! 1. **Admission (serial, virtual clock).** Requests are walked in
+//!    arrival order through the [`AdmissionController`] and the
+//!    [`ElasticPools`]. Tenants arrive on their first in-flight request
+//!    and depart when their last one finishes (finish times come from the
+//!    controller's deterministic cost model), and every arrival/departure
+//!    rebalances the fleet's budget slices. Each admitted request snapshots
+//!    its quantized host planning budget *at admission* — later rebalances
+//!    never change what an in-flight request plans against.
+//! 2. **Execution (pooled, wall clock).** Admitted requests fan out over
+//!    the work-stealing [`Pool`], each worker owning a [`DeltaContext`]
+//!    and every request sharing the process-global profile and segment
+//!    caches. Per-request cache traffic and pool activity are scoped with
+//!    the RAII stats scopes, so concurrent requests report disjoint,
+//!    exact counts.
+//!
+//! Because phase 1 never reads a wall clock and phase 2's results are a
+//! pure function of each request (the delta path is bit-identical to the
+//! cached path), a pooled serve and a serial serve of the same stream
+//! produce [`replies_match`]-identical records — the parity contract
+//! `serve_bench` enforces.
+
+use crate::admission::{AdmissionController, AdmissionPolicy};
+use crate::elastic::ElasticPools;
+use crate::request::{PlanReply, PlanRequest, RequestOutcome, RequestRecord};
+use memo_core::cache::{CacheStats, CacheStatsScope};
+use memo_core::delta::{pick_best_or_failure, DeltaContext};
+use memo_core::pipeline::{ActivationPolicy, ExecutionPipeline, PipelineStages};
+use memo_core::session::Workload;
+use memo_obs::json::Json;
+use memo_obs::latency::LatencySummary;
+use memo_parallel::pool::{Pool, PoolStats, PoolStatsScope};
+use memo_parallel::search;
+use memo_parallel::strategy::SystemSpec;
+use memo_swap::{SegmentCacheStats, SegmentStatsScope};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+/// α lattice each request's strategy grid is crossed with.
+pub const ALPHA_POINTS: usize = 5;
+
+fn alpha_at(idx: usize) -> f64 {
+    idx as f64 / (ALPHA_POINTS - 1) as f64
+}
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Planning workers of the execution pool (0 = machine width).
+    pub workers: usize,
+    pub admission: AdmissionPolicy,
+    /// Fleet-wide host-staging budget split across active tenants.
+    pub host_total_bytes: u64,
+    /// Fleet-wide arena budget gating in-flight concurrency.
+    pub arena_total_bytes: u64,
+    /// Run the execution phase serially through the full cached path
+    /// (the parity reference leg).
+    pub serial: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            admission: AdmissionPolicy::default(),
+            host_total_bytes: 1024 << 30,
+            arena_total_bytes: 64 << 30,
+            serial: false,
+        }
+    }
+}
+
+/// Staging bytes one in-flight request holds against its tenant's slice:
+/// a host-tier quantum (pinned transfer buffers) and an arena-tier
+/// quantum (profiling scratch), both proportional to sequence length.
+pub fn staging_quanta(req: &PlanRequest) -> (u64, u64) {
+    (req.seq_len * 1024, req.seq_len * 4096)
+}
+
+/// An admitted request with its frozen planning budget.
+#[derive(Debug, Clone)]
+struct Admitted {
+    idx: usize,
+    req: PlanRequest,
+    host_budget_bytes: u64,
+}
+
+/// Fleet-level counters phase 1 leaves behind.
+#[derive(Debug, Clone, Copy, Default)]
+struct FleetStats {
+    rebalances: u64,
+    peak_active_tenants: usize,
+}
+
+/// Aggregate result of serving one stream.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    pub requests: usize,
+    pub planned: usize,
+    pub shed_queue: usize,
+    pub shed_deadline: usize,
+    pub shed_budget: usize,
+    /// Planned requests whose picked cell is feasible (not an `X_*`).
+    pub feasible: usize,
+    pub rebalances: u64,
+    pub peak_active_tenants: usize,
+    /// Profile-cache traffic summed over the per-request scopes.
+    pub profile_cache: CacheStats,
+    /// Segment-cache traffic summed over the per-request scopes.
+    pub segment_cache: SegmentCacheStats,
+    /// Execution-pool activity of phase 2 (this serve only).
+    pub pool: PoolStats,
+    pub latency: Option<LatencySummary>,
+    pub wall_secs: f64,
+    /// Planned requests per wall-clock second.
+    pub qps: f64,
+}
+
+impl ServeSummary {
+    pub fn profile_hit_rate(&self) -> f64 {
+        self.profile_cache.hit_rate()
+    }
+
+    pub fn segment_hit_rate(&self) -> f64 {
+        let total = self.segment_cache.hits + self.segment_cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.segment_cache.hits as f64 / total as f64
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("requests".into(), Json::int(self.requests as u64)),
+            ("planned".into(), Json::int(self.planned as u64)),
+            ("shed_queue".into(), Json::int(self.shed_queue as u64)),
+            ("shed_deadline".into(), Json::int(self.shed_deadline as u64)),
+            ("shed_budget".into(), Json::int(self.shed_budget as u64)),
+            ("feasible".into(), Json::int(self.feasible as u64)),
+            ("rebalances".into(), Json::int(self.rebalances)),
+            (
+                "peak_active_tenants".into(),
+                Json::int(self.peak_active_tenants as u64),
+            ),
+            ("profile_hits".into(), Json::int(self.profile_cache.hits)),
+            (
+                "profile_misses".into(),
+                Json::int(self.profile_cache.misses),
+            ),
+            (
+                "profile_hit_rate".into(),
+                Json::num(self.profile_hit_rate()),
+            ),
+            ("segment_hits".into(), Json::int(self.segment_cache.hits)),
+            (
+                "segment_misses".into(),
+                Json::int(self.segment_cache.misses),
+            ),
+            (
+                "segment_hit_rate".into(),
+                Json::num(self.segment_hit_rate()),
+            ),
+            ("pool_batches".into(), Json::int(self.pool.batches)),
+            ("pool_jobs".into(), Json::int(self.pool.jobs)),
+            ("pool_steals".into(), Json::int(self.pool.steals)),
+            (
+                "latency".into(),
+                self.latency.map_or(Json::Null, |l| l.to_json()),
+            ),
+            ("wall_secs".into(), Json::num(self.wall_secs)),
+            ("qps".into(), Json::num(self.qps)),
+        ])
+    }
+}
+
+/// Everything a serve produced: one record per stream entry (arrival
+/// order) plus the aggregate summary.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    pub records: Vec<RequestRecord>,
+    pub summary: ServeSummary,
+}
+
+/// The planning service.
+#[derive(Debug, Clone, Default)]
+pub struct PlanServer {
+    pub cfg: ServeConfig,
+}
+
+impl PlanServer {
+    pub fn new(cfg: ServeConfig) -> Self {
+        PlanServer { cfg }
+    }
+
+    /// Serve a request stream (must be sorted by arrival, as the
+    /// generators produce it).
+    pub fn serve(&self, requests: &[PlanRequest]) -> ServeReport {
+        let (admitted, mut outcomes, fleet) = self.admit_stream(requests);
+
+        let pool_scope = PoolStatsScope::enter();
+        let t0 = Instant::now();
+        let replies: Vec<(usize, PlanReply)> = if self.cfg.serial {
+            let mut ctx = DeltaContext::new();
+            admitted
+                .iter()
+                .map(|a| (a.idx, plan_one(a, true, &mut ctx)))
+                .collect()
+        } else {
+            let pool = if self.cfg.workers == 0 {
+                Pool::machine()
+            } else {
+                Pool::new(self.cfg.workers)
+            };
+            pool.map_with(admitted, DeltaContext::new, |ctx, a| {
+                (a.idx, plan_one(&a, false, ctx))
+            })
+        };
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let pool_stats = pool_scope.finish();
+
+        let mut summary = ServeSummary {
+            requests: requests.len(),
+            planned: replies.len(),
+            shed_queue: 0,
+            shed_deadline: 0,
+            shed_budget: 0,
+            feasible: 0,
+            rebalances: fleet.rebalances,
+            peak_active_tenants: fleet.peak_active_tenants,
+            profile_cache: CacheStats::default(),
+            segment_cache: SegmentCacheStats::default(),
+            pool: pool_stats,
+            latency: None,
+            wall_secs,
+            qps: if wall_secs > 0.0 {
+                replies.len() as f64 / wall_secs
+            } else {
+                0.0
+            },
+        };
+        let mut latencies = Vec::with_capacity(replies.len());
+        for (idx, reply) in replies {
+            summary.feasible += usize::from(reply.outcome.is_ok());
+            summary.profile_cache.hits += reply.cache.hits;
+            summary.profile_cache.misses += reply.cache.misses;
+            summary.segment_cache.hits += reply.segments.hits;
+            summary.segment_cache.misses += reply.segments.misses;
+            summary.segment_cache.fallbacks += reply.segments.fallbacks;
+            latencies.push(reply.latency_secs);
+            outcomes[idx] = Some(RequestOutcome::Planned(Box::new(reply)));
+        }
+        summary.latency = LatencySummary::from_secs(&latencies);
+
+        let records: Vec<RequestRecord> = requests
+            .iter()
+            .zip(outcomes)
+            .map(|(req, outcome)| {
+                let outcome = outcome.expect("every stream entry resolved");
+                if let RequestOutcome::Rejected(reason) = &outcome {
+                    match reason.cell() {
+                        "X_queue" => summary.shed_queue += 1,
+                        "X_deadline" => summary.shed_deadline += 1,
+                        _ => summary.shed_budget += 1,
+                    }
+                }
+                RequestRecord {
+                    request: req.clone(),
+                    outcome,
+                }
+            })
+            .collect();
+        ServeReport { records, summary }
+    }
+
+    /// Phase 1: the deterministic admission walk (see module docs).
+    #[allow(clippy::type_complexity)]
+    fn admit_stream(
+        &self,
+        requests: &[PlanRequest],
+    ) -> (Vec<Admitted>, Vec<Option<RequestOutcome>>, FleetStats) {
+        let mut ctrl = AdmissionController::new(self.cfg.admission);
+        let mut pools = ElasticPools::new(self.cfg.host_total_bytes, self.cfg.arena_total_bytes);
+        let mut remaining: HashMap<usize, usize> = HashMap::new();
+        for r in requests {
+            *remaining.entry(r.tenant).or_insert(0) += 1;
+        }
+        let mut outstanding: HashMap<usize, usize> = HashMap::new();
+        // In-flight virtual completions: (finish-time bits, id, tenant,
+        // host quantum, arena quantum). f64 bits order like the floats
+        // for the non-negative finish times used here.
+        let mut inflight: BinaryHeap<Reverse<(u64, usize, usize, u64, u64)>> = BinaryHeap::new();
+        let mut admitted = Vec::new();
+        let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; requests.len()];
+
+        let drain =
+            |now: f64,
+             pools: &mut ElasticPools,
+             outstanding: &mut HashMap<usize, usize>,
+             remaining: &HashMap<usize, usize>,
+             inflight: &mut BinaryHeap<Reverse<(u64, usize, usize, u64, u64)>>| {
+                while let Some(Reverse((finish_bits, _, tenant, hq, aq))) = inflight.peek().copied()
+                {
+                    if f64::from_bits(finish_bits) > now {
+                        break;
+                    }
+                    inflight.pop();
+                    pools.release(tenant, hq, aq);
+                    let left = outstanding.get_mut(&tenant).expect("in-flight tenant");
+                    *left -= 1;
+                    if *left == 0 && remaining.get(&tenant).copied().unwrap_or(0) == 0 {
+                        pools.tenant_departed(tenant);
+                    }
+                }
+            };
+
+        for (idx, req) in requests.iter().enumerate() {
+            drain(
+                req.arrival_secs,
+                &mut pools,
+                &mut outstanding,
+                &remaining,
+                &mut inflight,
+            );
+            *remaining.get_mut(&req.tenant).expect("counted tenant") -= 1;
+            if !pools.is_active(req.tenant) {
+                pools.tenant_arrived(req.tenant);
+            }
+
+            let (hq, aq) = staging_quanta(req);
+            let decision = ctrl
+                .admit(req)
+                .and_then(|est_wait| pools.reserve(req.tenant, hq, aq).map(|()| est_wait));
+            match decision {
+                Ok(est_wait) => {
+                    let est_service = ctrl.commit(req);
+                    let finish = req.arrival_secs + est_wait + est_service;
+                    inflight.push(Reverse((finish.to_bits(), req.id, req.tenant, hq, aq)));
+                    *outstanding.entry(req.tenant).or_insert(0) += 1;
+                    // Planning budget: the tenant's quantized share right
+                    // now, floored at 1 GiB so a crowded fleet still plans
+                    // against *something*.
+                    let host_budget_bytes = pools.quantized_host_share(req.tenant).max(1 << 30);
+                    admitted.push(Admitted {
+                        idx,
+                        req: req.clone(),
+                        host_budget_bytes,
+                    });
+                }
+                Err(reason) => {
+                    outcomes[idx] = Some(RequestOutcome::Rejected(reason));
+                    if outstanding.get(&req.tenant).copied().unwrap_or(0) == 0
+                        && remaining[&req.tenant] == 0
+                    {
+                        pools.tenant_departed(req.tenant);
+                    }
+                }
+            }
+        }
+        // Drain every still-in-flight request so the fleet ends empty.
+        drain(
+            f64::INFINITY,
+            &mut pools,
+            &mut outstanding,
+            &remaining,
+            &mut inflight,
+        );
+        debug_assert_eq!(pools.active_tenants(), 0, "fleet must end idle");
+        let fleet = FleetStats {
+            rebalances: pools.rebalances(),
+            peak_active_tenants: pools.peak_active_tenants(),
+        };
+        (admitted, outcomes, fleet)
+    }
+}
+
+fn plan_pipeline(alpha: f64) -> ExecutionPipeline {
+    let mut stages = PipelineStages::for_spec(SystemSpec::Memo);
+    stages.policy = ActivationPolicy::TokenWise {
+        alpha_override: Some(alpha),
+        slots: 2,
+    };
+    ExecutionPipeline::with_stages(SystemSpec::Memo, stages)
+}
+
+/// Execute one admitted request: cross the strategy grid with the α
+/// lattice, pick by TGS (or surface the least-bad failure), and scope
+/// cache traffic to exactly this request. The whole grid is evaluated on
+/// the calling worker thread — no nested fan-out — which is what makes
+/// the thread-local stats scopes exact.
+fn plan_one(adm: &Admitted, serial: bool, ctx: &mut DeltaContext) -> PlanReply {
+    let t0 = Instant::now();
+    let cache_scope = CacheStatsScope::enter();
+    let seg_scope = SegmentStatsScope::enter();
+
+    let mut w = Workload::new(adm.req.model.config(), adm.req.n_gpus, adm.req.seq_len);
+    w.calib.set_host_memory_bytes(adm.host_budget_bytes);
+    let gpn = w.calib.gpus_per_node.min(w.n_gpus);
+    let grid = search::enumerate_configs(SystemSpec::Memo, &w.model, w.n_gpus, gpn);
+    let mut cells = Vec::with_capacity(grid.len() * ALPHA_POINTS);
+    for (ci, cfg) in grid.iter().enumerate() {
+        for ai in 0..ALPHA_POINTS {
+            let pipe = plan_pipeline(alpha_at(ai));
+            let rep = if serial {
+                pipe.execute_cached(&w, cfg, true)
+            } else {
+                pipe.execute_delta(&w, cfg, ctx)
+            };
+            cells.push(((ci, ai), rep));
+        }
+    }
+    let (pick, outcome) = pick_best_or_failure(&cells);
+    let (picked, report) = match pick {
+        Some(((ci, ai), rep)) => (Some((grid[ci], alpha_at(ai))), Some(rep.clone())),
+        None => (None, None),
+    };
+    PlanReply {
+        picked,
+        report,
+        outcome,
+        grid_cells: cells.len(),
+        host_budget_bytes: adm.host_budget_bytes,
+        cache: cache_scope.finish(),
+        segments: seg_scope.finish(),
+        latency_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{replies_match, RejectReason};
+    use crate::zipf::{generate, StreamSpec};
+
+    fn small_stream() -> Vec<PlanRequest> {
+        let mut spec = StreamSpec::new(6, 36, 11);
+        spec.mean_gap_secs = 1e-3;
+        // Generous SLOs: this stream exercises planning, not shedding.
+        spec.deadline_range_secs = (0.5, 1.0);
+        generate(&spec)
+    }
+
+    #[test]
+    fn pooled_and_serial_legs_agree_record_by_record() {
+        let stream = small_stream();
+        let pooled = PlanServer::new(ServeConfig::default()).serve(&stream);
+        let serial = PlanServer::new(ServeConfig {
+            serial: true,
+            ..ServeConfig::default()
+        })
+        .serve(&stream);
+        assert_eq!(pooled.records.len(), stream.len());
+        assert_eq!(pooled.summary.planned, serial.summary.planned);
+        for (p, s) in pooled.records.iter().zip(&serial.records) {
+            match (&p.outcome, &s.outcome) {
+                (RequestOutcome::Planned(a), RequestOutcome::Planned(b)) => {
+                    assert!(
+                        replies_match(a, b),
+                        "request {} diverged between legs",
+                        p.request.id
+                    );
+                }
+                (RequestOutcome::Rejected(a), RequestOutcome::Rejected(b)) => {
+                    assert_eq!(a, b, "request {} shed differently", p.request.id);
+                }
+                _ => panic!("request {} admitted on one leg only", p.request.id),
+            }
+        }
+        assert!(pooled.summary.planned > 0);
+        assert!(pooled.summary.latency.is_some());
+    }
+
+    #[test]
+    fn scoped_stats_sum_to_sane_totals_and_caches_get_hot() {
+        let stream = small_stream();
+        let report = PlanServer::new(ServeConfig::default()).serve(&stream);
+        let s = &report.summary;
+        // Every planned request evaluated a full grid × α lattice; with 6
+        // tenants repeating their workloads, profile lookups must mostly
+        // hit after the first pass.
+        let lookups = s.profile_cache.hits + s.profile_cache.misses;
+        assert!(lookups > 0);
+        assert!(
+            s.profile_hit_rate() >= 0.5,
+            "zipfian re-planning must keep the shared cache hot: {:.2}",
+            s.profile_hit_rate()
+        );
+        assert_eq!(
+            s.planned + s.shed_queue + s.shed_deadline + s.shed_budget,
+            s.requests
+        );
+        assert!(s.rebalances >= 2, "arrivals/departures must rebalance");
+        assert!(s.peak_active_tenants >= 1);
+        let json = s.to_json();
+        assert_eq!(
+            json.get("planned").and_then(Json::as_u64),
+            Some(s.planned as u64)
+        );
+    }
+
+    #[test]
+    fn starved_fleet_sheds_with_typed_reasons() {
+        let mut spec = StreamSpec::new(4, 60, 3);
+        // A dense burst against one worker and a tiny queue: queue and
+        // deadline sheds. Arena of 1 GiB: budget sheds.
+        spec.mean_gap_secs = 1e-5;
+        spec.deadline_range_secs = (1e-4, 2e-3);
+        let stream = generate(&spec);
+        let report = PlanServer::new(ServeConfig {
+            admission: AdmissionPolicy {
+                max_queue_depth: 2,
+                deadline_shedding: true,
+                workers: 1,
+                ewma_alpha: 0.2,
+            },
+            arena_total_bytes: 1 << 30,
+            ..ServeConfig::default()
+        })
+        .serve(&stream);
+        let s = &report.summary;
+        assert!(
+            s.shed_queue + s.shed_deadline + s.shed_budget > 0,
+            "a starved fleet must shed"
+        );
+        // Shed records carry their typed reason through to the table cell.
+        for r in &report.records {
+            if let RequestOutcome::Rejected(reason) = &r.outcome {
+                assert!(r.cell().starts_with("X_"));
+                match reason {
+                    RejectReason::QueueFull { depth, limit } => assert!(depth >= limit),
+                    RejectReason::DeadlineUnmeetable {
+                        est_wait_secs,
+                        deadline_secs,
+                    } => assert!(est_wait_secs >= &0.0 && deadline_secs > &0.0),
+                    RejectReason::BudgetUnavailable { requested, .. } => assert!(*requested > 0),
+                }
+            }
+        }
+    }
+}

@@ -25,10 +25,11 @@
 use crate::schedule::{build_fast_scalars, LayerCosts, ScalarSchedule, MAX_TIERS};
 use crate::tiers::{OutOfTierMemory, TierStaging};
 use memo_hal::time::SimTime;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Fixed word capacity of a [`ScheduleKey`]: 7 scalar words, 3 per traffic
 /// tier, and 2 per staging pool.
@@ -154,6 +155,84 @@ pub struct SegmentCacheStats {
     pub fallbacks: u64,
 }
 
+impl SegmentCacheStats {
+    fn absorb(&mut self, other: SegmentCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.fallbacks += other.fallbacks;
+    }
+}
+
+thread_local! {
+    /// Active stats scope on this thread (`None` = unscoped).
+    static SEGMENT_SCOPE: Cell<Option<SegmentCacheStats>> = const { Cell::new(None) };
+}
+
+fn bump_scope(f: impl FnOnce(&mut SegmentCacheStats)) {
+    SEGMENT_SCOPE.with(|s| {
+        if let Some(mut cur) = s.get() {
+            f(&mut cur);
+            s.set(Some(cur));
+        }
+    });
+}
+
+/// RAII scope attributing this thread's segment-cache lookups to one
+/// request. The process-global counters keep racing totals across every
+/// thread; a scope observes exactly the lookups made between `enter` and
+/// `finish` *on this thread*, so concurrent requests on different pool
+/// workers report disjoint counts. Entering saves any enclosing scope;
+/// finishing folds the inner counts back into it, composing the way the
+/// global counters do.
+#[derive(Debug)]
+pub struct SegmentStatsScope {
+    prev: Option<SegmentCacheStats>,
+    done: bool,
+}
+
+impl SegmentStatsScope {
+    pub fn enter() -> Self {
+        SegmentStatsScope {
+            prev: SEGMENT_SCOPE.replace(Some(SegmentCacheStats::default())),
+            done: false,
+        }
+    }
+
+    /// Close the scope and return the counts recorded inside it.
+    pub fn finish(mut self) -> SegmentCacheStats {
+        self.close()
+    }
+
+    fn close(&mut self) -> SegmentCacheStats {
+        if self.done {
+            return SegmentCacheStats::default();
+        }
+        self.done = true;
+        let inner = SEGMENT_SCOPE.replace(self.prev).unwrap_or_default();
+        bump_scope(|outer| outer.absorb(inner));
+        inner
+    }
+}
+
+impl Drop for SegmentStatsScope {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Lock a shard, recovering from poisoning: a worker that panicked while
+/// holding the lock may have left a half-updated map behind, so the
+/// recovered shard is dropped wholesale — losing memoized segments, never
+/// correctness — and the poison flag is cleared so later locks are clean.
+fn lock_shard(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    shard.lock().unwrap_or_else(|poisoned| {
+        shard.clear_poison();
+        let mut guard = poisoned.into_inner();
+        guard.clear();
+        guard
+    })
+}
+
 /// Sharded memo cache of cursor-only schedule builds, keyed by
 /// [`ScheduleKey`]. Process-global like `ProfileCache`; shards bound lock
 /// contention when sweeps run on the worker pool.
@@ -195,6 +274,21 @@ impl SegmentCache {
         &self.shards[(h.finish() as usize) % Self::SHARDS]
     }
 
+    fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        bump_scope(|s| s.hits += 1);
+    }
+
+    fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        bump_scope(|s| s.misses += 1);
+    }
+
+    fn count_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        bump_scope(|s| s.fallbacks += 1);
+    }
+
     /// Cursor-only schedule build through the cache.
     ///
     /// * **Hit (Ok)**: return the memoized scalars and replay the staging
@@ -223,19 +317,19 @@ impl SegmentCache {
             || !self.enabled.load(Ordering::Relaxed)
             || staging.len() < costs.traffic.len()
         {
-            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.count_fallback();
             return build_fast_scalars(n_layers, costs, t_head, staging, slots);
         }
         let Some(key) = ScheduleKey::new(n_layers, &costs, t_head, staging, slots) else {
-            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.count_fallback();
             return build_fast_scalars(n_layers, costs, t_head, staging, slots);
         };
         let cached = {
-            let shard = self.shard(&key).lock().expect("segment shard poisoned");
+            let shard = lock_shard(self.shard(&key));
             shard.get(&key).copied()
         };
         if let Some(entry) = cached {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count_hit();
             let swapped = n_layers.saturating_sub(slots) as u64;
             return match entry {
                 Ok(s) => {
@@ -257,9 +351,9 @@ impl SegmentCache {
                 }
             };
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.count_miss();
         let result = build_fast_scalars(n_layers, costs, t_head, staging, slots);
-        let mut shard = self.shard(&key).lock().expect("segment shard poisoned");
+        let mut shard = lock_shard(self.shard(&key));
         if shard.len() >= Self::SHARD_CAP {
             shard.clear();
         }
@@ -294,7 +388,7 @@ impl SegmentCache {
     /// [`Self::reset_stats`]).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("segment shard poisoned").clear();
+            lock_shard(shard).clear();
         }
     }
 }
@@ -415,6 +509,110 @@ mod tests {
             .unwrap();
         let st = cache.stats();
         assert_eq!((st.hits, st.misses, st.fallbacks), (0, 0, 2));
+    }
+
+    #[test]
+    fn poisoned_shards_recover_and_later_requests_still_serve() {
+        // One request panics while holding a shard lock (the serve-layer
+        // failure mode: a worker dies mid-insert). The cache must not stay
+        // poisoned for the rest of the process: the next request recovers
+        // the shard, recomputes, and memoization resumes.
+        let cache = SegmentCache::new();
+        let c = costs(1_000_000);
+        let mut s1 = TierStaging::single(100_000_000);
+        let before = cache
+            .schedule_cursor_only(12, c, SimTime::from_millis(5), &mut s1, 2, true)
+            .unwrap();
+        // Poison every shard so the test does not depend on which shard
+        // the key hashes to.
+        for shard in &cache.shards {
+            let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = shard.lock().unwrap();
+                panic!("worker dies mid-request");
+            }));
+            assert!(died.is_err());
+            assert!(shard.is_poisoned());
+        }
+        // Next request: served (recomputed — the poisoned shard was
+        // cleared), bit-identical, and memoized again.
+        let mut s2 = TierStaging::single(100_000_000);
+        let after = cache
+            .schedule_cursor_only(12, c, SimTime::from_millis(5), &mut s2, 2, true)
+            .unwrap();
+        assert_eq!(before, after);
+        assert_eq!(s1, s2);
+        let mut s3 = TierStaging::single(100_000_000);
+        let hit = cache
+            .schedule_cursor_only(12, c, SimTime::from_millis(5), &mut s3, 2, true)
+            .unwrap();
+        assert_eq!(before, hit);
+        // miss (cold), miss (post-poison recompute), then a clean hit.
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses), (1, 2));
+        // Recovery is lazy (per shard, on next lock); clear() touches every
+        // shard, after which no poison flag may remain.
+        cache.clear();
+        assert!(cache.shards.iter().all(|s| !s.is_poisoned()));
+    }
+
+    #[test]
+    fn scoped_stats_attribute_only_this_threads_lookups() {
+        use std::sync::{Arc, Barrier};
+        // Two overlapping "requests" on separate threads, each inside its
+        // own scope, hammering the same shared cache. Every scope must see
+        // exactly its own lookups even though the global counters race.
+        let cache = Arc::new(SegmentCache::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let spawn = |reps: u64, offload: u64| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let scope = SegmentStatsScope::enter();
+                barrier.wait();
+                let c = costs(offload);
+                for _ in 0..reps {
+                    let mut s = TierStaging::single(100_000_000);
+                    cache
+                        .schedule_cursor_only(12, c, SimTime::ZERO, &mut s, 2, true)
+                        .unwrap();
+                }
+                // One fallback, attributed to this scope only.
+                let mut s = TierStaging::single(100_000_000);
+                cache
+                    .schedule_cursor_only(12, c, SimTime::ZERO, &mut s, 2, false)
+                    .unwrap();
+                scope.finish()
+            })
+        };
+        let a = spawn(3, 1_000_000);
+        let b = spawn(5, 2_000_000);
+        let sa = a.join().unwrap();
+        let sb = b.join().unwrap();
+        assert_eq!((sa.hits, sa.misses, sa.fallbacks), (2, 1, 1));
+        assert_eq!((sb.hits, sb.misses, sb.fallbacks), (4, 1, 1));
+        // The globals hold the racing total, as before.
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.fallbacks), (6, 2, 2));
+    }
+
+    #[test]
+    fn nested_scopes_fold_into_the_enclosing_scope() {
+        let cache = SegmentCache::new();
+        let c = costs(1_000_000);
+        let outer = SegmentStatsScope::enter();
+        let mut s = TierStaging::single(100_000_000);
+        cache
+            .schedule_cursor_only(12, c, SimTime::ZERO, &mut s, 2, true)
+            .unwrap();
+        let inner = SegmentStatsScope::enter();
+        let mut s2 = TierStaging::single(100_000_000);
+        cache
+            .schedule_cursor_only(12, c, SimTime::ZERO, &mut s2, 2, true)
+            .unwrap();
+        let si = inner.finish();
+        assert_eq!((si.hits, si.misses), (1, 0));
+        let so = outer.finish();
+        assert_eq!((so.hits, so.misses), (1, 1), "inner counts fold outward");
     }
 
     #[test]

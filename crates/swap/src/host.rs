@@ -104,6 +104,15 @@ impl HostStaging {
         self.used -= total;
     }
 
+    /// Elastically resize the pool in place (the eLLM-style repartition
+    /// primitive): `used` and `peak` are kept. Shrinking below `used`
+    /// over-commits the pool — no staged bytes are revoked, but every
+    /// further [`Self::reserve`] fails until usage drains back under the
+    /// new capacity.
+    pub fn set_capacity(&mut self, capacity: u64) {
+        self.capacity = capacity;
+    }
+
     pub fn used(&self) -> u64 {
         self.used
     }

@@ -33,7 +33,7 @@ pub use alpha::{
     TieredSolution,
 };
 pub use buffers::RoundingBuffers;
-pub use delta::{ScheduleKey, SegmentCache, SegmentCacheStats};
+pub use delta::{ScheduleKey, SegmentCache, SegmentCacheStats, SegmentStatsScope};
 pub use host::HostStaging;
 pub use schedule::{
     build_iteration_schedule, build_iteration_schedule_recorded, LayerCosts, ScalarSchedule,

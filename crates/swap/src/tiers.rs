@@ -99,6 +99,27 @@ impl TierStaging {
         self.pools.iter().map(HostStaging::peak).collect()
     }
 
+    /// Per-tier capacities, in chain order.
+    pub fn capacities(&self) -> Vec<u64> {
+        self.pools.iter().map(HostStaging::capacity).collect()
+    }
+
+    /// Elastically resize every pool in chain order (the eLLM-style
+    /// repartition primitive, see [`HostStaging::set_capacity`]): staged
+    /// bytes and peaks are kept, shrinking below a pool's usage
+    /// over-commits that pool until it drains. The chain shape is fixed —
+    /// `capacities` must have one entry per pool.
+    pub fn resize(&mut self, capacities: &[u64]) {
+        assert_eq!(
+            capacities.len(),
+            self.pools.len(),
+            "resize must cover every pool of the chain"
+        );
+        for (pool, &c) in self.pools.iter_mut().zip(capacities) {
+            pool.set_capacity(c);
+        }
+    }
+
     fn check_width(&self, traffic: &TierTrafficList) {
         assert!(
             traffic.len() <= self.pools.len(),
@@ -259,6 +280,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn elastic_resize_keeps_usage_and_over_commits_on_shrink() {
+        let mut tiers = TierStaging::new(&[1000, 500]);
+        let t = traffic(&[100, 40]);
+        for _ in 0..4 {
+            tiers.reserve_layer(&t).unwrap();
+        }
+        // Grow: the staged bytes ride along, new headroom admits more.
+        tiers.resize(&[2000, 500]);
+        assert_eq!(tiers.capacities(), vec![2000, 500]);
+        assert_eq!(tiers.host_used(), 400);
+        tiers.reserve_layer(&t).unwrap();
+        // Shrink below usage: nothing is revoked, but reserves fail until
+        // the pool drains back under the new capacity.
+        tiers.resize(&[300, 500]);
+        assert_eq!(tiers.host_used(), 500);
+        let err = tiers.reserve_layer(&t).unwrap_err();
+        assert_eq!((err.tier, err.used, err.capacity), (0, 500, 300));
+        tiers.release_layers(&t, 3);
+        tiers.reserve_layer(&t).unwrap();
+        assert_eq!(tiers.host_used(), 300);
+        assert_eq!(tiers.host_peak(), 500, "peak survives the resizes");
+    }
+
+    #[test]
+    #[should_panic(expected = "resize must cover every pool")]
+    fn resize_rejects_shape_changes() {
+        let mut tiers = TierStaging::new(&[1000, 500]);
+        tiers.resize(&[1000]);
     }
 
     #[test]

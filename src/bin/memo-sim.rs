@@ -6,7 +6,7 @@
 //! memo-sim --model 7b --gpus 8 --seq 256k --all
 //! ```
 
-use memo::core::delta::{pick_best, DeltaContext};
+use memo::core::delta::{pick_best_or_failure, DeltaContext};
 use memo::core::observer::RunObserver;
 use memo::core::session::Workload;
 use memo::model::config::ModelConfig;
@@ -14,7 +14,7 @@ use memo::obs::alloc_trace::chrome_memory_counters;
 use memo::obs::chrome::TraceBuilder;
 use memo::obs::json::Json;
 use memo::obs::report::{observed_json, report_json};
-use memo::parallel::pool::{self, PoolStats};
+use memo::parallel::pool::{PoolStats, PoolStatsScope};
 use memo::parallel::strategy::{ParallelConfig, SystemSpec};
 use std::process::ExitCode;
 
@@ -198,12 +198,15 @@ fn print_alpha_grid(
             None => println!("    α={alpha:<6.4}   {}", rep.outcome.cell()),
         }
     }
-    match pick_best(&grid) {
-        Some((alpha, rep)) => println!(
-            "    pick: α={alpha:.4} (TGS {:.2})",
-            rep.outcome.metrics().expect("picked cell is feasible").tgs
+    match pick_best_or_failure(&grid) {
+        (Some((alpha, rep)), _) => match rep.outcome.metrics() {
+            Some(m) => println!("    pick: α={alpha:.4} (TGS {:.2})", m.tgs),
+            None => println!("    pick: α={alpha:.4} ({})", rep.outcome.cell()),
+        },
+        (None, failure) => println!(
+            "    pick: none (no feasible α on this strategy; least-bad {})",
+            failure.cell()
         ),
-        None => println!("    pick: none (no feasible α on this strategy)"),
     }
 }
 
@@ -228,12 +231,15 @@ fn print_mixed_policy_grid(workload: &Workload, cfg: &ParallelConfig, ctx: &mut 
             None => println!("    k={k:<3}   {}", rep.outcome.cell()),
         }
     }
-    match pick_best(&grid) {
-        Some((k, rep)) => println!(
-            "    pick: k={k} (TGS {:.2})",
-            rep.outcome.metrics().expect("picked cell is feasible").tgs
+    match pick_best_or_failure(&grid) {
+        (Some((k, rep)), _) => match rep.outcome.metrics() {
+            Some(m) => println!("    pick: k={k} (TGS {:.2})", m.tgs),
+            None => println!("    pick: k={k} ({})", rep.outcome.cell()),
+        },
+        (None, failure) => println!(
+            "    pick: none (no feasible swap count on this strategy; least-bad {})",
+            failure.cell()
         ),
-        None => println!("    pick: none (no feasible swap count on this strategy)"),
     }
 }
 
@@ -244,7 +250,9 @@ fn report(
     cfg: Option<ParallelConfig>,
     sink: Option<&mut ObsSink>,
 ) -> bool {
-    let pool_before = sink.as_ref().map(|_| pool::stats());
+    // Thread-local scope, not a global snapshot-diff: only pool batches
+    // this run initiates land in its report.
+    let pool_scope = sink.as_ref().map(|_| PoolStatsScope::enter());
     let (cfg, outcome) = match cfg {
         Some(cfg) => {
             if let Err(e) = cfg.validate(
@@ -274,15 +282,7 @@ fn report(
         None => println!("{:<12} {}", system.name(), outcome.cell()),
     }
     if let Some(sink) = sink {
-        let pool_delta = pool_before.map(|before| {
-            let after = pool::stats();
-            PoolStats {
-                batches: after.batches.saturating_sub(before.batches),
-                jobs: after.jobs.saturating_sub(before.jobs),
-                helpers_spawned: after.helpers_spawned.saturating_sub(before.helpers_spawned),
-                steals: after.steals.saturating_sub(before.steals),
-            }
-        });
+        let pool_delta: Option<PoolStats> = pool_scope.map(PoolStatsScope::finish);
         match cfg {
             Some(cfg) => sink.record_run(workload, system, &cfg, pool_delta),
             None => sink.record_failure(workload, system, outcome.cell()),

@@ -15,6 +15,8 @@
 //!   Megatron-LM / DeepSpeed baselines,
 //! * [`obs`] — observability exporters (Chrome traces, allocator event
 //!   logs, run reports),
+//! * [`serve`] — the fleet-scale planning service (multi-tenant request
+//!   streams, admission control, elastic memory pools),
 //! * [`dist`] — whole-cluster simulation (per-GPU timelines, collectives,
 //!   straggler studies),
 //! * [`tensor`] — a from-scratch CPU autograd library used for the
@@ -28,5 +30,6 @@ pub use memo_model as model;
 pub use memo_obs as obs;
 pub use memo_parallel as parallel;
 pub use memo_plan as plan;
+pub use memo_serve as serve;
 pub use memo_swap as swap;
 pub use memo_tensor as tensor;
