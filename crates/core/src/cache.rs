@@ -24,6 +24,7 @@ use memo_model::config::ModelConfig;
 use memo_model::trace::{IterationTrace, RematPolicy};
 use memo_parallel::strategy::ParallelConfig;
 use memo_plan::bilevel::BilevelReport;
+use memo_plan::dispatch::PlannerKind;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -63,13 +64,23 @@ impl ProfileKey {
     }
 }
 
+/// Key of the plan table: the profile fingerprint plus the planner that
+/// consumed the trace. Bi-level and whole-trace plans for the same trace are
+/// distinct artifacts, so the planner knob must be part of the fingerprint —
+/// otherwise switching [`PlannerKind`] mid-process would serve stale plans.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    profile: ProfileKey,
+    planner: PlannerKind,
+}
+
 /// Sharded, process-wide memo table for [`profiler::profile`] and for the
-/// bi-level memory plan derived from its trace. Both are pure functions of
-/// the same [`ProfileKey`], so one key type serves both tables.
+/// memory plan derived from its trace. The plan table is keyed by
+/// [`PlanKey`] — the same [`ProfileKey`] inputs plus the planner knob.
 #[derive(Debug)]
 pub struct ProfileCache {
     shards: Vec<Mutex<HashMap<ProfileKey, Arc<ProfileReport>>>>,
-    plan_shards: Vec<Mutex<HashMap<ProfileKey, Arc<BilevelReport>>>>,
+    plan_shards: Vec<Mutex<HashMap<PlanKey, Arc<BilevelReport>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     enabled: AtomicBool,
@@ -161,7 +172,7 @@ impl Drop for CacheStatsScope {
 /// recovered shard is dropped wholesale — losing cached entries, never
 /// correctness (every entry is recomputable) — and the poison flag is
 /// cleared so later locks are clean.
-fn lock_shard<V>(shard: &Mutex<HashMap<ProfileKey, V>>) -> MutexGuard<'_, HashMap<ProfileKey, V>> {
+fn lock_shard<K, V>(shard: &Mutex<HashMap<K, V>>) -> MutexGuard<'_, HashMap<K, V>> {
     shard.lock().unwrap_or_else(|poisoned| {
         shard.clear_poison();
         let mut guard = poisoned.into_inner();
@@ -197,8 +208,8 @@ impl ProfileCache {
         CACHE.get_or_init(ProfileCache::new)
     }
 
-    fn shard_idx(&self, key: &ProfileKey) -> usize {
-        use std::hash::{Hash, Hasher};
+    fn shard_idx<K: std::hash::Hash>(&self, key: &K) -> usize {
+        use std::hash::Hasher;
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         (h.finish() as usize) % self.shards.len()
@@ -250,31 +261,36 @@ impl ProfileCache {
         report
     }
 
-    /// Look up or compute the bi-level memory plan for the trace profiled
-    /// under the same key. `trace` must be the trace of the [`ProfileReport`]
-    /// this key maps to — the plan is a pure function of the trace, and the
+    /// Look up or compute the memory plan for the trace profiled under the
+    /// same key. `trace` must be the trace of the [`ProfileReport`] this key
+    /// maps to — the plan is a pure function of (trace, planner), and the
     /// trace a pure function of the key, so hits are bit-identical to fresh
-    /// [`crate::planner::plan`] calls.
+    /// [`crate::planner::plan_with`] calls.
+    #[allow(clippy::too_many_arguments)]
     pub fn plan(
         &self,
         w: &Workload,
         cfg: &ParallelConfig,
         policy: RematPolicy,
         materialize_logits: bool,
+        planner: PlannerKind,
         trace: &IterationTrace,
         use_cache: bool,
     ) -> Arc<BilevelReport> {
         if !use_cache || !self.enabled.load(Ordering::Relaxed) {
-            return Arc::new(crate::planner::plan(trace));
+            return Arc::new(crate::planner::plan_with(trace, planner));
         }
-        let key = ProfileKey::new(w, cfg, policy, materialize_logits);
+        let key = PlanKey {
+            profile: ProfileKey::new(w, cfg, policy, materialize_logits),
+            planner,
+        };
         let shard = &self.plan_shards[self.shard_idx(&key)];
         if let Some(hit) = lock_shard(shard).get(&key) {
             self.count_hit();
             return Arc::clone(hit);
         }
         self.count_miss();
-        let report = Arc::new(crate::planner::plan(trace));
+        let report = Arc::new(crate::planner::plan_with(trace, planner));
         let mut map = lock_shard(shard);
         if map.len() >= Self::SHARD_CAP {
             map.clear();

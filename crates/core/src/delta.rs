@@ -36,6 +36,7 @@ use memo_model::config::ModelConfig;
 use memo_model::trace::{IterationTrace, RematPolicy};
 use memo_parallel::strategy::{ParallelConfig, SystemSpec};
 use memo_plan::bilevel::BilevelReport;
+use memo_plan::dispatch::PlannerKind;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -122,6 +123,10 @@ impl WorkloadStamp {
 /// The per-sweep pin key: the inputs of `profile()` that vary cell-to-cell.
 type PinKey = (ParallelConfig, RematPolicy, bool);
 
+/// The plan pin key: the profile triple plus the planner knob — bi-level
+/// and whole-trace plans over the same trace are distinct artifacts.
+type PlanPinKey = (ParallelConfig, RematPolicy, bool, PlannerKind);
+
 /// Mutable per-sweep state of the delta path: pinned profile and plan
 /// `Arc`s keyed by the strategy triple, valid for one workload at a time.
 /// Create one per sweep (it is cheap) and thread it through
@@ -131,12 +136,12 @@ type PinKey = (ParallelConfig, RematPolicy, bool);
 pub struct DeltaContext {
     stamp: Option<WorkloadStamp>,
     profiles: HashMap<PinKey, Arc<ProfileReport>>,
-    plans: HashMap<PinKey, Arc<BilevelReport>>,
+    plans: HashMap<PlanPinKey, Arc<BilevelReport>>,
     // One-entry MRU pins: along a delta walk, consecutive cells almost
     // always share the strategy triple, so a plain `Copy` compare beats
     // a hash-map probe on the hot path. Cleared with the maps.
     mru_profile: Option<(PinKey, Arc<ProfileReport>)>,
-    mru_plan: Option<(PinKey, Arc<BilevelReport>)>,
+    mru_plan: Option<(PlanPinKey, Arc<BilevelReport>)>,
 }
 
 impl DeltaContext {
@@ -205,18 +210,20 @@ impl DeltaContext {
         p
     }
 
-    /// The bi-level plan for the same triple; `trace` must be the trace of
-    /// the profile this key maps to (same contract as `ProfileCache::plan`).
+    /// The memory plan for the same triple plus the planner knob; `trace`
+    /// must be the trace of the profile this key maps to (same contract as
+    /// `ProfileCache::plan`).
     pub(crate) fn plan(
         &mut self,
         w: &Workload,
         cfg: &ParallelConfig,
         policy: RematPolicy,
         materialize_logits: bool,
+        planner: PlannerKind,
         trace: &IterationTrace,
     ) -> Arc<BilevelReport> {
         debug_assert!(self.stamp.is_some(), "restamp() before pin lookups");
-        let key = (*cfg, policy, materialize_logits);
+        let key = (*cfg, policy, materialize_logits, planner);
         if let Some((k, pin)) = &self.mru_plan {
             if *k == key {
                 PIN_HITS.fetch_add(1, Ordering::Relaxed);
@@ -233,6 +240,7 @@ impl DeltaContext {
                 cfg,
                 policy,
                 materialize_logits,
+                planner,
                 trace,
                 true,
             );

@@ -63,6 +63,18 @@ pub fn run_memo_tiered(w: &Workload, cfg: &ParallelConfig, depth: u8) -> CellOut
         .outcome
 }
 
+/// MEMO with the whole-trace flat planner: instead of the bi-level
+/// decomposition, the entire iteration trace goes to `memo_plan`'s
+/// size-based dispatch policy — exact branch-and-bound when the instance is
+/// small, the boxing solver (certified multiplicative gap to the liveness
+/// lower bound) when it is large. Same α program and schedule as
+/// [`run_memo`]; only the address-assignment stage differs.
+pub fn run_memo_whole_plan(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
+    ExecutionPipeline::new(SystemSpec::MemoWholePlan)
+        .execute(w, cfg)
+        .outcome
+}
+
 /// A Capuchin-style *tensor granularity* hybrid (related work, §6): decide
 /// swap-vs-recompute per whole tensor instead of per token row — greedily
 /// swap the largest recomputable tensors that still fit under the overlap

@@ -33,6 +33,7 @@ use memo_hal::time::SimTime;
 use memo_model::trace::RematPolicy;
 use memo_parallel::comm;
 use memo_parallel::strategy::{ParallelConfig, SystemSpec};
+use memo_plan::dispatch::PlannerKind;
 use memo_swap::schedule::{LayerCosts, TierTraffic, TierTrafficList};
 use memo_swap::tiers::TierStaging;
 use std::time::Instant;
@@ -109,6 +110,10 @@ pub struct PipelineStages {
     /// Divisor on the closed-form iteration time (DeepSpeed's kernel and
     /// all-to-all inefficiency, calibrated).
     pub derate: bool,
+    /// Which planner builds the [`MemoryBackend::StaticPlan`] layout: the
+    /// bi-level decomposition or the flat whole-trace dispatch (exact /
+    /// boxing / best-fit). Participates in the plan-cache fingerprint.
+    pub planner: PlannerKind,
 }
 
 impl PipelineStages {
@@ -124,9 +129,14 @@ impl PipelineStages {
             },
             backend: MemoryBackend::StaticPlan,
             derate: false,
+            planner: PlannerKind::Bilevel,
         };
         match spec {
             SystemSpec::Memo => token_wise(None, 2),
+            SystemSpec::MemoWholePlan => PipelineStages {
+                planner: PlannerKind::WholeTrace,
+                ..token_wise(None, 2)
+            },
             SystemSpec::FullSwapPlan => token_wise(Some(1.0), 2),
             SystemSpec::MemoBufferSlots(n) => token_wise(None, n as usize),
             SystemSpec::TensorHybrid => PipelineStages {
@@ -158,6 +168,7 @@ impl PipelineStages {
                     zero3_prefetch: false,
                 },
                 derate: false,
+                planner: PlannerKind::Bilevel,
             },
             SystemSpec::MegatronKeepAll => PipelineStages {
                 remat: RematPolicy::KeepAll,
@@ -168,6 +179,7 @@ impl PipelineStages {
                     zero3_prefetch: false,
                 },
                 derate: false,
+                planner: PlannerKind::Bilevel,
             },
             SystemSpec::DeepSpeed => PipelineStages {
                 remat: RematPolicy::FullRecompute,
@@ -178,6 +190,7 @@ impl PipelineStages {
                     zero3_prefetch: true,
                 },
                 derate: true,
+                planner: PlannerKind::Bilevel,
             },
             SystemSpec::FullRecomputePlan => PipelineStages {
                 remat: RematPolicy::FullRecompute,
@@ -186,6 +199,7 @@ impl PipelineStages {
                 policy: ActivationPolicy::FullRecompute,
                 backend: MemoryBackend::StaticPlan,
                 derate: false,
+                planner: PlannerKind::Bilevel,
             },
         }
     }
@@ -473,6 +487,7 @@ impl ExecutionPipeline {
             cfg,
             self.stages.remat,
             self.stages.materialize_logits,
+            self.stages.planner,
             &p.trace,
         );
         let mem = match static_plan_accounting(
@@ -935,6 +950,7 @@ fn account_memory(
                 cfg,
                 stages.remat,
                 stages.materialize_logits,
+                stages.planner,
                 &p.trace,
                 use_cache,
             );

@@ -2,7 +2,8 @@
 //! `memo_plan`'s bi-level solver, with plan verification.
 
 use memo_model::trace::IterationTrace;
-use memo_plan::bilevel::{plan_iteration, BilevelReport, PlanOptions};
+use memo_plan::bilevel::{plan_iteration, plan_whole, BilevelReport, PlanOptions};
+use memo_plan::dispatch::{DispatchOptions, PlannerKind};
 
 /// Plan the addresses of every activation tensor in `trace`.
 ///
@@ -11,10 +12,22 @@ use memo_plan::bilevel::{plan_iteration, BilevelReport, PlanOptions};
 /// completes in minutes; ours completes in milliseconds because the level-1
 /// and level-2 instances are small by construction.
 pub fn plan(trace: &IterationTrace) -> BilevelReport {
-    let report = plan_iteration(trace, &PlanOptions::default());
+    plan_with(trace, PlannerKind::Bilevel)
+}
+
+/// Plan `trace` under an explicit planner selection: the bi-level
+/// decomposition (§4.3.3) or the whole-trace flat DSA path, which hands the
+/// entire iteration to the size-based dispatch policy (exact BnB when small,
+/// boxing with a certified gap when large).
+pub fn plan_with(trace: &IterationTrace, planner: PlannerKind) -> BilevelReport {
+    let report = match planner {
+        PlannerKind::Bilevel => plan_iteration(trace, &PlanOptions::default()),
+        PlannerKind::WholeTrace => plan_whole(trace, &DispatchOptions::default()),
+    };
     debug_assert!(
         report.plan.validate_against(trace).is_ok(),
-        "bi-level planner produced an invalid plan"
+        "{} planner produced an invalid plan",
+        planner.name()
     );
     report
 }
@@ -43,6 +56,24 @@ mod tests {
             "plan peak {} too far above liveness bound {lb}",
             report.plan.peak
         );
+    }
+
+    #[test]
+    fn whole_trace_planner_plans_a_real_memo_trace() {
+        let w = Workload::new(ModelConfig::gpt_7b(), 8, 64 * 1024);
+        let cfg = ParallelConfig::megatron(4, 2, 1, 1);
+        let p = profiler::profile(&w, &cfg, RematPolicy::MemoTokenWise, false);
+        let report = plan_with(&p.trace, PlannerKind::WholeTrace);
+        report.plan.validate_against(&p.trace).unwrap();
+        let whole = report.whole.expect("whole-trace stats populated");
+        assert!(report.layer_fwd.is_none() && report.layer_bwd.is_none());
+        // The flat plan sees the global instance, so it can only beat or
+        // match the liveness bound the bi-level path is judged against.
+        let lb = p.trace.peak_live_bytes();
+        assert!(report.plan.peak >= lb);
+        if let Some(g) = whole.guarantee {
+            assert!(report.plan.peak <= g, "peak above certified guarantee");
+        }
     }
 
     #[test]

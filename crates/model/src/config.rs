@@ -80,6 +80,20 @@ impl ModelConfig {
         }
     }
 
+    /// 100B-class model (beyond the paper's Table 2): 90 layers, h=9600,
+    /// 75 heads (head_dim 128) — the MegaTrain regime target for
+    /// whole-trace planning and the `dsa_bench` 100B cells.
+    pub const fn gpt_100b() -> Self {
+        ModelConfig {
+            name: "100B",
+            n_layers: 90,
+            hidden: 9600,
+            ffn_hidden: 38400,
+            n_heads: 75,
+            vocab: 50257,
+        }
+    }
+
     /// All four evaluated models, smallest first.
     pub fn paper_models() -> [ModelConfig; 4] {
         [
@@ -168,6 +182,7 @@ mod tests {
             (ModelConfig::gpt_13b(), 13.0e9),
             (ModelConfig::gpt_30b(), 30.0e9),
             (ModelConfig::gpt_65b(), 65.0e9),
+            (ModelConfig::gpt_100b(), 100.0e9),
         ];
         for (m, nominal) in cases {
             let p = m.params() as f64;

@@ -35,6 +35,11 @@ fn spec_json(spec: SystemSpec) -> Json {
             fields.push(("swap_layers".into(), Json::int(k as u64)));
             fields
         }
+        SystemSpec::MemoWholePlan => {
+            let mut fields = variant("MemoWholePlan");
+            fields.push(("planner".into(), Json::str("whole-trace")));
+            fields
+        }
     })
 }
 
@@ -67,6 +72,7 @@ fn parse_spec(doc: &Json) -> Result<SystemSpec, String> {
                 .and_then(Json::as_u64)
                 .ok_or("MemoMixed missing swap_layers")? as u8,
         ),
+        "MemoWholePlan" => SystemSpec::MemoWholePlan,
         other => return Err(format!("unknown spec variant {other:?}")),
     })
 }
@@ -302,6 +308,8 @@ mod tests {
             SystemSpec::MemoBufferSlots(4),
             SystemSpec::MemoTiered(0),
             SystemSpec::MemoTiered(3),
+            SystemSpec::MemoMixed(3),
+            SystemSpec::MemoWholePlan,
         ]);
         specs
     }

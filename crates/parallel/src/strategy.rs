@@ -41,6 +41,13 @@ pub enum SystemSpec {
     /// `k ≥ layers_local − 2` reproduces [`SystemSpec::Memo`] bit-exactly;
     /// smaller `k` trades host-staging pressure for re-forward compute.
     MemoMixed(u8),
+    /// MEMO with the memory plan computed over the *whole* iteration trace
+    /// as one flat DSA instance (no bi-level decomposition), solved by the
+    /// size-based dispatch policy: exact BnB below its tensor threshold,
+    /// the boxing solver above it, best-fit as last resort. Opens the
+    /// MegaTrain-class regime where traces carry far more tensors than the
+    /// bi-level level-2 instance can absorb.
+    MemoWholePlan,
 }
 
 /// How the strategy search enumerates configurations for a spec.
@@ -83,6 +90,7 @@ impl SystemSpec {
             SystemSpec::MemoBufferSlots(_) => "MEMO-slots",
             SystemSpec::MemoTiered(_) => "MEMO-tiered",
             SystemSpec::MemoMixed(_) => "MEMO-mixed",
+            SystemSpec::MemoWholePlan => "MEMO-wholeplan",
         }
     }
 

@@ -63,13 +63,27 @@ impl From<&Solution> for LevelStats {
     }
 }
 
-/// Result of the bi-level planner.
+/// Whole-trace planner info (present only when the plan came from the
+/// `PlannerKind::WholeTrace` dispatch path rather than the bi-level
+/// decomposition).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WholeTraceStats {
+    pub backend: crate::dispatch::PlannerBackend,
+    /// Boxing's certified `2·K·LOAD` bound (None on the exact path).
+    pub guarantee: Option<u64>,
+}
+
+/// Result of the planner. For bi-level plans `layer_fwd`/`layer_bwd` carry
+/// the level-1 solves and `level2` the composition solve; for whole-trace
+/// plans the layer fields are `None`, `level2` describes the single flat
+/// solve, and `whole` names the backend that produced it.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BilevelReport {
     pub plan: MemoryPlan,
     pub layer_fwd: Option<LevelStats>,
     pub layer_bwd: Option<LevelStats>,
     pub level2: LevelStats,
+    pub whole: Option<WholeTraceStats>,
 }
 
 /// Internal: a segment's position in the flattened event index space.
@@ -273,6 +287,27 @@ pub fn plan_iteration(trace: &IterationTrace, opts: &PlanOptions) -> BilevelRepo
         layer_fwd: fwd_sol.as_ref().map(|(_, s)| s.into()),
         layer_bwd: bwd_sol.as_ref().map(|(_, s)| s.into()),
         level2: (&l2_sol).into(),
+        whole: None,
+    }
+}
+
+/// Plan the whole iteration as one flat instance under the size-based
+/// dispatch policy (exact BnB below the threshold, boxing above it,
+/// best-fit as last resort) — the `PlannerKind::WholeTrace` pipeline.
+pub fn plan_whole(
+    trace: &IterationTrace,
+    opts: &crate::dispatch::DispatchOptions,
+) -> BilevelReport {
+    let (plan, sol) = crate::dispatch::plan_whole_trace(trace, opts);
+    BilevelReport {
+        plan,
+        layer_fwd: None,
+        layer_bwd: None,
+        level2: sol.level_stats(),
+        whole: Some(WholeTraceStats {
+            backend: sol.backend,
+            guarantee: sol.guarantee,
+        }),
     }
 }
 

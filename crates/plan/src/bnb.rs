@@ -319,7 +319,7 @@ pub fn solve(inst: &DsaInstance, opts: BnbOptions) -> Solution {
     }
 
     let n = inst.tensors.len();
-    let conflicts: Vec<Vec<usize>> = (0..n).map(|i| inst.conflicts_of(i)).collect();
+    let conflicts: Vec<Vec<usize>> = crate::index::IntervalIndex::new(inst).adjacency(inst);
 
     // Symmetry classes: tensors sharing (size, birth, death) are
     // interchangeable; give each distinct key one class id.

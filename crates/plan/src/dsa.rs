@@ -5,10 +5,16 @@
 //! represented here as a geometric problem: place axis-aligned rectangles
 //! (x = lifespan, fixed; y = address range, free) without overlap,
 //! minimising the maximum y extent.
+//!
+//! The whole-trace ("flat") formulation used to be written off as
+//! computationally intractable; with the streaming [`DsaInstanceBuilder`],
+//! the sweep-line [`crate::index::IntervalIndex`], the O(n log n)
+//! [`Assignment::validate`] and the [`crate::boxing`] solver it now scales
+//! to million-interval traces.
 
 use memo_model::trace::{IterationTrace, MemOp, Request, TensorId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One tensor to place. Lifespan is the half-open index interval
 /// `[birth, death)` over the request sequence's *event positions*.
@@ -33,6 +39,70 @@ pub struct DsaInstance {
     pub tensors: Vec<DsaTensor>,
 }
 
+/// Streaming construction of a [`DsaInstance`] from a malloc/free event
+/// stream, without materializing the flattened request vector. Each pushed
+/// request advances the event cursor by one; lifespans are the half-open
+/// `[birth, death)` cursor intervals.
+#[derive(Debug, Default)]
+pub struct DsaInstanceBuilder {
+    open: HashMap<TensorId, (usize, u64)>,
+    tensors: Vec<DsaTensor>,
+    cursor: usize,
+    dangling_free: bool,
+}
+
+impl DsaInstanceBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start the event cursor at `index_base` (useful when the stream is a
+    /// segment of a larger trace).
+    pub fn with_base(index_base: usize) -> Self {
+        DsaInstanceBuilder {
+            cursor: index_base,
+            ..Self::default()
+        }
+    }
+
+    /// Number of events consumed so far (including the base offset).
+    pub fn events(&self) -> usize {
+        self.cursor
+    }
+
+    /// Feed one request. A `Free` without a matching `Malloc` poisons the
+    /// builder: [`finish`](Self::finish) will return `None`.
+    pub fn push(&mut self, r: &Request) {
+        match r.op {
+            MemOp::Malloc => {
+                self.open.insert(r.tensor, (self.cursor, r.bytes));
+            }
+            MemOp::Free => match self.open.remove(&r.tensor) {
+                Some((birth, size)) => self.tensors.push(DsaTensor {
+                    id: r.tensor,
+                    size,
+                    birth,
+                    death: self.cursor,
+                }),
+                None => self.dangling_free = true,
+            },
+        }
+        self.cursor += 1;
+    }
+
+    /// Finalize. Returns `None` if any tensor is still open or a free had
+    /// no matching malloc (the stream crossed a segment boundary).
+    pub fn finish(self) -> Option<DsaInstance> {
+        if self.open.is_empty() && !self.dangling_free {
+            Some(DsaInstance {
+                tensors: self.tensors,
+            })
+        } else {
+            None
+        }
+    }
+}
+
 impl DsaInstance {
     /// Build from a request slice. Every tensor must be allocated and freed
     /// within the slice; `index_base` offsets the recorded birth/death
@@ -40,36 +110,21 @@ impl DsaInstance {
     ///
     /// Returns `None` if any tensor crosses the slice boundary.
     pub fn from_requests(requests: &[Request], index_base: usize) -> Option<DsaInstance> {
-        let mut births: HashMap<TensorId, (usize, u64)> = HashMap::new();
-        let mut tensors = Vec::new();
-        for (i, r) in requests.iter().enumerate() {
-            match r.op {
-                MemOp::Malloc => {
-                    births.insert(r.tensor, (index_base + i, r.bytes));
-                }
-                MemOp::Free => {
-                    let (birth, size) = births.remove(&r.tensor)?;
-                    tensors.push(DsaTensor {
-                        id: r.tensor,
-                        size,
-                        birth,
-                        death: index_base + i,
-                    });
-                }
-            }
+        let mut b = DsaInstanceBuilder::with_base(index_base);
+        for r in requests {
+            b.push(r);
         }
-        if births.is_empty() {
-            Some(DsaInstance { tensors })
-        } else {
-            None
-        }
+        b.finish()
     }
 
-    /// Build from a whole iteration trace (the "flat" formulation the paper
-    /// deems computationally intractable for real models).
+    /// Build from a whole iteration trace (the "flat" whole-model
+    /// formulation), streaming the requests without collecting them.
     pub fn from_trace(trace: &IterationTrace) -> DsaInstance {
-        let requests: Vec<Request> = trace.flatten().copied().collect();
-        Self::from_requests(&requests, 0).expect("validated traces have no open tensors")
+        let mut b = DsaInstanceBuilder::new();
+        for r in trace.flatten() {
+            b.push(r);
+        }
+        b.finish().expect("validated traces have no open tensors")
     }
 
     pub fn len(&self) -> usize {
@@ -101,8 +156,12 @@ impl DsaInstance {
         peak as u64
     }
 
-    /// Indices of tensors overlapping tensor `i` (quadratic; instances are
-    /// small by construction after the bi-level decomposition).
+    /// Indices of tensors overlapping tensor `i`, by linear scan.
+    ///
+    /// Retained as the differential oracle for the sweep-line
+    /// [`crate::index::IntervalIndex`], which replaces it on every hot
+    /// path (`IntervalIndex::query` for one-off lookups,
+    /// `IntervalIndex::adjacency` for all-pairs conflict lists).
     pub fn conflicts_of(&self, i: usize) -> Vec<usize> {
         let ti = self.tensors[i];
         self.tensors
@@ -125,6 +184,13 @@ pub struct Assignment {
 impl Assignment {
     /// Verify the assignment: overlapping lifespans get disjoint address
     /// ranges, and no tensor exceeds the reported peak.
+    ///
+    /// Runs an O(n log n) event sweep: replay births/deaths in event order
+    /// keeping the live tensors in an address-ordered map; since the live
+    /// set is pairwise disjoint by induction, a new tensor only needs to be
+    /// checked against its address predecessor and successor. Address
+    /// arithmetic is `checked_add` so `u64::MAX`-adjacent offsets report an
+    /// error instead of overflowing.
     pub fn validate(&self, inst: &DsaInstance) -> Result<(), String> {
         if self.offsets.len() != inst.tensors.len() {
             return Err(format!(
@@ -133,14 +199,113 @@ impl Assignment {
                 inst.tensors.len()
             ));
         }
+        // (event position, is_birth, tensor index); deaths sort before
+        // births at the same position (half-open lifespans).
+        let mut events: Vec<(usize, bool, u32)> = Vec::with_capacity(inst.tensors.len() * 2);
         for (i, t) in inst.tensors.iter().enumerate() {
-            if self.offsets[i] + t.size > self.peak {
+            events.push((t.birth, true, i as u32));
+            events.push((t.death, false, i as u32));
+        }
+        events.sort_unstable();
+        // Live tensors keyed by (offset, index); the index disambiguates
+        // shared offsets. Nonzero-size live ranges are pairwise disjoint by
+        // induction (we abort on the first error), so a newcomer only needs
+        // its address predecessor and successor checked. Zero-size tensors
+        // are kept apart as *points*: per the (legacy, naive) overlap
+        // formula a point conflicts with a range iff it lies strictly
+        // inside it, so points cannot be allowed to mask a range's true
+        // neighbors.
+        let mut live_nz: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+        let mut live_pt: BTreeMap<(u64, u32), ()> = BTreeMap::new();
+        let overlap_err = |a: usize, b: usize| {
+            Err(format!(
+                "live tensors {} and {} overlap at addresses {} and {}",
+                inst.tensors[a].id.0, inst.tensors[b].id.0, self.offsets[a], self.offsets[b]
+            ))
+        };
+        for (_, is_birth, i) in events {
+            let idx = i as usize;
+            let t = &inst.tensors[idx];
+            let off = self.offsets[idx];
+            if !is_birth {
+                if t.size == 0 {
+                    live_pt.remove(&(off, i));
+                } else {
+                    live_nz.remove(&(off, i));
+                }
+                continue;
+            }
+            let end = off.checked_add(t.size).ok_or_else(|| {
+                format!(
+                    "tensor {} at offset {} + size {} overflows the address space",
+                    t.id.0, off, t.size
+                )
+            })?;
+            if end > self.peak {
                 return Err(format!(
                     "tensor {} at {}..{} exceeds peak {}",
-                    t.id.0,
-                    self.offsets[i],
-                    self.offsets[i] + t.size,
-                    self.peak
+                    t.id.0, off, end, self.peak
+                ));
+            }
+            if t.death <= t.birth {
+                // Zero-width lifespan (never produced by the builder):
+                // peak/overflow checked above, conflicts with nothing.
+                continue;
+            }
+            // Predecessor range [p_off, p_end): overlaps iff it straddles
+            // `off` (for points, iff `off` is strictly inside it).
+            if let Some((&(p_off, p_idx), &p_end)) = live_nz.range(..(off, i)).next_back() {
+                if p_off < end && p_end > off {
+                    return overlap_err(p_idx as usize, idx);
+                }
+            }
+            if t.size > 0 {
+                // Successor range starts at s_off ≥ off; nonzero, so it
+                // overlaps iff it starts before our end.
+                if let Some((&(s_off, s_idx), _)) = live_nz.range((off, i)..).next() {
+                    if s_off < end {
+                        return overlap_err(idx, s_idx as usize);
+                    }
+                }
+                // A live point strictly inside (off, end) conflicts.
+                use std::ops::Bound;
+                if let Some((&(q_off, q_idx), _)) = live_pt
+                    .range((Bound::Excluded((off, u32::MAX)), Bound::Unbounded))
+                    .next()
+                {
+                    if q_off < end {
+                        return overlap_err(idx, q_idx as usize);
+                    }
+                }
+                live_nz.insert((off, i), end);
+            } else {
+                live_pt.insert((off, i), ());
+            }
+        }
+        Ok(())
+    }
+
+    /// The original O(n²) validator, retained as a differential oracle for
+    /// the sweep validator on small instances.
+    pub fn validate_naive(&self, inst: &DsaInstance) -> Result<(), String> {
+        if self.offsets.len() != inst.tensors.len() {
+            return Err(format!(
+                "assignment covers {} of {} tensors",
+                self.offsets.len(),
+                inst.tensors.len()
+            ));
+        }
+        for (i, t) in inst.tensors.iter().enumerate() {
+            let end = self.offsets[i].checked_add(t.size).ok_or_else(|| {
+                format!(
+                    "tensor {} at offset {} + size {} overflows the address space",
+                    t.id.0, self.offsets[i], t.size
+                )
+            })?;
+            if end > self.peak {
+                return Err(format!(
+                    "tensor {} at {}..{} exceeds peak {}",
+                    t.id.0, self.offsets[i], end, self.peak
                 ));
             }
         }
@@ -151,6 +316,7 @@ impl Assignment {
                     continue;
                 }
                 let (oa, ob) = (self.offsets[i], self.offsets[j]);
+                // Ends are overflow-checked above.
                 if oa < ob + b.size && ob < oa + a.size {
                     return Err(format!(
                         "live tensors {} and {} overlap at addresses {} and {}",
@@ -163,12 +329,14 @@ impl Assignment {
     }
 
     /// Recompute the peak from the offsets (must equal `self.peak` for a
-    /// tight assignment).
+    /// tight assignment). Saturates instead of overflowing on
+    /// `u64::MAX`-adjacent offsets; [`validate`](Self::validate) is the
+    /// place that reports such assignments as errors.
     pub fn measured_peak(&self, inst: &DsaInstance) -> u64 {
         inst.tensors
             .iter()
             .zip(&self.offsets)
-            .map(|(t, &o)| o + t.size)
+            .map(|(t, &o)| o.saturating_add(t.size))
             .max()
             .unwrap_or(0)
     }
@@ -225,11 +393,13 @@ mod tests {
             peak: 15,
         };
         assert!(bad.validate(&inst).is_err());
+        assert!(bad.validate_naive(&inst).is_err());
         let good = Assignment {
             offsets: vec![0, 10],
             peak: 20,
         };
         good.validate(&inst).unwrap();
+        good.validate_naive(&inst).unwrap();
     }
 
     #[test]
@@ -242,6 +412,55 @@ mod tests {
             peak: 12,
         };
         assert!(bad.validate(&inst).is_err());
+        assert!(bad.validate_naive(&inst).is_err());
+    }
+
+    #[test]
+    fn validate_reports_overflow_at_u64_max_adjacent_offsets() {
+        // Regression: offsets near u64::MAX used to overflow `offset + size`
+        // (a debug-mode panic / release-mode wraparound masking the error).
+        let inst = DsaInstance {
+            tensors: vec![t(0, 8, 0, 4), t(1, 8, 2, 6)],
+        };
+        let bad = Assignment {
+            offsets: vec![u64::MAX - 4, 0],
+            peak: u64::MAX,
+        };
+        let err = bad.validate(&inst).unwrap_err();
+        assert!(err.contains("overflow"), "unexpected error: {err}");
+        let err = bad.validate_naive(&inst).unwrap_err();
+        assert!(err.contains("overflow"), "unexpected error: {err}");
+        // measured_peak saturates rather than wrapping to a tiny value.
+        assert_eq!(bad.measured_peak(&inst), u64::MAX);
+    }
+
+    #[test]
+    fn validate_sweep_handles_zero_size_and_shared_offsets() {
+        let inst = DsaInstance {
+            tensors: vec![t(0, 0, 0, 4), t(1, 0, 1, 5), t(2, 4, 2, 6)],
+        };
+        // Zero-size tensors at a nonzero range's boundaries are fine (and
+        // may share an offset with each other).
+        let ok = Assignment {
+            offsets: vec![0, 4, 0],
+            peak: 4,
+        };
+        ok.validate(&inst).unwrap();
+        ok.validate_naive(&inst).unwrap();
+        let ok2 = Assignment {
+            offsets: vec![0, 0, 0],
+            peak: 4,
+        };
+        ok2.validate(&inst).unwrap();
+        ok2.validate_naive(&inst).unwrap();
+        // ... but strictly inside one they count as overlap (legacy
+        // semantics), and the sweep must agree with the naive oracle.
+        let bad = Assignment {
+            offsets: vec![3, 3, 0],
+            peak: 4,
+        };
+        assert!(bad.validate(&inst).is_err());
+        assert!(bad.validate_naive(&inst).is_err());
     }
 
     #[test]
@@ -254,5 +473,46 @@ mod tests {
             label: Sym::EMPTY,
         }];
         assert!(DsaInstance::from_requests(&reqs, 0).is_none());
+        let reqs = vec![Request {
+            op: MemOp::Free,
+            tensor: TensorId(0),
+            bytes: 8,
+            label: Sym::EMPTY,
+        }];
+        assert!(
+            DsaInstance::from_requests(&reqs, 0).is_none(),
+            "free without malloc poisons the builder"
+        );
+    }
+
+    #[test]
+    fn builder_matches_from_requests() {
+        use memo_model::trace::{Request, Sym};
+        let reqs: Vec<Request> = [
+            (MemOp::Malloc, 0, 16),
+            (MemOp::Malloc, 1, 8),
+            (MemOp::Free, 0, 16),
+            (MemOp::Malloc, 2, 4),
+            (MemOp::Free, 2, 4),
+            (MemOp::Free, 1, 8),
+        ]
+        .iter()
+        .map(|&(op, id, bytes)| Request {
+            op,
+            tensor: TensorId(id),
+            bytes,
+            label: Sym::EMPTY,
+        })
+        .collect();
+        let batch = DsaInstance::from_requests(&reqs, 7).unwrap();
+        let mut b = DsaInstanceBuilder::with_base(7);
+        for r in &reqs {
+            b.push(r);
+        }
+        assert_eq!(b.events(), 7 + reqs.len());
+        let streamed = b.finish().unwrap();
+        assert_eq!(batch, streamed);
+        assert_eq!(streamed.tensors[0].birth, 7);
+        assert_eq!(streamed.tensors[0].death, 9);
     }
 }

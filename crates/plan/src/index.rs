@@ -1,0 +1,244 @@
+//! Sweep-line interval index over a [`DsaInstance`].
+//!
+//! Replaces the linear-scan `DsaInstance::conflicts_of` on every hot path:
+//!
+//! * [`IntervalIndex::query`] answers one-off "who overlaps tensor i?"
+//!   lookups in O(log n + k) via an implicit interval tree (tensors sorted
+//!   by birth, each subtree augmented with its maximum death);
+//! * [`IntervalIndex::adjacency`] materializes all per-tensor conflict
+//!   lists in O(n log n + K) with a birth-ordered sweep over a min-heap of
+//!   live tensors, where K is the total number of conflicting pairs.
+//!
+//! `DsaInstance::conflicts_of` is retained as the differential oracle; see
+//! the tests at the bottom and `tests/boxing_scale.rs`.
+
+use crate::dsa::DsaInstance;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Immutable interval index: tensor indices sorted by `(birth, death, idx)`
+/// with an implicit balanced tree (midpoint recursion) storing the maximum
+/// death over each subtree.
+#[derive(Debug)]
+pub struct IntervalIndex {
+    /// Original tensor indices in sorted order.
+    order: Vec<u32>,
+    /// `birth[p]` / `death[p]` of `order[p]`.
+    birth: Vec<usize>,
+    death: Vec<usize>,
+    /// Max death over the implicit subtree rooted at sorted position `p`.
+    max_death: Vec<usize>,
+}
+
+impl IntervalIndex {
+    pub fn new(inst: &DsaInstance) -> IntervalIndex {
+        let n = inst.tensors.len();
+        assert!(n <= u32::MAX as usize, "instance too large for u32 indices");
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let t = &inst.tensors[i as usize];
+            (t.birth, t.death, i)
+        });
+        let birth: Vec<usize> = order
+            .iter()
+            .map(|&i| inst.tensors[i as usize].birth)
+            .collect();
+        let death: Vec<usize> = order
+            .iter()
+            .map(|&i| inst.tensors[i as usize].death)
+            .collect();
+        let mut max_death = vec![0usize; n];
+        fn build(lo: usize, hi: usize, death: &[usize], max_death: &mut [usize]) -> usize {
+            if lo >= hi {
+                return 0;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let left = build(lo, mid, death, max_death);
+            let right = build(mid + 1, hi, death, max_death);
+            let m = death[mid].max(left).max(right);
+            max_death[mid] = m;
+            m
+        }
+        build(0, n, &death, &mut max_death);
+        IntervalIndex {
+            order,
+            birth,
+            death,
+            max_death,
+        }
+    }
+
+    /// Original tensor indices whose lifespans intersect the half-open
+    /// interval `[qb, qd)`, ascending. An empty query interval matches
+    /// nothing.
+    pub fn query_interval(&self, qb: usize, qd: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect(0, self.order.len(), qb, qd, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    /// Conflicts of tensor `i` (original index), ascending; excludes `i`.
+    /// Differential-equal to `DsaInstance::conflicts_of(i)`.
+    pub fn query(&self, inst: &DsaInstance, i: usize) -> Vec<usize> {
+        let t = &inst.tensors[i];
+        let mut out = self.query_interval(t.birth, t.death);
+        out.retain(|&j| j != i);
+        out
+    }
+
+    fn collect(&self, lo: usize, hi: usize, qb: usize, qd: usize, out: &mut Vec<usize>) {
+        if lo >= hi || qb >= qd {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        // Every death in this subtree is <= qb: nothing here outlives the
+        // query start.
+        if self.max_death[mid] <= qb {
+            return;
+        }
+        self.collect(lo, mid, qb, qd, out);
+        // Births are sorted: once a node's birth reaches the query end,
+        // neither it nor its right subtree can intersect.
+        if self.birth[mid] >= qd {
+            return;
+        }
+        if self.death[mid] > qb {
+            out.push(self.order[mid] as usize);
+        }
+        self.collect(mid + 1, hi, qb, qd, out);
+    }
+
+    /// All per-tensor conflict lists (each ascending), equivalent to
+    /// calling `conflicts_of` for every tensor but in O(n log n + K).
+    pub fn adjacency(&self, inst: &DsaInstance) -> Vec<Vec<usize>> {
+        self.adjacency_capped(inst, usize::MAX)
+            .expect("uncapped adjacency")
+    }
+
+    /// Like [`adjacency`](Self::adjacency) but aborts returning `None` once
+    /// more than `max_pairs` conflicting pairs have been discovered — used
+    /// to gate quadratic-in-K polish passes on dense instances.
+    pub fn adjacency_capped(
+        &self,
+        inst: &DsaInstance,
+        max_pairs: usize,
+    ) -> Option<Vec<Vec<usize>>> {
+        let n = inst.tensors.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Live tensors as a min-heap keyed by death; birth order comes from
+        // the sorted index. Heap iteration order is arbitrary but every
+        // entry is genuinely live once expired deaths are popped.
+        let mut live: BinaryHeap<Reverse<(usize, u32)>> = BinaryHeap::new();
+        let mut pairs = 0usize;
+        for p in 0..n {
+            let (b, d, i) = (self.birth[p], self.death[p], self.order[p]);
+            while let Some(&Reverse((death, _))) = live.peek() {
+                if death <= b {
+                    live.pop();
+                } else {
+                    break;
+                }
+            }
+            pairs += live.len();
+            if pairs > max_pairs {
+                return None;
+            }
+            for &Reverse((_, j)) in live.iter() {
+                adj[i as usize].push(j as usize);
+                adj[j as usize].push(i as usize);
+            }
+            live.push(Reverse((d, i)));
+        }
+        for row in &mut adj {
+            row.sort_unstable();
+        }
+        Some(adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsa::DsaTensor;
+    use memo_model::trace::TensorId;
+
+    fn inst_from(spans: &[(usize, usize)]) -> DsaInstance {
+        DsaInstance {
+            tensors: spans
+                .iter()
+                .enumerate()
+                .map(|(i, &(b, d))| DsaTensor {
+                    id: TensorId(i as u64),
+                    size: 1 + i as u64,
+                    birth: b,
+                    death: d,
+                })
+                .collect(),
+        }
+    }
+
+    /// Deterministic pseudo-random spans (xorshift; no external RNG).
+    fn random_inst(seed: u64, n: usize, horizon: usize) -> DsaInstance {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let spans: Vec<(usize, usize)> = (0..n)
+            .map(|_| {
+                let b = (next() as usize) % horizon;
+                let len = 1 + (next() as usize) % horizon;
+                (b, b + len)
+            })
+            .collect();
+        inst_from(&spans)
+    }
+
+    #[test]
+    fn query_matches_conflicts_of_oracle() {
+        for seed in 1..=20u64 {
+            let inst = random_inst(seed, 40, 30);
+            let idx = IntervalIndex::new(&inst);
+            for i in 0..inst.len() {
+                assert_eq!(
+                    idx.query(&inst, i),
+                    inst.conflicts_of(i),
+                    "seed {seed} tensor {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_matches_conflicts_of_oracle() {
+        for seed in 1..=20u64 {
+            let inst = random_inst(seed, 60, 25);
+            let idx = IntervalIndex::new(&inst);
+            let adj = idx.adjacency(&inst);
+            for (i, row) in adj.iter().enumerate() {
+                assert_eq!(row, &inst.conflicts_of(i), "seed {seed} tensor {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_cap_aborts_dense_instances() {
+        // 30 fully-overlapping tensors: K = 30*29/2 = 435 pairs.
+        let inst = inst_from(&vec![(0, 10); 30]);
+        let idx = IntervalIndex::new(&inst);
+        assert!(idx.adjacency_capped(&inst, 100).is_none());
+        assert!(idx.adjacency_capped(&inst, 435).is_some());
+    }
+
+    #[test]
+    fn empty_and_touching_intervals() {
+        let inst = inst_from(&[(0, 5), (5, 9)]);
+        let idx = IntervalIndex::new(&inst);
+        assert!(idx.query(&inst, 0).is_empty(), "touching never overlaps");
+        assert!(idx.query_interval(3, 3).is_empty(), "empty query interval");
+        assert_eq!(idx.query_interval(4, 6), vec![0, 1]);
+    }
+}

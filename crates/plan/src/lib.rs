@@ -20,16 +20,35 @@
 //!   node-limited with a heuristic incumbent otherwise);
 //! * [`bilevel`] — level-1 solve of one transformer layer's fwd/bwd segment,
 //!   pseudo-request substitution, level-2 solve of the whole iteration;
+//! * [`index`] — sweep-line interval index (O(log n + k) conflict queries,
+//!   O(n log n + K) all-pairs adjacency) replacing the linear-scan
+//!   `conflicts_of` on hot paths;
+//! * [`boxing`] — near-optimal whole-trace solver: jobset analysis plus
+//!   recursive boxing into power-of-two height classes, with a certified
+//!   multiplicative gap to the liveness lower bound; scales to
+//!   million-interval instances where exact search is infeasible;
+//! * [`dispatch`] — size-based planner dispatch (exact BnB below a
+//!   threshold, boxing above it, best-fit as last resort) and the
+//!   whole-trace planning entry point;
+//! * [`synth`] — synthetic MegaTrain-class trace generator (100B+ models,
+//!   few GPUs, NVMe offload) for stressing the large-instance path;
 //! * [`memplan`] — the resulting [`MemoryPlan`](memplan::MemoryPlan)
 //!   consumed by `memo_alloc::plan::PlanAllocator`.
 
 pub mod bilevel;
 pub mod bnb;
+pub mod boxing;
+pub mod dispatch;
 pub mod dsa;
 pub mod heuristic;
+pub mod index;
 pub mod io;
 pub mod memplan;
+pub mod synth;
 
-pub use bilevel::{plan_iteration, BilevelReport, PlanOptions};
-pub use dsa::{Assignment, DsaInstance, DsaTensor};
+pub use bilevel::{plan_iteration, plan_whole, BilevelReport, PlanOptions, WholeTraceStats};
+pub use boxing::{BoxingOptions, BoxingSolution};
+pub use dispatch::{DispatchOptions, DispatchSolution, PlannerBackend, PlannerKind};
+pub use dsa::{Assignment, DsaInstance, DsaInstanceBuilder, DsaTensor};
+pub use index::IntervalIndex;
 pub use memplan::MemoryPlan;

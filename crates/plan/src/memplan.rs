@@ -25,6 +25,27 @@ pub struct MemoryPlan {
 }
 
 impl MemoryPlan {
+    /// Build a plan from a solved DSA assignment over `inst`.
+    pub fn from_assignment(
+        inst: &crate::dsa::DsaInstance,
+        assignment: &crate::dsa::Assignment,
+    ) -> MemoryPlan {
+        let mut placements = HashMap::with_capacity(inst.len());
+        for (t, &o) in inst.tensors.iter().zip(&assignment.offsets) {
+            placements.insert(
+                t.id,
+                PlannedTensor {
+                    offset: o,
+                    bytes: t.size,
+                },
+            );
+        }
+        MemoryPlan {
+            placements,
+            peak: assignment.peak,
+        }
+    }
+
     /// `(tensor, offset, bytes)` triples for building a `PlanAllocator`.
     pub fn address_triples(&self) -> impl Iterator<Item = (TensorId, u64, u64)> + '_ {
         self.placements

@@ -30,9 +30,11 @@ LEN accepts k/m suffixes (e.g. 512k, 1m) and comma-separated lists
 OPTIONS:
     --system <SYS>                       system to simulate (default: memo); one of
                                          memo, megatron, keepall, deepspeed,
-                                         hybrid, nvme, tiered[:<depth>]
+                                         hybrid, nvme, tiered[:<depth>], whole
                                          (tiered = N-tier chain; depth 0/absent
-                                         uses the calibration's whole chain)
+                                         uses the calibration's whole chain;
+                                         whole = flat whole-trace DSA planner
+                                         with size-based exact/boxing dispatch)
     --all                                run all six systems
     --strategy tp<T>,cp<C>,pp<P>,dp<D>   fix the parallelism (default: search)
     --batch <B>                          sequences per DP replica (default: 1)
@@ -90,6 +92,7 @@ fn parse_system(s: &str) -> Option<SystemSpec> {
         "hybrid" | "tensor-hybrid" => SystemSpec::TensorHybrid,
         "nvme" | "memo-nvme" => SystemSpec::MemoNvme,
         "tiered" | "memo-tiered" => SystemSpec::MemoTiered(0),
+        "whole" | "wholeplan" | "memo-wholeplan" => SystemSpec::MemoWholePlan,
         other => match other.strip_prefix("tiered:") {
             Some(depth) => SystemSpec::MemoTiered(depth.parse().ok()?),
             None => return None,
