@@ -21,11 +21,19 @@
 //! * [`reference::ReferenceCachingAllocator`] is the original BTree-indexed
 //!   caching allocator, kept verbatim as the bit-exactness oracle for the
 //!   segregated-free-list fast path in [`caching`] (see DESIGN.md §2d).
+//! * [`paged::PagedKvAllocator`] is the serving-side answer: fixed-size KV
+//!   pages, per-sequence page tables, O(1) append/release — run in lockstep
+//!   with [`paged::PagedKvReference`] per the same oracle pattern
+//!   (DESIGN.md §2j).
 //!
-//! All implement [`DeviceAllocator`] so executors can swap them freely.
+//! All training allocators implement [`DeviceAllocator`] so executors can
+//! swap them freely; the paged KV allocator has its own sequence-oriented
+//! interface (admit/append/release) since KV grows token-wise, not
+//! tensor-wise.
 
 pub mod caching;
 pub mod expandable;
+pub mod paged;
 pub mod plan;
 pub mod reference;
 pub mod snapshot;

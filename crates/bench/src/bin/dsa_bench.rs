@@ -11,8 +11,9 @@
 //!   (including the NVMe-offload 1M-token regime the `MemoTiered` chain
 //!   targets), planned whole through the dispatch policy. BnB is infeasible
 //!   at these sizes (`n ≫ 40`), recorded as `bnb_peak: null`.
-//! * **MegaTrain synth** — the ≥1M-interval chunked fwd/bwd instance from
-//!   `memo_plan::synth`. Asserted to plan in seconds, validate, and stay
+//! * **MegaTrain chunked** — the ≥1M-interval instance built from the
+//!   token-chunked fwd/bwd request stream (`memo_model::chunked`, 100B
+//!   class at 1M tokens). Asserted to plan in seconds, validate, and stay
 //!   within boxing's certified `2·K·LOAD` guarantee.
 //!
 //! Every cell records `gap_ok`: peak within the certified guarantee (boxing
@@ -21,14 +22,14 @@
 
 use memo_core::profiler;
 use memo_core::session::Workload;
+use memo_model::chunked::ChunkedParams;
 use memo_model::config::ModelConfig;
 use memo_model::trace::{RematPolicy, TensorId};
 use memo_parallel::strategy::ParallelConfig;
 use memo_plan::bnb::{self, BnbOptions};
 use memo_plan::boxing;
 use memo_plan::dispatch::{self, DispatchOptions};
-use memo_plan::synth::{megatrain_instance, MegaTrainParams};
-use memo_plan::{DsaInstance, DsaTensor};
+use memo_plan::{DsaInstance, DsaInstanceBuilder, DsaTensor};
 use std::time::Instant;
 
 struct Cell {
@@ -198,10 +199,16 @@ fn main() {
         cells.push(trace_cell(label, kind, &w, &cfg));
     }
 
-    // ---- MegaTrain ≥1M-interval synth cell ------------------------------
-    let params = MegaTrainParams::million_interval();
+    // ---- MegaTrain ≥1M-interval chunked cell ----------------------------
+    // Built from the real token-chunked fwd/bwd request stream
+    // (`memo_model::chunked`), not a statistical synth: every malloc/free
+    // of the 100B-class 1M-token chunked iteration flows through the
+    // interval builder.
+    let params = ChunkedParams::megatrain();
     assert!(params.intervals() >= 1_000_000);
-    let inst = megatrain_instance(&params);
+    let mut builder = DsaInstanceBuilder::new();
+    memo_model::chunked::for_each_request(&params, |r| builder.push(r));
+    let inst = builder.finish().expect("chunked trace must be balanced");
     let synth = solve_cell("synth", format!("megatrain-{}", inst.len()), &inst, false);
     assert!(
         synth.runtime_ms < 30_000.0,

@@ -19,6 +19,7 @@
 use memo_obs::json::Json;
 use memo_serve::{
     generate, replies_match, PlanServer, RequestOutcome, ServeConfig, ServeReport, StreamSpec,
+    TenantKind,
 };
 use std::time::Instant;
 
@@ -122,6 +123,52 @@ fn main() {
         "every tenant arrival must rebalance the fleet"
     );
 
+    // ---- mixed-tenant cell: serving + training share the ElasticPools ----
+    // Every other tenant plans decode KV policies instead of training
+    // grids; both kinds stage different quanta against the same elastic
+    // budgets. Contract: record parity across legs, and zero
+    // budget-accounting drift (ledger vs. staged bytes) at every
+    // admission step.
+    let mut mixed_spec = StreamSpec::new(24, 300, 77);
+    mixed_spec.serving_stride = 2;
+    mixed_spec.mean_gap_secs = 0.5e-3;
+    mixed_spec.deadline_range_secs = (5e-3, 80e-3);
+    let mixed_stream = generate(&mixed_spec);
+    let mixed_pooled = serve_leg(&mixed_stream, false);
+    let mixed_serial = serve_leg(&mixed_stream, true);
+    let mut mixed_parity = true;
+    let (mut planned_serving, mut planned_training) = (0u64, 0u64);
+    for (p, s) in mixed_pooled.records.iter().zip(&mixed_serial.records) {
+        let ok = match (&p.outcome, &s.outcome) {
+            (RequestOutcome::Planned(a), RequestOutcome::Planned(b)) => {
+                match p.request.kind {
+                    TenantKind::Serving => planned_serving += 1,
+                    TenantKind::Training => planned_training += 1,
+                }
+                replies_match(a, b)
+            }
+            (RequestOutcome::Rejected(a), RequestOutcome::Rejected(b)) => a == b,
+            _ => false,
+        };
+        assert!(ok, "mixed request {} diverged between legs", p.request.id);
+        mixed_parity &= ok;
+    }
+    assert!(planned_serving > 0, "the mix must plan serving requests");
+    assert!(planned_training > 0, "the mix must plan training requests");
+    let drift = mixed_pooled
+        .summary
+        .budget_drift_bytes
+        .max(mixed_serial.summary.budget_drift_bytes);
+    assert_eq!(drift, 0, "elastic budget accounting drifted");
+    println!(
+        "\nmixed cell: {} records identical ({} serving / {} training planned), \
+         budget drift {} bytes",
+        mixed_stream.len(),
+        planned_serving,
+        planned_training,
+        drift
+    );
+
     let doc = Json::Obj(vec![
         ("bench".into(), Json::str("serve")),
         ("tenants".into(), Json::int(spec.tenants as u64)),
@@ -136,6 +183,16 @@ fn main() {
         ("pooled_ms".into(), Json::num(pooled_ms)),
         ("serial_ms".into(), Json::num(serial_ms)),
         ("summary".into(), s.to_json()),
+        (
+            "mixed".into(),
+            Json::Obj(vec![
+                ("requests".into(), Json::int(mixed_stream.len() as u64)),
+                ("parity".into(), Json::Bool(mixed_parity)),
+                ("planned_serving".into(), Json::int(planned_serving)),
+                ("planned_training".into(), Json::int(planned_training)),
+                ("budget_drift_bytes".into(), Json::int(drift)),
+            ]),
+        ),
     ]);
     std::fs::write("BENCH_serve.json", format!("{doc}\n")).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");

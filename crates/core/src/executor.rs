@@ -14,8 +14,9 @@
 
 use crate::outcome::CellOutcome;
 use crate::pipeline::{ActivationPolicy, ExecutionPipeline, PipelineStages};
+use crate::serving::ServingEngine;
 use crate::session::Workload;
-use memo_parallel::strategy::{ParallelConfig, SystemSpec};
+use memo_parallel::strategy::{KvCachePolicy, ParallelConfig, SystemSpec};
 
 /// Run one MEMO iteration: profile → α → bi-level plan → 3-stream schedule.
 pub fn run_memo(w: &Workload, cfg: &ParallelConfig) -> CellOutcome {
@@ -61,6 +62,16 @@ pub fn run_memo_tiered(w: &Workload, cfg: &ParallelConfig, depth: u8) -> CellOut
     ExecutionPipeline::new(SystemSpec::MemoTiered(depth))
         .execute(w, cfg)
         .outcome
+}
+
+/// Run the decode-phase serving workload under a KV-cache policy
+/// (`SystemSpec::Serving`): derive the decode cell from the workload's
+/// calibration, replay it through `crate::serving`, and report the
+/// outcome in the training vocabulary (tokens/sec → TGS, decode
+/// utilization → MFU). Serving has no `ParallelConfig` — the cell is a
+/// single device.
+pub fn run_serving(w: &Workload, policy: KvCachePolicy) -> CellOutcome {
+    ServingEngine::from_workload(w, policy).run().to_outcome()
 }
 
 /// MEMO with the whole-trace flat planner: instead of the bi-level

@@ -31,6 +31,7 @@ pub mod outcome;
 pub mod pipeline;
 pub mod planner;
 pub mod profiler;
+pub mod serving;
 pub mod session;
 
 pub use cache::{CacheStats, CacheStatsScope, ProfileCache};
@@ -41,6 +42,7 @@ pub use metrics::Metrics;
 pub use observer::RunObserver;
 pub use outcome::CellOutcome;
 pub use pipeline::{ExecutionPipeline, ExecutionReport};
+pub use serving::{ServingEngine, ServingReport, ServingResources};
 pub use session::Workload;
 
 #[cfg(test)]

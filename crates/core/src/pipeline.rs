@@ -201,6 +201,21 @@ impl PipelineStages {
                 derate: false,
                 planner: PlannerKind::Bilevel,
             },
+            // Serving specs execute through `crate::serving`, not the
+            // five training stages; a serving spec that reaches the
+            // training pipeline anyway behaves as keep-all replay (the
+            // decode phase never recomputes activations).
+            SystemSpec::Serving(_) => PipelineStages {
+                remat: RematPolicy::KeepAll,
+                materialize_logits: false,
+                head_scale: 1.0,
+                policy: ActivationPolicy::KeepAll,
+                backend: MemoryBackend::CachingReplay {
+                    zero3_prefetch: false,
+                },
+                derate: false,
+                planner: PlannerKind::Bilevel,
+            },
         }
     }
 }

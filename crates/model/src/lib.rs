@@ -12,16 +12,24 @@
 //!   1/16 = 6.25 % of it) plus the transient-activation catalog of §3.3;
 //! * [`trace`] — generation of the `malloc/free tensor_id size` memory
 //!   request sequences of Figures 4 and 9, segmented per layer and phase so
-//!   the bi-level planner can exploit the repetitive substructure.
+//!   the bi-level planner can exploit the repetitive substructure;
+//! * [`chunked`] — the token-chunked offload request stream (MegaTrain
+//!   shape) with real model-derived sizes, streamed via a visitor;
+//! * [`decode`] — decode-phase (serving) traces: per-step KV append,
+//!   continuous-batching arrivals/departures on a virtual step clock.
 
 pub mod activations;
+pub mod chunked;
 pub mod config;
+pub mod decode;
 pub mod flops;
 pub mod io;
 pub mod trace;
 
 pub use activations::{LayerDims, SkeletalKind, SkeletalTensor};
+pub use chunked::{for_each_request, generate_chunked, ChunkedParams};
 pub use config::{DType, ModelConfig};
+pub use decode::{generate_decode, kv_bytes_per_token, DecodeEvent, DecodeParams, DecodeTrace};
 pub use trace::{
     IterationTrace, MemOp, RematPolicy, Request, SegmentKind, Sym, TraceCheck, TraceSegment,
     TraceStrings,

@@ -7,7 +7,7 @@ use memo_core::observer::RunObserver;
 use memo_core::outcome::CellOutcome;
 use memo_core::pipeline::{ByteBreakdown, ExecutionReport, TimeBreakdown};
 use memo_core::Metrics;
-use memo_parallel::strategy::{ParallelConfig, SystemSpec};
+use memo_parallel::strategy::{KvCachePolicy, ParallelConfig, SystemSpec};
 
 fn spec_json(spec: SystemSpec) -> Json {
     let variant = |v: &str| vec![("variant".to_string(), Json::str(v))];
@@ -38,6 +38,11 @@ fn spec_json(spec: SystemSpec) -> Json {
         SystemSpec::MemoWholePlan => {
             let mut fields = variant("MemoWholePlan");
             fields.push(("planner".into(), Json::str("whole-trace")));
+            fields
+        }
+        SystemSpec::Serving(policy) => {
+            let mut fields = variant("Serving");
+            fields.push(("kv".into(), Json::str(policy.name())));
             fields
         }
     })
@@ -73,6 +78,17 @@ fn parse_spec(doc: &Json) -> Result<SystemSpec, String> {
                 .ok_or("MemoMixed missing swap_layers")? as u8,
         ),
         "MemoWholePlan" => SystemSpec::MemoWholePlan,
+        "Serving" => {
+            let kv = doc
+                .get("kv")
+                .and_then(Json::as_str)
+                .ok_or("Serving missing kv policy")?;
+            let policy = KvCachePolicy::ALL
+                .into_iter()
+                .find(|p| p.name() == kv)
+                .ok_or_else(|| format!("unknown kv policy {kv:?}"))?;
+            SystemSpec::Serving(policy)
+        }
         other => return Err(format!("unknown spec variant {other:?}")),
     })
 }
@@ -146,7 +162,9 @@ fn parse_metrics(doc: &Json) -> Result<Metrics, String> {
     })
 }
 
-fn outcome_json(out: &CellOutcome) -> Json {
+/// Serialize one [`CellOutcome`] (also used standalone by the CLI's
+/// serving records and the bench parity checks).
+pub fn outcome_json(out: &CellOutcome) -> Json {
     let shortfall = |kind: &str, needed: u64, capacity: u64| {
         Json::Obj(vec![
             ("kind".into(), Json::str(kind)),
@@ -171,7 +189,8 @@ fn outcome_json(out: &CellOutcome) -> Json {
     }
 }
 
-fn parse_outcome(doc: &Json) -> Result<CellOutcome, String> {
+/// Parse an [`outcome_json`] document back.
+pub fn parse_outcome(doc: &Json) -> Result<CellOutcome, String> {
     let kind = doc
         .get("kind")
         .and_then(Json::as_str)
@@ -311,6 +330,7 @@ mod tests {
             SystemSpec::MemoMixed(3),
             SystemSpec::MemoWholePlan,
         ]);
+        specs.extend(SystemSpec::SERVING);
         specs
     }
 

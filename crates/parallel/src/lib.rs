@@ -27,4 +27,6 @@ pub mod strategy;
 pub mod sweep;
 
 pub use cost::LayerTime;
-pub use strategy::{ParallelConfig, SearchFamily, StrategyError, SystemKind, SystemSpec};
+pub use strategy::{
+    KvCachePolicy, ParallelConfig, SearchFamily, StrategyError, SystemKind, SystemSpec,
+};

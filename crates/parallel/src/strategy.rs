@@ -48,6 +48,50 @@ pub enum SystemSpec {
     /// MegaTrain-class regime where traces carry far more tensors than the
     /// bi-level level-2 instance can absorb.
     MemoWholePlan,
+    /// Inference/serving mode: a decode-phase workload (per-step KV append,
+    /// continuous batching) managed by the named [`KvCachePolicy`]. Serving
+    /// specs execute through `memo_core::serving`, not the training
+    /// pipeline — the five training stages have no decode analogue.
+    Serving(KvCachePolicy),
+}
+
+/// How a serving run manages the KV cache — the serving-side mirror of the
+/// training contrast between the static plan and the caching allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KvCachePolicy {
+    /// Block-paged KV cache: fixed-size pages, per-sequence page tables,
+    /// O(1) append/release (the vLLM-style fast path).
+    Paged,
+    /// PyTorch-style caching allocator with per-step KV realloc — the
+    /// pre-paging baseline whose fragmentation caps concurrency the same
+    /// way Figure 1(a) does for training.
+    Caching,
+    /// Paged KV plus the MEMO α mechanism applied to KV rows: an α
+    /// fraction of every sequence's KV lives in host DRAM and streams
+    /// back under the decode step's compute.
+    TokenSwap,
+    /// Paged KV plus MemGPT-style tiered paging: cold sequences' KV
+    /// cascades down the calibration's N-tier memory hierarchy.
+    Tiered,
+}
+
+impl KvCachePolicy {
+    pub fn name(self) -> &'static str {
+        match self {
+            KvCachePolicy::Paged => "paged",
+            KvCachePolicy::Caching => "caching",
+            KvCachePolicy::TokenSwap => "kvswap",
+            KvCachePolicy::Tiered => "tiered",
+        }
+    }
+
+    /// Every serving policy, fastest-path first.
+    pub const ALL: [KvCachePolicy; 4] = [
+        KvCachePolicy::Paged,
+        KvCachePolicy::Caching,
+        KvCachePolicy::TokenSwap,
+        KvCachePolicy::Tiered,
+    ];
 }
 
 /// How the strategy search enumerates configurations for a spec.
@@ -77,6 +121,14 @@ impl SystemSpec {
         SystemSpec::MemoNvme,
     ];
 
+    /// The four serving modes (decode-phase KV-cache management).
+    pub const SERVING: [SystemSpec; 4] = [
+        SystemSpec::Serving(KvCachePolicy::Paged),
+        SystemSpec::Serving(KvCachePolicy::Caching),
+        SystemSpec::Serving(KvCachePolicy::TokenSwap),
+        SystemSpec::Serving(KvCachePolicy::Tiered),
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             SystemSpec::Memo => "MEMO",
@@ -91,7 +143,16 @@ impl SystemSpec {
             SystemSpec::MemoTiered(_) => "MEMO-tiered",
             SystemSpec::MemoMixed(_) => "MEMO-mixed",
             SystemSpec::MemoWholePlan => "MEMO-wholeplan",
+            SystemSpec::Serving(KvCachePolicy::Paged) => "Serve-paged",
+            SystemSpec::Serving(KvCachePolicy::Caching) => "Serve-caching",
+            SystemSpec::Serving(KvCachePolicy::TokenSwap) => "Serve-kvswap",
+            SystemSpec::Serving(KvCachePolicy::Tiered) => "Serve-tiered",
         }
+    }
+
+    /// True for the decode-phase serving modes.
+    pub fn is_serving(self) -> bool {
+        matches!(self, SystemSpec::Serving(_))
     }
 
     /// Which strategy grid the search walks for this mode. Everything

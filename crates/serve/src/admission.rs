@@ -116,12 +116,13 @@ impl AdmissionController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::ModelSize;
+    use crate::request::{ModelSize, TenantKind};
 
     fn req(id: usize, arrival_ms: f64, deadline_ms: f64) -> PlanRequest {
         PlanRequest {
             id,
             tenant: 0,
+            kind: TenantKind::Training,
             model: ModelSize::Gpt7b,
             n_gpus: 8,
             seq_len: 64 * 1024,

@@ -61,6 +61,13 @@ pub struct ElasticPools {
     slices: HashMap<usize, TierStaging>,
     rebalances: u64,
     peak_active: usize,
+    /// Independent reservation ledger, per tier: what the pools *should*
+    /// hold given every successful reserve minus every release. Compared
+    /// against the slices' own usage counters by [`drift_bytes`] — any
+    /// gap means elastic resizes or rollbacks lost staged bytes.
+    ///
+    /// [`drift_bytes`]: ElasticPools::drift_bytes
+    ledger: [u64; 2],
 }
 
 impl ElasticPools {
@@ -72,6 +79,7 @@ impl ElasticPools {
             slices: HashMap::new(),
             rebalances: 0,
             peak_active: 0,
+            ledger: [0, 0],
         }
     }
 
@@ -85,6 +93,21 @@ impl ElasticPools {
 
     pub fn rebalances(&self) -> u64 {
         self.rebalances
+    }
+
+    /// Budget-accounting drift: absolute gap, summed over both tiers,
+    /// between the reservation ledger and what the slices actually hold.
+    /// Zero at all times is the mixed-tenant `serve_bench` contract —
+    /// rebalances, failed-reserve rollbacks, and tenant churn must never
+    /// leak or double-count staged bytes.
+    pub fn drift_bytes(&self) -> u64 {
+        let mut staged = [0u64; 2];
+        for slice in self.slices.values() {
+            staged[HOST_TIER] += slice.host_used();
+            staged[ARENA_TIER] += slice.pool(ARENA_TIER).map_or(0, |p| p.used());
+        }
+        staged[HOST_TIER].abs_diff(self.ledger[HOST_TIER])
+            + staged[ARENA_TIER].abs_diff(self.ledger[ARENA_TIER])
     }
 
     pub fn is_active(&self, tenant: usize) -> bool {
@@ -152,11 +175,18 @@ impl ElasticPools {
             .get_mut(&tenant)
             .expect("reserving tenant is active")
             .reserve_layer(&traffic(host_bytes, arena_bytes))
+            .map(|()| {
+                self.ledger[HOST_TIER] += host_bytes;
+                self.ledger[ARENA_TIER] += arena_bytes;
+            })
             .map_err(|e| {
                 // reserve_layer commits nearer tiers before failing; roll
                 // the host commit back so a shed request holds nothing.
                 if e.tier == ARENA_TIER {
-                    self.release(tenant, host_bytes, 0);
+                    self.slices
+                        .get_mut(&tenant)
+                        .expect("reserving tenant is active")
+                        .release_layer(&traffic(host_bytes, 0));
                 }
                 RejectReason::BudgetUnavailable {
                     tier: e.tier,
@@ -172,6 +202,8 @@ impl ElasticPools {
             .get_mut(&tenant)
             .expect("releasing tenant is active")
             .release_layer(&traffic(host_bytes, arena_bytes));
+        self.ledger[HOST_TIER] -= host_bytes;
+        self.ledger[ARENA_TIER] -= arena_bytes;
     }
 }
 

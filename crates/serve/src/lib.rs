@@ -34,6 +34,7 @@ pub use admission::{AdmissionController, AdmissionPolicy};
 pub use elastic::ElasticPools;
 pub use request::{
     replies_match, ModelSize, PlanReply, PlanRequest, RejectReason, RequestOutcome, RequestRecord,
+    TenantKind,
 };
 pub use server::{PlanServer, ServeConfig, ServeReport, ServeSummary};
-pub use zipf::{generate, StreamSpec, Zipf};
+pub use zipf::{generate, tenant_kind, StreamSpec, Zipf};

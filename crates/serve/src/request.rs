@@ -37,14 +37,37 @@ impl ModelSize {
     }
 }
 
-/// One planning query: a tenant wants the best MEMO strategy for a
-/// (model, cluster slice, sequence length) workload, answered within its
-/// SLO budget.
+/// What a tenant runs on its cluster slice. Training tenants plan MEMO
+/// strategy grids; serving tenants plan decode-phase KV-cache policies
+/// (`SystemSpec::Serving`). Both share the fleet's [`ElasticPools`]
+/// budgets, which is what the mixed-tenant `serve_bench` cell exercises.
+///
+/// [`ElasticPools`]: crate::elastic::ElasticPools
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TenantKind {
+    #[default]
+    Training,
+    Serving,
+}
+
+impl TenantKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            TenantKind::Training => "training",
+            TenantKind::Serving => "serving",
+        }
+    }
+}
+
+/// One planning query: a tenant wants the best MEMO strategy (training)
+/// or KV-cache policy (serving) for a (model, cluster slice, sequence
+/// length) workload, answered within its SLO budget.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanRequest {
     /// Position in the stream (stable id; arrival order).
     pub id: usize,
     pub tenant: usize,
+    pub kind: TenantKind,
     pub model: ModelSize,
     pub n_gpus: usize,
     pub seq_len: u64,

@@ -26,16 +26,17 @@
 
 use crate::admission::{AdmissionController, AdmissionPolicy};
 use crate::elastic::ElasticPools;
-use crate::request::{PlanReply, PlanRequest, RequestOutcome, RequestRecord};
+use crate::request::{PlanReply, PlanRequest, RequestOutcome, RequestRecord, TenantKind};
 use memo_core::cache::{CacheStats, CacheStatsScope};
 use memo_core::delta::{pick_best_or_failure, DeltaContext};
 use memo_core::pipeline::{ActivationPolicy, ExecutionPipeline, PipelineStages};
+use memo_core::serving::ServingEngine;
 use memo_core::session::Workload;
 use memo_obs::json::Json;
 use memo_obs::latency::LatencySummary;
 use memo_parallel::pool::{Pool, PoolStats, PoolStatsScope};
 use memo_parallel::search;
-use memo_parallel::strategy::SystemSpec;
+use memo_parallel::strategy::{KvCachePolicy, SystemSpec};
 use memo_swap::{SegmentCacheStats, SegmentStatsScope};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -78,8 +79,13 @@ impl Default for ServeConfig {
 /// Staging bytes one in-flight request holds against its tenant's slice:
 /// a host-tier quantum (pinned transfer buffers) and an arena-tier
 /// quantum (profiling scratch), both proportional to sequence length.
+/// Serving tenants are host-heavy (token-wise KV swap stages cold rows
+/// through pinned buffers) but barely touch the planning arena.
 pub fn staging_quanta(req: &PlanRequest) -> (u64, u64) {
-    (req.seq_len * 1024, req.seq_len * 4096)
+    match req.kind {
+        TenantKind::Training => (req.seq_len * 1024, req.seq_len * 4096),
+        TenantKind::Serving => (req.seq_len * 2048, req.seq_len * 512),
+    }
 }
 
 /// An admitted request with its frozen planning budget.
@@ -95,6 +101,8 @@ struct Admitted {
 struct FleetStats {
     rebalances: u64,
     peak_active_tenants: usize,
+    /// Worst budget-accounting drift observed at any admission step.
+    budget_drift_bytes: u64,
 }
 
 /// Aggregate result of serving one stream.
@@ -109,6 +117,10 @@ pub struct ServeSummary {
     pub feasible: usize,
     pub rebalances: u64,
     pub peak_active_tenants: usize,
+    /// Worst gap between the pools' reservation ledger and the slices'
+    /// actual staged bytes, sampled at every admission step. Must be 0:
+    /// the mixed-tenant `serve_bench` cell asserts it.
+    pub budget_drift_bytes: u64,
     /// Profile-cache traffic summed over the per-request scopes.
     pub profile_cache: CacheStats,
     /// Segment-cache traffic summed over the per-request scopes.
@@ -147,6 +159,10 @@ impl ServeSummary {
             (
                 "peak_active_tenants".into(),
                 Json::int(self.peak_active_tenants as u64),
+            ),
+            (
+                "budget_drift_bytes".into(),
+                Json::int(self.budget_drift_bytes),
             ),
             ("profile_hits".into(), Json::int(self.profile_cache.hits)),
             (
@@ -233,6 +249,7 @@ impl PlanServer {
             feasible: 0,
             rebalances: fleet.rebalances,
             peak_active_tenants: fleet.peak_active_tenants,
+            budget_drift_bytes: fleet.budget_drift_bytes,
             profile_cache: CacheStats::default(),
             segment_cache: SegmentCacheStats::default(),
             pool: pool_stats,
@@ -297,6 +314,7 @@ impl PlanServer {
         let mut inflight: BinaryHeap<Reverse<(u64, usize, usize, u64, u64)>> = BinaryHeap::new();
         let mut admitted = Vec::new();
         let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; requests.len()];
+        let mut drift = 0u64;
 
         let drain =
             |now: f64,
@@ -361,6 +379,7 @@ impl PlanServer {
                     }
                 }
             }
+            drift = drift.max(pools.drift_bytes());
         }
         // Drain every still-in-flight request so the fleet ends empty.
         drain(
@@ -371,9 +390,11 @@ impl PlanServer {
             &mut inflight,
         );
         debug_assert_eq!(pools.active_tenants(), 0, "fleet must end idle");
+        drift = drift.max(pools.drift_bytes());
         let fleet = FleetStats {
             rebalances: pools.rebalances(),
             peak_active_tenants: pools.peak_active_tenants(),
+            budget_drift_bytes: drift,
         };
         (admitted, outcomes, fleet)
     }
@@ -393,6 +414,11 @@ fn plan_pipeline(alpha: f64) -> ExecutionPipeline {
 /// cache traffic to exactly this request. The whole grid is evaluated on
 /// the calling worker thread — no nested fan-out — which is what makes
 /// the thread-local stats scopes exact.
+///
+/// Serving tenants take a different grid: the four [`KvCachePolicy`]
+/// legs of a decode cell, picked by tokens/sec. Both paths are pure
+/// functions of (request, frozen host budget), which is what keeps the
+/// pooled and serial legs record-identical.
 fn plan_one(adm: &Admitted, serial: bool, ctx: &mut DeltaContext) -> PlanReply {
     let t0 = Instant::now();
     let cache_scope = CacheStatsScope::enter();
@@ -400,6 +426,38 @@ fn plan_one(adm: &Admitted, serial: bool, ctx: &mut DeltaContext) -> PlanReply {
 
     let mut w = Workload::new(adm.req.model.config(), adm.req.n_gpus, adm.req.seq_len);
     w.calib.set_host_memory_bytes(adm.host_budget_bytes);
+    if adm.req.kind == TenantKind::Serving {
+        let mut best: Option<(f64, memo_core::outcome::CellOutcome)> = None;
+        for &policy in &KvCachePolicy::ALL {
+            let mut eng = ServingEngine::from_workload(&w, policy);
+            // Trim the cell so a fleet of requests plans in milliseconds:
+            // a small saturated batch and a short decode phase still rank
+            // the policies the same way.
+            eng.params.max_batch = eng.params.max_batch.min(8);
+            eng.params.arrivals = 2 * eng.params.max_batch;
+            eng.params.decode_tokens = eng.params.decode_tokens.min(512);
+            let rep = eng.run();
+            let outcome = rep.to_outcome();
+            let score = if outcome.is_ok() {
+                rep.tokens_per_sec
+            } else {
+                f64::NEG_INFINITY
+            };
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, outcome));
+            }
+        }
+        return PlanReply {
+            picked: None,
+            report: None,
+            outcome: best.expect("four policy legs ran").1,
+            grid_cells: KvCachePolicy::ALL.len(),
+            host_budget_bytes: adm.host_budget_bytes,
+            cache: cache_scope.finish(),
+            segments: seg_scope.finish(),
+            latency_secs: t0.elapsed().as_secs_f64(),
+        };
+    }
     let gpn = w.calib.gpus_per_node.min(w.n_gpus);
     let grid = search::enumerate_configs(SystemSpec::Memo, &w.model, w.n_gpus, gpn);
     let mut cells = Vec::with_capacity(grid.len() * ALPHA_POINTS);
@@ -501,6 +559,44 @@ mod tests {
             json.get("planned").and_then(Json::as_u64),
             Some(s.planned as u64)
         );
+    }
+
+    #[test]
+    fn mixed_tenants_share_the_fleet_without_drift() {
+        let mut spec = StreamSpec::new(6, 24, 13);
+        spec.serving_stride = 2; // odd tenants serve, even tenants train
+        spec.mean_gap_secs = 1e-3;
+        spec.deadline_range_secs = (0.5, 1.0);
+        let stream = generate(&spec);
+        assert!(stream.iter().any(|r| r.kind == TenantKind::Serving));
+        assert!(stream.iter().any(|r| r.kind == TenantKind::Training));
+
+        let pooled = PlanServer::new(ServeConfig::default()).serve(&stream);
+        let serial = PlanServer::new(ServeConfig {
+            serial: true,
+            ..ServeConfig::default()
+        })
+        .serve(&stream);
+        assert_eq!(pooled.summary.budget_drift_bytes, 0);
+        assert_eq!(serial.summary.budget_drift_bytes, 0);
+        let mut served = 0;
+        for (p, s) in pooled.records.iter().zip(&serial.records) {
+            match (&p.outcome, &s.outcome) {
+                (RequestOutcome::Planned(a), RequestOutcome::Planned(b)) => {
+                    assert!(replies_match(a, b), "request {} diverged", p.request.id);
+                    if p.request.kind == TenantKind::Serving {
+                        served += 1;
+                        // A serving plan carries a policy cell, not a
+                        // parallel strategy.
+                        assert!(a.picked.is_none());
+                        assert_eq!(a.grid_cells, 4);
+                    }
+                }
+                (RequestOutcome::Rejected(a), RequestOutcome::Rejected(b)) => assert_eq!(a, b),
+                _ => panic!("request {} admitted on one leg only", p.request.id),
+            }
+        }
+        assert!(served > 0, "some serving requests must be planned");
     }
 
     #[test]

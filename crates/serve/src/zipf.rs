@@ -7,7 +7,7 @@
 //! [`StreamSpec`] — same spec, same stream, on every machine — so the
 //! pooled and serial legs of the server see byte-identical inputs.
 
-use crate::request::{ModelSize, PlanRequest};
+use crate::request::{ModelSize, PlanRequest, TenantKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -57,6 +57,11 @@ pub struct StreamSpec {
     pub mean_gap_secs: f64,
     /// SLO budgets are drawn uniformly from this range (seconds).
     pub deadline_range_secs: (f64, f64),
+    /// Every `stride`-th tenant is a *serving* tenant planning decode
+    /// KV policies instead of training grids (0 = training-only). The
+    /// head of the Zipf law (tenant 0) always stays a training tenant
+    /// so the stride never drains the profile cache's hottest key.
+    pub serving_stride: usize,
 }
 
 impl StreamSpec {
@@ -69,7 +74,17 @@ impl StreamSpec {
             n_gpus: 8,
             mean_gap_secs: 0.5e-3,
             deadline_range_secs: (2e-3, 60e-3),
+            serving_stride: 0,
         }
+    }
+}
+
+/// Which kind of work tenant `tenant` submits under `serving_stride`.
+pub fn tenant_kind(tenant: usize, serving_stride: usize) -> TenantKind {
+    if serving_stride > 0 && tenant % serving_stride == serving_stride - 1 {
+        TenantKind::Serving
+    } else {
+        TenantKind::Training
     }
 }
 
@@ -108,6 +123,7 @@ pub fn generate(spec: &StreamSpec) -> Vec<PlanRequest> {
             PlanRequest {
                 id,
                 tenant,
+                kind: tenant_kind(tenant, spec.serving_stride),
                 model,
                 n_gpus,
                 seq_len,

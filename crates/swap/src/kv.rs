@@ -1,0 +1,428 @@
+//! Token-wise KV swap/recompute and tiered cold-KV paging (serving).
+//!
+//! MEMO's α mechanism (Eq. 1–3) applied to the KV cache instead of
+//! skeletal activations. During decode every step must *read* the whole
+//! KV cache for attention, so keeping an α fraction of token rows off
+//! device turns into per-step streaming traffic: the overlap constraint
+//! becomes "α·S_kv / B ≤ T_step" and the host constraint "α·S_kv ≤
+//! M_host" (a single resident copy — `n_layers = 3` maps the activation
+//! program's `(n−2)` swap-layers factor to exactly 1). [`plan_kv_swap`]
+//! solves for the largest sustainable α and compares it against the
+//! fraction the device deficit *requires*; [`plan_kv_tiered`] waterfalls
+//! the same program down the PR-6 offload chain (host → NVMe → …).
+//!
+//! [`KvPager`] is the MemGPT-style mechanism half: whole cold *sequences*
+//! are paged out through [`TierStaging`], nearest tier first, and their
+//! bytes keep accruing on that tier until departure. The serving engine
+//! (`memo_core::serving`) uses the planner for the α legs and the pager
+//! for the tiered leg.
+
+use crate::alpha::{solve_alpha, solve_alpha_tiered, AlphaInputs, BindingConstraint, TierLink};
+use crate::schedule::{TierTraffic, TierTrafficList};
+use crate::tiers::{OutOfTierMemory, TierStaging};
+
+/// The KV α grid is the activation grid (1/8).
+pub use crate::alpha::ALPHA_GRID;
+
+/// Inputs to the KV swap solve, per device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvSwapInputs {
+    /// Total KV bytes the active batch holds at the planning point.
+    pub total_kv_bytes: u64,
+    /// Device bytes available for KV.
+    pub device_kv_bytes: u64,
+    /// Compute time of one decode step, seconds (the overlap budget).
+    pub step_compute_secs: f64,
+    /// Effective device↔host bandwidth, bytes/s.
+    pub host_bandwidth: f64,
+    /// Host DRAM available for swapped KV, bytes.
+    pub host_capacity: u64,
+}
+
+/// Result of the single-tier KV α solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvSwapPlan {
+    /// Fraction that *must* live off device (1/8 grid, rounded up).
+    pub alpha_needed: f64,
+    /// Largest α the overlap + host constraints sustain (1/8 grid,
+    /// rounded down, Eq. 1–3 semantics).
+    pub alpha_max: f64,
+    /// Which constraint fixed `alpha_max`.
+    pub binding: BindingConstraint,
+    /// `alpha_needed ≤ alpha_max`: the deficit is coverable without
+    /// stalling decode or exhausting the host.
+    pub feasible: bool,
+    /// Host bytes the swapped fraction occupies.
+    pub host_bytes: u64,
+    /// Per-step stall when running at `alpha_needed` anyway: transfer
+    /// time not hidden under compute (0 when the overlap constraint
+    /// holds; ∞-like large when infeasible on host capacity is *not*
+    /// modelled here — check `feasible`).
+    pub step_overhead_secs: f64,
+}
+
+/// Round a required fraction *up* to the 1/8 grid (a deficit can only be
+/// covered by swapping at least that much).
+pub fn quantize_up(alpha: f64) -> f64 {
+    ((alpha / ALPHA_GRID).ceil() * ALPHA_GRID).clamp(0.0, 1.0)
+}
+
+/// Fraction of `total` that does not fit in `device`, on the up-grid.
+pub fn alpha_needed(total_kv_bytes: u64, device_kv_bytes: u64) -> f64 {
+    if total_kv_bytes <= device_kv_bytes || total_kv_bytes == 0 {
+        return 0.0;
+    }
+    let deficit = (total_kv_bytes - device_kv_bytes) as f64 / total_kv_bytes as f64;
+    quantize_up(deficit)
+}
+
+/// Solve the single-tier (host) KV α program.
+pub fn plan_kv_swap(inp: &KvSwapInputs) -> KvSwapPlan {
+    let needed = alpha_needed(inp.total_kv_bytes, inp.device_kv_bytes);
+    // Map onto the activation program: no mandatory tensor-level swaps
+    // (s_input = s_attn = 0), the whole KV cache is the α-managed pool,
+    // one decode step is the overlap window, and a single resident copy
+    // on the host (n_layers = 3 ⇒ swap-layers factor n−2 = 1).
+    let sol = solve_alpha(&AlphaInputs {
+        s_input: 0,
+        s_attn: 0,
+        s_others: inp.total_kv_bytes,
+        bandwidth: inp.host_bandwidth,
+        t_layer_fwd: inp.step_compute_secs,
+        n_layers: 3,
+        host_capacity: inp.host_capacity,
+    });
+    let host_bytes = (needed * inp.total_kv_bytes as f64).ceil() as u64;
+    let transfer = if inp.host_bandwidth > 0.0 {
+        needed * inp.total_kv_bytes as f64 / inp.host_bandwidth
+    } else if needed > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    KvSwapPlan {
+        alpha_needed: needed,
+        alpha_max: sol.alpha,
+        binding: sol.binding,
+        feasible: needed <= sol.alpha + 1e-9 && host_bytes <= inp.host_capacity,
+        host_bytes,
+        step_overhead_secs: (transfer - inp.step_compute_secs).max(0.0),
+    }
+}
+
+/// Result of the tiered KV solve: the waterfall's per-tier fractions
+/// plus feasibility against the required fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvTieredPlan {
+    pub alpha_needed: f64,
+    /// Per-tier sustainable fractions, host first (1/8 grid).
+    pub alphas: Vec<f64>,
+    pub feasible: bool,
+    /// Per-step stall when the chain carries `alpha_needed`, filling
+    /// tiers nearest-first at their solved shares.
+    pub step_overhead_secs: f64,
+}
+
+impl KvTieredPlan {
+    pub fn alpha_max(&self) -> f64 {
+        self.alphas.iter().sum()
+    }
+}
+
+/// Waterfall the KV α program down the offload chain (`extra` = tiers
+/// beyond the host, e.g. NVMe), MemGPT's tiered-context layout under
+/// MEMO's constraint program.
+pub fn plan_kv_tiered(inp: &KvSwapInputs, extra: &[TierLink]) -> KvTieredPlan {
+    let needed = alpha_needed(inp.total_kv_bytes, inp.device_kv_bytes);
+    let sol = solve_alpha_tiered(
+        &AlphaInputs {
+            s_input: 0,
+            s_attn: 0,
+            s_others: inp.total_kv_bytes,
+            bandwidth: inp.host_bandwidth,
+            t_layer_fwd: inp.step_compute_secs,
+            n_layers: 3,
+            host_capacity: inp.host_capacity,
+        },
+        extra,
+    );
+    // Charge `needed` across the chain nearest-first at each tier's
+    // solved share; whatever the chain cannot hide stalls the step.
+    let total = inp.total_kv_bytes as f64;
+    let mut remaining = needed;
+    let mut transfer = 0.0f64;
+    let links: Vec<(f64, f64)> = std::iter::once((sol.alpha(0), inp.host_bandwidth))
+        .chain(
+            extra
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (sol.alpha(i + 1), l.bandwidth)),
+        )
+        .collect();
+    for (share, bw) in links {
+        if remaining <= 0.0 {
+            break;
+        }
+        let take = remaining.min(share);
+        if take > 0.0 && bw > 0.0 {
+            transfer += take * total / bw;
+        }
+        remaining -= take;
+    }
+    let feasible = needed <= sol.alpha_total() + 1e-9;
+    KvTieredPlan {
+        alpha_needed: needed,
+        alphas: sol.alphas,
+        feasible,
+        step_overhead_secs: if remaining > 1e-9 {
+            f64::INFINITY
+        } else {
+            (transfer - inp.step_compute_secs).max(0.0)
+        },
+    }
+}
+
+/// MemGPT-style pager: whole cold sequences page out through the offload
+/// chain, nearest tier with room first, and stay there (appending on
+/// their tier) until departure.
+#[derive(Debug, Clone)]
+pub struct KvPager {
+    staging: TierStaging,
+    /// seq → (tier, bytes staged there); dense by sequence id.
+    placed: Vec<Option<(usize, u64)>>,
+    evictions: u64,
+}
+
+impl KvPager {
+    /// One pool per tier beyond the device, chain order (0 = host).
+    pub fn new(tier_capacities: &[u64]) -> Self {
+        assert!(!tier_capacities.is_empty(), "pager needs at least one tier");
+        KvPager {
+            staging: TierStaging::new(tier_capacities),
+            placed: Vec::new(),
+            evictions: 0,
+        }
+    }
+
+    fn traffic_at(&self, tier: usize, bytes: u64) -> TierTrafficList {
+        let mut t = TierTrafficList::new();
+        for i in 0..=tier {
+            t.push(TierTraffic {
+                bytes: if i == tier { bytes } else { 0 },
+                bandwidth: 1.0,
+                latency_secs: 0.0,
+            });
+        }
+        t
+    }
+
+    /// Page a resident sequence out: place its `bytes` on the nearest
+    /// tier with room. Returns the tier index.
+    pub fn evict(&mut self, seq: u32, bytes: u64) -> Result<usize, OutOfTierMemory> {
+        if self.placed.len() <= seq as usize {
+            self.placed.resize(seq as usize + 1, None);
+        }
+        assert!(
+            self.placed[seq as usize].is_none(),
+            "sequence {seq} already paged out"
+        );
+        let n = self.staging.len();
+        let mut last_err = None;
+        for tier in 0..n {
+            match self.staging.reserve_layer(&self.traffic_at(tier, bytes)) {
+                Ok(()) => {
+                    self.placed[seq as usize] = Some((tier, bytes));
+                    self.evictions += 1;
+                    return Ok(tier);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one tier"))
+    }
+
+    /// Grow a paged-out sequence in place (its decode appends land on its
+    /// tier). Fails if the tier is full — the engine then rejects or
+    /// departs the sequence.
+    pub fn append(&mut self, seq: u32, bytes: u64) -> Result<(), OutOfTierMemory> {
+        let (tier, held) = self.placed[seq as usize].expect("sequence not paged out");
+        self.staging.reserve_layer(&self.traffic_at(tier, bytes))?;
+        self.placed[seq as usize] = Some((tier, held + bytes));
+        Ok(())
+    }
+
+    /// True if `seq` currently lives off device.
+    pub fn is_paged_out(&self, seq: u32) -> bool {
+        self.placed.get(seq as usize).is_some_and(|p| p.is_some())
+    }
+
+    /// Release a departed (or recalled) sequence's staged bytes.
+    pub fn release(&mut self, seq: u32) {
+        if let Some(Some((tier, bytes))) = self.placed.get_mut(seq as usize).map(|p| p.take()) {
+            self.staging.release_layer(&self.traffic_at(tier, bytes));
+        }
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Bytes currently staged across the chain.
+    pub fn staged_bytes(&self) -> u64 {
+        (0..self.staging.len())
+            .map(|t| self.staging.pool(t).map_or(0, |p| p.used()))
+            .sum()
+    }
+
+    /// Peak bytes ever staged on the nearest (host) tier.
+    pub fn host_peak(&self) -> u64 {
+        self.staging.host_peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn no_deficit_means_alpha_zero() {
+        let plan = plan_kv_swap(&KvSwapInputs {
+            total_kv_bytes: 10 * GIB,
+            device_kv_bytes: 16 * GIB,
+            step_compute_secs: 0.05,
+            host_bandwidth: 20e9,
+            host_capacity: 100 * GIB,
+        });
+        assert_eq!(plan.alpha_needed, 0.0);
+        assert!(plan.feasible);
+        assert_eq!(plan.step_overhead_secs, 0.0);
+    }
+
+    #[test]
+    fn deficit_rounds_up_to_grid() {
+        // 10% deficit → α_needed = 1/8.
+        assert_eq!(alpha_needed(100, 90), 0.125);
+        // Exactly on-grid deficit stays put.
+        assert_eq!(alpha_needed(8, 6), 0.25);
+        // Total deficit caps at 1.
+        assert_eq!(alpha_needed(100, 0), 1.0);
+    }
+
+    #[test]
+    fn overlap_bound_matches_eq2() {
+        // B·T = 1 GiB of hideable traffic against 4 GiB of KV → α_max
+        // 0.25; a 50% deficit is infeasible, a 25% one is not.
+        let base = KvSwapInputs {
+            total_kv_bytes: 4 * GIB,
+            device_kv_bytes: 2 * GIB,
+            step_compute_secs: 1.0,
+            host_bandwidth: GIB as f64,
+            host_capacity: 100 * GIB,
+        };
+        let plan = plan_kv_swap(&base);
+        assert_eq!(plan.alpha_max, 0.25);
+        assert_eq!(plan.alpha_needed, 0.5);
+        assert!(!plan.feasible);
+        assert_eq!(plan.binding, BindingConstraint::Overlap);
+        // Running anyway stalls: 2 GiB over 1 GiB/s − 1 s compute = 1 s.
+        assert!((plan.step_overhead_secs - 1.0).abs() < 1e-9);
+
+        let ok = plan_kv_swap(&KvSwapInputs {
+            device_kv_bytes: 3 * GIB,
+            ..base
+        });
+        assert!(ok.feasible);
+        assert_eq!(ok.step_overhead_secs, 0.0);
+    }
+
+    #[test]
+    fn host_capacity_binds_like_eq3() {
+        let plan = plan_kv_swap(&KvSwapInputs {
+            total_kv_bytes: 8 * GIB,
+            device_kv_bytes: 4 * GIB,
+            step_compute_secs: 100.0, // overlap never binds
+            host_bandwidth: 20e9,
+            host_capacity: GIB, // host holds only 1/8 of the KV
+        });
+        assert_eq!(plan.alpha_max, 0.125);
+        assert_eq!(plan.binding, BindingConstraint::HostMemory);
+        assert!(!plan.feasible);
+    }
+
+    #[test]
+    fn tiered_waterfall_extends_feasibility() {
+        // Host DRAM holds only 1/4 of the KV (capacity-bound at fast
+        // PCIe), leaving 3/4 of the step window unused — an NVMe tier
+        // absorbs the remaining 0.25 of the needed 0.5.
+        let inp = KvSwapInputs {
+            total_kv_bytes: 4 * GIB,
+            device_kv_bytes: 2 * GIB,
+            step_compute_secs: 1.0,
+            host_bandwidth: 4.0 * GIB as f64,
+            host_capacity: GIB,
+        };
+        let single = plan_kv_swap(&inp);
+        assert_eq!(single.alpha_max, 0.25);
+        assert_eq!(single.binding, BindingConstraint::HostMemory);
+        assert!(!single.feasible);
+        let tiered = plan_kv_tiered(
+            &inp,
+            &[TierLink {
+                bandwidth: 2.0 * GIB as f64,
+                capacity: 100 * GIB,
+            }],
+        );
+        assert_eq!(tiered.alpha_needed, 0.5);
+        assert!(tiered.alpha_max() >= 0.5, "alphas {:?}", tiered.alphas);
+        assert!(tiered.feasible);
+        assert_eq!(tiered.step_overhead_secs, 0.0);
+    }
+
+    #[test]
+    fn tiered_with_no_extra_matches_single_tier() {
+        let inp = KvSwapInputs {
+            total_kv_bytes: 4 * GIB,
+            device_kv_bytes: 3 * GIB,
+            step_compute_secs: 1.0,
+            host_bandwidth: GIB as f64,
+            host_capacity: 100 * GIB,
+        };
+        let single = plan_kv_swap(&inp);
+        let tiered = plan_kv_tiered(&inp, &[]);
+        assert_eq!(tiered.alphas, vec![single.alpha_max]);
+        assert_eq!(tiered.feasible, single.feasible);
+    }
+
+    #[test]
+    fn pager_places_nearest_first_and_spills() {
+        let mut pager = KvPager::new(&[2 * GIB, 10 * GIB]);
+        assert_eq!(pager.evict(0, GIB).unwrap(), 0);
+        assert_eq!(pager.evict(1, GIB).unwrap(), 0); // host now full
+        assert_eq!(pager.evict(2, GIB).unwrap(), 1); // spills to tier 1
+        assert!(pager.is_paged_out(1));
+        assert_eq!(pager.staged_bytes(), 3 * GIB);
+        assert_eq!(pager.evictions(), 3);
+
+        // Appends accrue on the sequence's own tier.
+        pager.append(2, GIB).unwrap();
+        assert_eq!(pager.staged_bytes(), 4 * GIB);
+        // Host-resident seq 0 cannot grow: host is full.
+        assert!(pager.append(0, GIB).is_err());
+
+        pager.release(1);
+        assert!(!pager.is_paged_out(1));
+        assert_eq!(pager.staged_bytes(), 3 * GIB);
+        assert_eq!(pager.host_peak(), 2 * GIB);
+    }
+
+    #[test]
+    fn pager_oom_reports_deepest_tier() {
+        let mut pager = KvPager::new(&[GIB, GIB]);
+        pager.evict(0, GIB).unwrap();
+        pager.evict(1, GIB).unwrap();
+        let err = pager.evict(2, GIB).unwrap_err();
+        assert_eq!(err.tier, 1, "error surfaces the last tier tried");
+    }
+}

@@ -19,10 +19,16 @@
 //!   α program generalises to a per-tier greedy waterfall
 //!   ([`alpha::solve_alpha_tiered`]).
 
+//! * The same α program drives token-wise **KV** swapping for the serving
+//!   workload family ([`kv`]): the decode step is the overlap window, the
+//!   KV cache the α-managed pool, and cold sequences page down the tier
+//!   chain MemGPT-style.
+
 pub mod alpha;
 pub mod buffers;
 pub mod delta;
 pub mod host;
+pub mod kv;
 pub mod reference;
 pub mod schedule;
 pub mod segmented;
@@ -35,6 +41,7 @@ pub use alpha::{
 pub use buffers::RoundingBuffers;
 pub use delta::{ScheduleKey, SegmentCache, SegmentCacheStats, SegmentStatsScope};
 pub use host::HostStaging;
+pub use kv::{plan_kv_swap, plan_kv_tiered, KvPager, KvSwapInputs, KvSwapPlan, KvTieredPlan};
 pub use schedule::{
     build_iteration_schedule, build_iteration_schedule_recorded, LayerCosts, ScalarSchedule,
     ScheduleOutcome, TierTraffic, TierTrafficList, MAX_TIERS,

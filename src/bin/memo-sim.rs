@@ -7,15 +7,17 @@
 //! ```
 
 use memo::core::delta::{pick_best_or_failure, DeltaContext};
+use memo::core::executor::run_serving;
 use memo::core::observer::RunObserver;
+use memo::core::outcome::CellOutcome;
 use memo::core::session::Workload;
 use memo::model::config::ModelConfig;
 use memo::obs::alloc_trace::chrome_memory_counters;
 use memo::obs::chrome::TraceBuilder;
 use memo::obs::json::Json;
-use memo::obs::report::{observed_json, report_json};
+use memo::obs::report::{observed_json, outcome_json, report_json};
 use memo::parallel::pool::{PoolStats, PoolStatsScope};
-use memo::parallel::strategy::{ParallelConfig, SystemSpec};
+use memo::parallel::strategy::{KvCachePolicy, ParallelConfig, SystemSpec};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -34,8 +36,13 @@ OPTIONS:
                                          (tiered = N-tier chain; depth 0/absent
                                          uses the calibration's whole chain;
                                          whole = flat whole-trace DSA planner
-                                         with size-based exact/boxing dispatch)
-    --all                                run all six systems
+                                         with size-based exact/boxing dispatch),
+                                         or a serving cell
+                                         serve[:<paged|caching|kvswap|tiered>]
+                                         (decode-phase KV-cache replay; --seq is
+                                         the per-sequence context; strategy and
+                                         grid options do not apply)
+    --all                                run all six training systems
     --strategy tp<T>,cp<C>,pp<P>,dp<D>   fix the parallelism (default: search)
     --batch <B>                          sequences per DP replica (default: 1)
     --sweep <START>:<END>:<STEP>         sweep the sequence length (k/m suffixes ok)
@@ -93,10 +100,20 @@ fn parse_system(s: &str) -> Option<SystemSpec> {
         "nvme" | "memo-nvme" => SystemSpec::MemoNvme,
         "tiered" | "memo-tiered" => SystemSpec::MemoTiered(0),
         "whole" | "wholeplan" | "memo-wholeplan" => SystemSpec::MemoWholePlan,
-        other => match other.strip_prefix("tiered:") {
-            Some(depth) => SystemSpec::MemoTiered(depth.parse().ok()?),
-            None => return None,
-        },
+        "serve" => SystemSpec::Serving(KvCachePolicy::Paged),
+        other => {
+            if let Some(depth) = other.strip_prefix("tiered:") {
+                SystemSpec::MemoTiered(depth.parse().ok()?)
+            } else if let Some(kv) = other
+                .strip_prefix("serve:")
+                .or_else(|| other.strip_prefix("serve-"))
+            {
+                let policy = KvCachePolicy::ALL.into_iter().find(|p| p.name() == kv)?;
+                SystemSpec::Serving(policy)
+            } else {
+                return None;
+            }
+        }
     })
 }
 
@@ -177,6 +194,16 @@ impl ObsSink {
             ("outcome".into(), Json::str(outcome_cell)),
         ]));
     }
+
+    /// Record a serving cell: no strategy, no observed pipeline — just
+    /// the outcome (tokens/sec as TGS, decode utilization as MFU).
+    fn record_serving(&mut self, workload: &Workload, system: SystemSpec, out: &CellOutcome) {
+        self.reports.push(Json::Obj(vec![
+            ("seq".into(), Json::int(workload.seq_len)),
+            ("system".into(), Json::str(system.name())),
+            ("outcome".into(), outcome_json(out)),
+        ]));
+    }
 }
 
 /// Dense α grid at one MEMO strategy, swept through the delta path
@@ -253,6 +280,28 @@ fn report(
     cfg: Option<ParallelConfig>,
     sink: Option<&mut ObsSink>,
 ) -> bool {
+    // Serving cells replay the decode engine — there is no strategy
+    // search, pipeline, or observer behind them.
+    if let SystemSpec::Serving(policy) = system {
+        let outcome = run_serving(workload, policy);
+        match outcome.metrics() {
+            Some(m) => println!(
+                "{:<12} {:<18} util {:5.2}%   tok/s {:9.2}   KV {:5.1} GiB   host {:5.1} GiB{}",
+                system.name(),
+                "",
+                m.mfu * 100.0,
+                m.tgs,
+                m.peak_gpu_bytes as f64 / (1u64 << 30) as f64,
+                m.host_peak_bytes as f64 / (1u64 << 30) as f64,
+                m.alpha.map(|a| format!("   α={a:.3}")).unwrap_or_default(),
+            ),
+            None => println!("{:<12} {}", system.name(), outcome.cell()),
+        }
+        if let Some(sink) = sink {
+            sink.record_serving(workload, system, &outcome);
+        }
+        return true;
+    }
     // Thread-local scope, not a global snapshot-diff: only pool batches
     // this run initiates land in its report.
     let pool_scope = sink.as_ref().map(|_| PoolStatsScope::enter());
